@@ -1,0 +1,44 @@
+"""Shared benchmark machinery.
+
+Each benchmark regenerates one paper artifact via the experiment
+registry, times it with pytest-benchmark, prints the reproduced
+table/series, and sanity-checks the headline shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Use ``REPRO_BENCH_PAPER=1`` to run at the paper's full fidelity
+(60 s x 10 repetitions — slow) instead of the default bench profile.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.base import ExperimentResult
+from repro.tools.harness import HarnessConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> HarnessConfig:
+    if os.environ.get("REPRO_BENCH_PAPER"):
+        return HarnessConfig.paper()
+    return HarnessConfig.bench()
+
+
+@pytest.fixture()
+def run_artifact(benchmark, bench_config):
+    """Benchmark one experiment and return its result."""
+
+    def runner(exp_id: str) -> ExperimentResult:
+        exp = REGISTRY[exp_id]()
+        result = benchmark.pedantic(
+            lambda: exp.run(bench_config), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

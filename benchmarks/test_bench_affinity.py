@@ -1,0 +1,11 @@
+"""Regenerates Section III.A: core-placement variability ablation."""
+
+
+def test_bench_affinity(run_artifact):
+    result = run_artifact("var")
+    pinned = result.row_by(placement="pinned")
+    balanced = result.row_by(placement="irqbalance")
+    # pinned: tight; irqbalance: wide spread with a far lower floor
+    assert balanced["stdev"] > pinned["stdev"]
+    assert balanced["min"] < 0.8 * pinned["min"]
+    assert balanced["max"] <= pinned["max"] * 1.1

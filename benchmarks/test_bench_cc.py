@@ -1,0 +1,19 @@
+"""Regenerates Section IV.F: congestion-control comparison."""
+
+import pytest
+
+
+def test_bench_cc(run_artifact):
+    result = run_artifact("cc")
+    cubic = result.row_by(algo="cubic", scenario="single-wan54")
+    bbr1 = result.row_by(algo="bbr1", scenario="single-wan54")
+    bbr3 = result.row_by(algo="bbr3", scenario="single-wan54")
+    # single-stream throughput roughly comparable on the clean testbed
+    for bbr in (bbr1, bbr3):
+        assert bbr["gbps"] == pytest.approx(cubic["gbps"], rel=0.35)
+    # parallel BBR benefits strongly from pacing (paper: otherwise
+    # flows interfere and back off)
+    for algo in ("bbr1", "bbr3"):
+        unpaced = result.row_by(algo=algo, scenario="8flows-unpaced")
+        paced = result.row_by(algo=algo, scenario="8flows-9G")
+        assert paced["stdev"] <= unpaced["stdev"] + 0.5

@@ -1,0 +1,21 @@
+"""Regenerates the future-work extension experiments (400G, optmem autosizing)."""
+
+import pytest
+
+
+def test_bench_ext_400g(run_artifact):
+    result = run_artifact("ext-400g")
+    m8 = result.row_by(matrix="8 x 25G")
+    m20 = result.row_by(matrix="20 x 20G")
+    # 8x25 clean at 200; 20x20 hits a host aggregate ceiling below 400
+    assert m8["gbps"] == pytest.approx(200, rel=0.05)
+    assert m20["gbps"] > 300  # scales well past 200G...
+    assert m20["gbps"] < 399  # ...but a new host bottleneck appears
+
+
+def test_bench_ext_optmem(run_artifact):
+    result = run_artifact("ext-optmem")
+    for row in result.rows:
+        # the advisor's recommendation matches the 16 MB oracle
+        assert row["gbps"] == pytest.approx(row["oracle_gbps"], rel=0.04)
+        assert row["gbps"] > 45

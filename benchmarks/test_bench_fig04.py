@@ -1,0 +1,11 @@
+"""Regenerates Figure 4: bare metal vs VM validation."""
+
+import pytest
+
+
+def test_bench_fig04(run_artifact):
+    result = run_artifact("fig04")
+    bare = result.row_by(path="wan54", vm_mode="baremetal", test="zc+pace50")
+    tuned = result.row_by(path="wan54", vm_mode="tuned", test="zc+pace50")
+    # tuned VM within a few percent of bare metal (paper: within 1 stdev)
+    assert tuned["gbps"] == pytest.approx(bare["gbps"], rel=0.06)

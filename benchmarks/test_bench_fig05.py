@@ -1,0 +1,13 @@
+"""Regenerates Figure 5: single-stream AmLight (default / zc / zc+pace / BIG TCP)."""
+
+import pytest
+
+
+def test_bench_fig05(run_artifact):
+    result = run_artifact("fig05")
+    default = result.row_by(path="wan54", config="default")["gbps"]
+    combo = result.row_by(path="wan54", config="zc+pace50")["gbps"]
+    bigtcp = result.row_by(path="wan54", config="bigtcp150K")["gbps"]
+    assert combo / default > 1.25  # paper: up to +35%
+    assert combo == pytest.approx(50.0, rel=0.05)
+    assert bigtcp > default  # paper: up to +16%

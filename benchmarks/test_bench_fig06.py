@@ -1,0 +1,13 @@
+"""Regenerates Figure 6: single-stream ESnet (AMD hosts)."""
+
+import pytest
+
+
+def test_bench_fig06(run_artifact):
+    result = run_artifact("fig06")
+    lan = result.row_by(path="lan", config="default")["gbps"]
+    wan = result.row_by(path="wan", config="default")["gbps"]
+    combo = result.row_by(path="wan", config="zc+pace40")["gbps"]
+    assert wan < 0.65 * lan  # paper: WAN ~40% below LAN
+    assert combo == pytest.approx(40.0, rel=0.05)  # recovers to ~LAN level
+    assert combo / wan > 1.5  # paper: +85%

@@ -1,0 +1,13 @@
+"""Regenerates Figure 7: CPU utilization vs latency (Intel)."""
+
+
+def test_bench_fig07(run_artifact):
+    result = run_artifact("fig07")
+    # default: sender saturates on the WAN, receiver works hard on LAN
+    wan_default = result.row_by(path="wan54", config="default")
+    lan_default = result.row_by(path="lan", config="default")
+    assert wan_default["snd_app_pct"] > 95
+    assert lan_default["rcv_cpu_pct"] > 90
+    # zerocopy+pacing: sender CPU collapses
+    wan_zc = result.row_by(path="wan25", config="zc+pace")
+    assert wan_zc["snd_cpu_pct"] < 0.7 * wan_default["snd_cpu_pct"]

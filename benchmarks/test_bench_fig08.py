@@ -1,0 +1,12 @@
+"""Regenerates Figure 8: CPU utilization vs latency (AMD)."""
+
+
+def test_bench_fig08(run_artifact):
+    result = run_artifact("fig08")
+    wan_default = result.row_by(path="wan", config="default")
+    wan_zc = result.row_by(path="wan", config="zc+pace")
+    # default WAN: sender-side CPU is the bottleneck
+    assert wan_default["snd_app_pct"] > 95
+    # zerocopy+pacing recovers throughput and cuts sender CPU
+    assert wan_zc["gbps"] > 1.5 * wan_default["gbps"]
+    assert wan_zc["snd_cpu_pct"] < wan_default["snd_cpu_pct"]

@@ -1,0 +1,19 @@
+"""Regenerates Figure 9: throughput/CPU vs optmem_max."""
+
+import pytest
+
+
+def test_bench_fig09(run_artifact):
+    result = run_artifact("fig09")
+    starved = result.row_by(optmem="20KB(default)", path="wan54")
+    okay = result.row_by(optmem="1MB", path="wan25")
+    weak = result.row_by(optmem="1MB", path="wan104")
+    best = result.row_by(optmem="3.25MB", path="wan104")
+    # 20 KB: CPU-pegged and far below the pacing rate
+    assert starved["snd_cpu_pct"] > 95 and starved["gbps"] < 32
+    # 1 MB: fine at 25 ms, sags at 104 ms (paper: ~40 of 50)
+    assert okay["gbps"] > 43
+    assert weak["gbps"] == pytest.approx(35, rel=0.25)
+    # 3.25 MB: restores the long path and cuts CPU
+    assert best["gbps"] > weak["gbps"]
+    assert best["snd_cpu_pct"] < weak["snd_cpu_pct"]

@@ -1,0 +1,20 @@
+"""Regenerates Figure 11: 8-flow results at AmLight."""
+
+import pytest
+
+
+def test_bench_fig11(run_artifact):
+    result = run_artifact("fig11")
+    # default declines with latency (paper: ~62 -> ~50)
+    d_lan = result.row_by(path="lan", config="default")["gbps"]
+    d_104 = result.row_by(path="wan104", config="default")["gbps"]
+    assert 55 < d_lan < 70
+    assert d_104 < d_lan
+    # paced zerocopy reaches ~8 x rate on the WAN
+    z10 = result.row_by(path="wan25", config="zc+10G")["gbps"]
+    z9 = result.row_by(path="wan25", config="zc+9G")["gbps"]
+    assert z10 == pytest.approx(80.0, rel=0.06)
+    assert z9 == pytest.approx(72.0, rel=0.06)
+    # zerocopy without pacing misses max on the longest WAN path
+    zu = result.row_by(path="wan104", config="zc-unpaced")["gbps"]
+    assert zu < z10

@@ -1,0 +1,11 @@
+"""Regenerates Figure 12: kernel versions, ESnet AMD."""
+
+import pytest
+
+
+def test_bench_fig12(run_artifact):
+    result = run_artifact("fig12")
+    g = {k: result.row_by(kernel=k, path="lan")["gbps"] for k in ("5.15", "6.5", "6.8")}
+    assert g["6.5"] / g["5.15"] == pytest.approx(1.12, abs=0.06)
+    assert g["6.8"] / g["6.5"] == pytest.approx(1.17, abs=0.06)
+    assert g["6.8"] / g["5.15"] > 1.25  # paper: >30% total

@@ -1,0 +1,14 @@
+"""Regenerates Figure 13: kernel versions, AmLight Intel."""
+
+import pytest
+
+
+def test_bench_fig13(run_artifact):
+    result = run_artifact("fig13")
+    lan = {k: result.row_by(kernel=k, path="lan")["gbps"] for k in ("5.15", "6.5", "6.8")}
+    wan = {k: result.row_by(kernel=k, path="wan54")["gbps"] for k in ("5.15", "6.5", "6.8")}
+    # LAN: ~+27% from 5.15 to 6.8
+    assert lan["6.8"] / lan["5.15"] == pytest.approx(1.27, abs=0.08)
+    # WAN: identical on all kernels — pinned at the 50G pacing cap
+    assert max(wan.values()) - min(wan.values()) < 2.0
+    assert wan["5.15"] == pytest.approx(50.0, rel=0.05)

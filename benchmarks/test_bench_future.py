@@ -1,0 +1,22 @@
+"""Regenerates Section V.C previews: HW GRO and BIG TCP + zerocopy."""
+
+import pytest
+
+
+def test_bench_hw_gro(run_artifact):
+    result = run_artifact("fw-hwgro")
+    soft_15 = result.row_by(mtu=1500, hw_gro="off")["gbps"]
+    hard_15 = result.row_by(mtu=1500, hw_gro="on")["gbps"]
+    soft_9k = result.row_by(mtu=9000, hw_gro="off")["gbps"]
+    hard_9k = result.row_by(mtu=9000, hw_gro="on")["gbps"]
+    assert soft_15 == pytest.approx(24, rel=0.25)  # paper: 24 Gbps
+    assert hard_15 / soft_15 > 1.8  # paper: +160%
+    assert 1.0 <= hard_9k / soft_9k < 1.4  # paper: modest at 9K
+
+
+def test_bench_bigtcp_zerocopy_combo(run_artifact):
+    result = run_artifact("fw-combo")
+    assert "refused" in result.row_by(kernel="6.8 stock")["note"]
+    base = result.row_by(config="zc+pace50")["gbps"]
+    combo = result.row_by(config="bigtcp+zc+pace65")["gbps"]
+    assert combo > base  # paper: up to +65%, inconsistent

@@ -1,0 +1,16 @@
+"""Regenerates Table I: ESnet LAN, 8 flows, no flow control."""
+
+import pytest
+
+
+def test_bench_table1(run_artifact):
+    result = run_artifact("tab1")
+    unpaced = result.row_by(config="unpaced")
+    p25 = result.row_by(config="25 Gbps/stream")
+    p15 = result.row_by(config="15 Gbps/stream")
+    # unpaced and 25G/stream both land near the host ceiling (~166)
+    assert unpaced["avg_gbps"] == pytest.approx(166, rel=0.08)
+    assert p25["avg_gbps"] == pytest.approx(166, rel=0.08)
+    # 15G/stream: 8 x 15 = 120, with near-zero variance
+    assert p15["avg_gbps"] == pytest.approx(120, rel=0.03)
+    assert p15["stdev"] <= unpaced["stdev"] + 0.1

@@ -1,0 +1,15 @@
+"""Regenerates Table II: ESnet WAN, 8 flows, no flow control."""
+
+import pytest
+
+
+def test_bench_table2(run_artifact):
+    result = run_artifact("tab2")
+    unpaced = result.row_by(config="unpaced")
+    p15 = result.row_by(config="15 Gbps/stream")
+    # interference ceiling: unpaced lands near ~120-130 (paper: 127)
+    assert 105 < unpaced["avg_gbps"] < 140
+    # 15 G/stream stays under the ceiling and is clean
+    assert p15["avg_gbps"] == pytest.approx(120, rel=0.05)
+    assert p15["retr"] <= unpaced["retr"]
+    assert p15["stdev"] <= unpaced["stdev"] + 0.1

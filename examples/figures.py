@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as terminal bar charts.
+
+Runs one or more figure experiments and draws them the way the paper
+lays them out — groups by RTT, one bar per configuration, whiskers for
+one standard deviation.
+
+Run::
+
+    python examples/figures.py            # Fig. 5 (fast-ish)
+    python examples/figures.py fig06 fig12
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.charts import chart_from_result
+from repro.experiments import run_experiment
+from repro.tools.harness import HarnessConfig
+
+#: column layout per figure: (group column, bar-label column)
+LAYOUTS = {
+    "fig04": ("path", "vm_mode"),
+    "fig05": ("path", "config"),
+    "fig06": ("path", "config"),
+    "fig09": ("path", "optmem"),
+    "fig10": ("path", "pacing"),
+    "fig11": ("path", "config"),
+    "fig12": ("path", "kernel"),
+    "fig13": ("path", "kernel"),
+}
+
+
+def main(argv: list[str]) -> int:
+    ids = argv or ["fig05"]
+    config = HarnessConfig.bench()
+    for exp_id in ids:
+        if exp_id not in LAYOUTS:
+            print(f"no chart layout for {exp_id!r}; have {sorted(LAYOUTS)}")
+            continue
+        group_col, label_col = LAYOUTS[exp_id]
+        result = run_experiment(exp_id, config)
+        chart = chart_from_result(result, group_col, label_col)
+        print(chart.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

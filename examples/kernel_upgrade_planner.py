@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Kernel upgrade planner: what does moving off 5.15 actually buy?
+
+Sweeps the paper's three kernels across both host platforms and the
+main flow configurations, printing a decision table like the one a DTN
+operator would want before scheduling an upgrade window — the
+reproduction of Figures 12/13 viewed as a planning tool.
+
+Run::
+
+    python examples/kernel_upgrade_planner.py
+"""
+
+from __future__ import annotations
+
+from repro.core.rng import RngFactory
+from repro.host.sysctl import OPTMEM_BEST_WAN
+from repro.testbeds import AmLightTestbed, ESnetTestbed
+from repro.tools import Iperf3, Iperf3Options
+
+KERNELS = ("5.15", "6.5", "6.8")
+
+
+def row(label: str, values: dict[str, float]) -> None:
+    cells = " ".join(f"{values[k]:8.1f}" for k in KERNELS)
+    gain = (values["6.8"] / values["5.15"] - 1) * 100
+    print(f"{label:44s} {cells}   {gain:+5.0f}%")
+
+
+def measure(make_testbed, path_name, opts) -> dict[str, float]:
+    out = {}
+    for kernel in KERNELS:
+        tb = make_testbed(kernel)
+        snd, rcv = tb.host_pair()
+        tool = Iperf3(snd, rcv, tb.path(path_name), rng=RngFactory(3))
+        out[kernel] = tool.run(opts).gbps
+    return out
+
+
+def main() -> None:
+    print(f"{'scenario':44s} {'5.15':>8s} {'6.5':>8s} {'6.8':>8s}   5.15->6.8")
+    print("-" * 80)
+
+    row("Intel LAN, single stream, defaults",
+        measure(lambda k: AmLightTestbed(kernel=k), "lan",
+                Iperf3Options(duration=15)))
+    row("AMD LAN, single stream, defaults",
+        measure(lambda k: ESnetTestbed(kernel=k), "lan",
+                Iperf3Options(duration=15)))
+    row("AMD WAN, single stream, defaults",
+        measure(lambda k: ESnetTestbed(kernel=k), "wan",
+                Iperf3Options(duration=15)))
+    row("Intel WAN 54ms, zc+pace50+skip-rx (tuned)",
+        measure(lambda k: AmLightTestbed(kernel=k, optmem_max=OPTMEM_BEST_WAN),
+                "wan54",
+                Iperf3Options(duration=15, zerocopy="z", fq_rate_gbps=50,
+                              skip_rx_copy=True)))
+    print()
+    print("Defaults gain ~12% (6.5) then ~17% (6.8) on AMD and ~27% total")
+    print("on Intel LAN — but a properly tuned zerocopy+paced WAN flow is")
+    print("already pinned at its pacing rate on every kernel, so upgrade")
+    print("urgency depends on whether your transfers run tuned or stock.")
+
+
+if __name__ == "__main__":
+    main()

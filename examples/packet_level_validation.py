@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cross-validate the fluid model with the packet-level micro simulator.
+
+The reproduction's results come from a fluid (tick-based) simulator;
+this example demonstrates that its core dynamics agree with an exact
+packet-by-packet simulation on scaled-down scenarios, and shows the
+packet-scale version of the paper's pacing story: the same flow, same
+buffer — with pacing it is loss-free, without it the slow-start
+overshoot tail-drops and CUBIC sawtooths.
+
+Run::
+
+    python examples/packet_level_validation.py
+"""
+
+from __future__ import annotations
+
+from repro.micro import MicroSimulation
+
+
+def pacing_story() -> None:
+    print("== pacing vs burst loss at packet granularity ==")
+    print("   (10 Gbps link, 20 ms RTT, 2 MB switch buffer)")
+    unpaced = MicroSimulation(rate_gbps=10, rtt_ms=20, buffer_mb=2).run(5.0)
+    paced = MicroSimulation(rate_gbps=10, rtt_ms=20, buffer_mb=2,
+                            pacing_gbps=9).run(5.0)
+    print(f"  unpaced : {unpaced.goodput_gbps:5.2f} Gbps, "
+          f"{unpaced.drops} drops, {unpaced.retransmissions} retransmissions, "
+          f"{unpaced.loss_events} congestion events")
+    print(f"  paced 9G: {paced.goodput_gbps:5.2f} Gbps, "
+          f"{paced.drops} drops, {paced.retransmissions} retransmissions")
+    print()
+
+
+def window_math() -> None:
+    print("== window-limited throughput vs theory ==")
+    for window_mb in (1.0, 2.5, 5.0):
+        res = MicroSimulation(
+            rate_gbps=10, rtt_ms=20, max_window_bytes=window_mb * 1e6
+        ).run(4.0)
+        theory = window_mb * 1e6 / 0.02 * 8 / 1e9
+        print(f"  window {window_mb:3.1f} MB: measured {res.goodput_gbps:5.2f} "
+              f"Gbps, cwnd/RTT predicts {theory:5.2f} Gbps")
+    print()
+
+
+def cc_zoo() -> None:
+    print("== congestion-control algorithms on the same path ==")
+    print("   (5 Gbps link, 20 ms RTT, 12 MB buffer, 3 s)")
+    for cc in ("cubic", "reno", "bbr1", "bbr3"):
+        res = MicroSimulation(rate_gbps=5, rtt_ms=20, buffer_mb=12, cc=cc).run(3.0)
+        print(f"  {cc:6s}: {res.goodput_gbps:5.2f} Gbps, "
+              f"{res.retransmissions} retransmissions")
+    print()
+
+
+def main() -> None:
+    pacing_story()
+    window_math()
+    cc_zoo()
+    print("The fluid simulator reproduces these same outcomes three orders")
+    print("of magnitude faster, which is what makes the 100G experiments")
+    print("tractable; tests/test_micro.py asserts the agreement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Parallel-stream pacing study: find the sweet spot for a DTN.
+
+The paper's DTN use case (Section V.B): when running many parallel
+streams, the dominant tuning decision is the per-stream pacing rate.
+This example sweeps pacing for 8 zerocopy streams on the ESnet testbed
+(LAN and WAN) and prints throughput, retransmits, and per-flow fairness
+for each point — reproducing the reasoning behind Tables I/II and
+Figure 10, and the recommendation to pace near total/streams with
+headroom.
+
+Run::
+
+    python examples/parallel_pacing_study.py
+"""
+
+from __future__ import annotations
+
+from repro.core.rng import RngFactory
+from repro.testbeds import ESnetTestbed
+from repro.tools import Iperf3, Iperf3Options
+
+PACING_POINTS = [None, 25.0, 20.0, 15.0, 12.0, 10.0]
+STREAMS = 8
+
+
+def sweep(path_name: str) -> None:
+    tb = ESnetTestbed(kernel="6.8")
+    snd, rcv = tb.host_pair()
+    path = tb.path(path_name)
+    print(f"== {path.describe()} ==")
+    header = f"{'pacing':>12s} {'attempted':>10s} {'achieved':>9s} {'retr':>7s} {'per-flow range':>16s}"
+    print(header)
+    print("-" * len(header))
+    tool = Iperf3(snd, rcv, path, rng=RngFactory(7))
+    for pace in PACING_POINTS:
+        opts = Iperf3Options(
+            duration=15,
+            parallel=STREAMS,
+            fq_rate_gbps=pace,
+            zerocopy="z",
+            skip_rx_copy=True,
+        )
+        res = tool.run(opts)
+        attempted = "line rate" if pace is None else f"{STREAMS * pace:.0f}G"
+        lo, hi = res.run.flow_range_gbps
+        label = "unpaced" if pace is None else f"{pace:g}G/stream"
+        print(
+            f"{label:>12s} {attempted:>10s} {res.gbps:8.1f}G "
+            f"{res.retransmits:7d} {lo:7.1f}-{hi:<7.1f}"
+        )
+    print()
+
+
+def main() -> None:
+    for path_name in ("lan", "wan"):
+        sweep(path_name)
+    print("Reading the table the way the paper does: pace so that")
+    print("streams x rate stays below the interference ceiling (~120G on")
+    print("this WAN); lower pacing trades peak throughput for near-zero")
+    print("retransmits and perfectly fair streams.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Runs all registered experiments and prints each reproduced artifact.
+By default uses the fast 'bench' fidelity; pass ``--paper`` for the
+full 60-second x 10-repetition protocol (slow), or experiment ids to
+run a subset::
+
+    python examples/reproduce_paper.py            # everything, fast
+    python examples/reproduce_paper.py fig05 tab2 # a subset
+    python examples/reproduce_paper.py --paper    # full fidelity
+    python examples/reproduce_paper.py --markdown out.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.report import result_to_markdown
+from repro.experiments import all_experiment_ids, run_experiment
+from repro.tools.harness import HarnessConfig
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--paper", action="store_true",
+                        help="full paper-fidelity runs (60s x 10 reps)")
+    parser.add_argument("--markdown", metavar="FILE",
+                        help="also write results as markdown")
+    args = parser.parse_args(argv)
+
+    config = HarnessConfig.paper() if args.paper else HarnessConfig.bench()
+    ids = args.ids or all_experiment_ids()
+
+    sections = []
+    for exp_id in ids:
+        t0 = time.time()
+        result = run_experiment(exp_id, config)
+        elapsed = time.time() - t0
+        print(result.render())
+        print(f"[{exp_id} done in {elapsed:.1f}s]\n")
+        sections.append(result_to_markdown(result))
+
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write("\n".join(sections))
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,45 @@
+"""repro — a simulation-based reproduction of
+"Recent Linux Improvements that Impact TCP Throughput: Insights from
+R&E Networks" (Schwarz et al., SC 2024 / INDIS).
+
+The package models the Linux network stack's throughput-relevant
+mechanics (MSG_ZEROCOPY, BIG TCP, fq pacing, optmem_max accounting,
+IRQ/NUMA placement, IEEE 802.3x flow control, CUBIC/BBR) as a
+calibrated fluid/discrete-event simulator, and reproduces every table
+and figure in the paper's evaluation on simulated AmLight and ESnet
+testbeds.
+
+Quick start::
+
+    from repro.testbeds import AmLightTestbed
+    from repro.tools import Iperf3, Iperf3Options
+
+    tb = AmLightTestbed(kernel="6.8")
+    snd, rcv = tb.host_pair()
+    tool = Iperf3(snd, rcv, tb.path("wan54"))
+    res = tool.run(Iperf3Options(duration=20, zerocopy="z", fq_rate_gbps=50))
+    print(res.summary_line())
+"""
+
+from repro.host import Host, Kernel, Sysctls
+from repro.sim import FlowSimulator, FlowSpec, SimProfile
+from repro.testbeds import AmLightTestbed, ESnetTestbed
+from repro.tools import HarnessConfig, Iperf3, Iperf3Options, TestHarness
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Host",
+    "Kernel",
+    "Sysctls",
+    "FlowSimulator",
+    "FlowSpec",
+    "SimProfile",
+    "AmLightTestbed",
+    "ESnetTestbed",
+    "Iperf3",
+    "Iperf3Options",
+    "TestHarness",
+    "HarnessConfig",
+    "__version__",
+]

@@ -1,0 +1,90 @@
+"""Terminal bar charts for experiment results.
+
+The paper's figures are grouped bar charts (config x RTT).  This module
+renders :class:`~repro.experiments.base.ExperimentResult` rows the same
+way, in plain text, so `examples/figures.py` and the CLI can show the
+reproduced figures without a plotting dependency.  Error whiskers mirror
+the paper's one-standard-deviation markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["BarChart", "chart_from_result"]
+
+FULL = "█"
+HALF = "▌"
+
+
+@dataclass
+class BarChart:
+    """A grouped horizontal bar chart."""
+
+    title: str
+    value_label: str
+    #: (group, label, value, whisker) rows in display order
+    bars: list[tuple[str, str, float, float]]
+    width: int = 48
+
+    def render(self) -> str:
+        if not self.bars:
+            return f"{self.title}\n(no data)"
+        vmax = max(v + w for _, _, v, w in self.bars) or 1.0
+        label_w = max(len(b[1]) for b in self.bars)
+        group_w = max(len(b[0]) for b in self.bars)
+        lines = [self.title, "=" * len(self.title)]
+        prev_group: str | None = None
+        for group, label, value, whisker in self.bars:
+            if group != prev_group:
+                if prev_group is not None:
+                    lines.append("")
+                lines.append(f"{group}:")
+                prev_group = group
+            filled = value / vmax * self.width
+            n_full = int(filled)
+            bar = FULL * n_full + (HALF if filled - n_full >= 0.5 else "")
+            whisker_mark = ""
+            if whisker > 0:
+                w_cells = max(1, int(round(whisker / vmax * self.width)))
+                whisker_mark = "─" * (w_cells - 1) + "┤"
+            lines.append(
+                f"  {label:<{label_w}} |{bar}{whisker_mark} "
+                f"{value:.1f} {self.value_label}"
+            )
+        return "\n".join(lines)
+
+
+def chart_from_result(
+    result: ExperimentResult,
+    group_col: str,
+    label_col: str,
+    value_col: str = "gbps",
+    whisker_col: str = "stdev",
+    value_label: str = "Gbps",
+    width: int = 48,
+) -> BarChart:
+    """Build a chart from experiment rows (grouped like the paper's
+    figures: one group per RTT/path, one bar per configuration)."""
+    bars = []
+    for row in result.rows:
+        bars.append(
+            (
+                str(row.get(group_col, "")),
+                str(row.get(label_col, "")),
+                float(row.get(value_col) or 0.0),
+                float(row.get(whisker_col) or 0.0),
+            )
+        )
+    # Cluster bars by group (first-appearance order), like the paper's
+    # grouped-bar layout, regardless of row production order.
+    group_order = {g: i for i, g in enumerate(dict.fromkeys(b[0] for b in bars))}
+    bars.sort(key=lambda b: group_order[b[0]])
+    return BarChart(
+        title=f"{result.exp_id}: {result.title} [{result.paper_ref}]",
+        value_label=value_label,
+        bars=bars,
+        width=width,
+    )

@@ -1,0 +1,122 @@
+"""The paper's reported numbers, encoded for comparison.
+
+These are the values the paper states in its text and tables (figures
+are bar charts; where the text gives no number, we record the claim as
+a ratio or ordering instead).  The EXPERIMENTS.md generator and the
+shape-assertion tests both read from here, so there is exactly one
+place that says what the paper says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PaperClaim", "PAPER_CLAIMS", "claims_for"]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One checkable statement from the paper."""
+
+    exp_id: str
+    claim_id: str
+    description: str
+    #: 'ratio' claims compare two measured quantities; 'value' claims
+    #: compare one measured quantity against the paper's number;
+    #: 'ordering' claims only assert a direction.
+    kind: str
+    paper_value: float | None = None
+    tolerance: float = 0.25  # relative
+
+
+PAPER_CLAIMS: list[PaperClaim] = [
+    # --- headline abstract numbers --------------------------------------
+    PaperClaim(
+        "fig05", "zc-pace-gain",
+        "MSG_ZEROCOPY + pacing improves WAN throughput by up to ~35% "
+        "over default", "ratio", 1.35, 0.30,
+    ),
+    PaperClaim(
+        "fig05", "zc-alone-flat",
+        "zerocopy alone does not reach the zerocopy+pacing WAN result",
+        "ordering",
+    ),
+    PaperClaim(
+        "fig05", "bigtcp-gain",
+        "BIG TCP improves throughput by up to ~16%", "ratio", 1.16, 0.50,
+    ),
+    PaperClaim(
+        "fig06", "amd-wan-gap",
+        "AMD default WAN ~40% slower than LAN", "ratio", 0.6, 0.30,
+    ),
+    PaperClaim(
+        "fig06", "amd-zc-gain",
+        "zerocopy+pacing improves AMD WAN by ~85%", "ratio", 1.85, 0.30,
+    ),
+    PaperClaim(
+        "fig09", "optmem-default-hurts",
+        "default 20KB optmem: sender CPU-limited, WAN severely affected",
+        "ordering",
+    ),
+    PaperClaim(
+        "fig09", "optmem-1mb-104ms",
+        "1MB optmem reaches ~40 Gbps on the 104 ms path (kernel 6.5)",
+        "value", 40.0, 0.25,
+    ),
+    PaperClaim(
+        "fig12", "kernel-65-gain",
+        "kernel 6.5 ~12% faster than 5.15 (AMD)", "ratio", 1.12, 0.08,
+    ),
+    PaperClaim(
+        "fig12", "kernel-68-gain",
+        "kernel 6.8 ~17% faster than 6.5 (AMD)", "ratio", 1.17, 0.08,
+    ),
+    PaperClaim(
+        "fig13", "kernel-lan-gain",
+        "kernel 6.8 ~27% faster than 5.15 on Intel LAN", "ratio", 1.27, 0.12,
+    ),
+    PaperClaim(
+        "fig13", "kernel-wan-flat",
+        "WAN single stream identical on all kernels (50G pacing cap)",
+        "ordering",
+    ),
+    # --- tables ----------------------------------------------------------
+    PaperClaim("tab1", "lan-unpaced", "LAN unpaced ~166 Gbps", "value", 166.0, 0.10),
+    PaperClaim("tab1", "lan-15g", "LAN 15G/stream ~8x15=120 Gbps", "value", 119.0, 0.05),
+    PaperClaim(
+        "tab2", "wan-ceiling",
+        "WAN aggregate interferes above ~120 Gbps: unpaced lands ~127",
+        "value", 127.0, 0.15,
+    ),
+    PaperClaim(
+        "tab2", "wan-15g-clean",
+        "15G/stream is the cleanest WAN configuration (lowest stdev)",
+        "ordering",
+    ),
+    PaperClaim("tab3", "fc-unpaced", "flow control: unpaced ~98 Gbps", "value", 98.0, 0.08),
+    PaperClaim("tab3", "fc-10g", "flow control: 10G/stream ~79 Gbps", "value", 79.0, 0.05),
+    PaperClaim(
+        "tab3", "fc-range-narrows",
+        "pacing narrows the per-flow range (9-16 unpaced -> 10-10 at 10G)",
+        "ordering",
+    ),
+    # --- future work -------------------------------------------------------
+    PaperClaim(
+        "fw-hwgro", "hwgro-1500",
+        "HW GRO at 1500B MTU: ~160% improvement (24 -> 62 Gbps)",
+        "ratio", 2.6, 0.40,
+    ),
+    PaperClaim(
+        "fw-hwgro", "hwgro-9k",
+        "HW GRO at 9K MTU: modest single-stream improvement",
+        "ordering",
+    ),
+    PaperClaim(
+        "var", "irqbalance-spread",
+        "irqbalance: 20-55 Gbps spread on identical hardware", "ordering",
+    ),
+]
+
+
+def claims_for(exp_id: str) -> list[PaperClaim]:
+    return [c for c in PAPER_CLAIMS if c.exp_id == exp_id]

@@ -1,0 +1,57 @@
+"""Render experiment results and paper comparisons (EXPERIMENTS.md).
+
+``build_experiments_md`` runs every registered experiment and writes a
+markdown document with, per artifact: the reproduced table, the paper's
+claims from :mod:`repro.analysis.paper`, and the measured counterpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.paper import claims_for
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import REGISTRY, all_experiment_ids
+from repro.tools.harness import HarnessConfig
+
+__all__ = ["result_to_markdown", "build_experiments_md"]
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a markdown section."""
+    lines = [f"### {result.exp_id} — {result.title}", ""]
+    lines.append(f"*Reproduces:* {result.paper_ref}")
+    lines.append("")
+    header = "| " + " | ".join(result.columns) + " |"
+    rule = "|" + "|".join("---" for _ in result.columns) + "|"
+    lines += [header, rule]
+    for row in result.rows:
+        cells = []
+        for c in result.columns:
+            v = row.get(c)
+            cells.append(f"{v:.1f}" if isinstance(v, float) else str(v if v is not None else ""))
+        lines.append("| " + " | ".join(cells) + " |")
+    if result.notes:
+        lines += ["", f"_{result.notes}_"]
+    claims = claims_for(result.exp_id)
+    if claims:
+        lines += ["", "Paper claims:"]
+        for c in claims:
+            target = f" (paper: {c.paper_value:g})" if c.paper_value else ""
+            lines.append(f"- **{c.claim_id}** — {c.description}{target}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def build_experiments_md(
+    config: HarnessConfig | None = None,
+    exp_ids: list[str] | None = None,
+    preamble: str = "",
+) -> str:
+    """Run experiments and assemble the full markdown document."""
+    config = config or HarnessConfig.bench()
+    parts = [preamble] if preamble else []
+    for exp_id in exp_ids or all_experiment_ids():
+        result = REGISTRY[exp_id]().run(config)
+        parts.append(result_to_markdown(result))
+    return "\n".join(parts)

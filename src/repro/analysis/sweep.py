@@ -1,0 +1,105 @@
+"""Generic parameter-sweep utilities.
+
+Several analyses want "run this flow configuration over a grid of one
+or two parameters and collect a metric" — the optmem sweep, pacing
+sweeps, kernel ladders, and user what-ifs.  :func:`sweep1d` and
+:func:`sweep2d` capture that pattern once, returning labelled records
+that render as tables or feed further analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = ["SweepPoint", "SweepResult", "sweep1d", "sweep2d"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point and its measured metrics."""
+
+    params: dict
+    metrics: dict
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep, with table rendering."""
+
+    name: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def column(self, key: str) -> list:
+        """Metric (or parameter) values in sweep order."""
+        out = []
+        for p in self.points:
+            if key in p.metrics:
+                out.append(p.metrics[key])
+            else:
+                out.append(p.params.get(key))
+        return out
+
+    def best(self, metric: str, maximize: bool = True) -> SweepPoint:
+        chooser = max if maximize else min
+        return chooser(self.points, key=lambda p: p.metrics[metric])
+
+    def render(self) -> str:
+        if not self.points:
+            return f"{self.name}: (empty sweep)"
+        param_keys = list(self.points[0].params)
+        metric_keys = list(self.points[0].metrics)
+        headers = param_keys + metric_keys
+        rows = [
+            [str(p.params[k]) for k in param_keys]
+            + [f"{p.metrics[k]:.2f}" if isinstance(p.metrics[k], float) else str(p.metrics[k])
+               for k in metric_keys]
+            for p in self.points
+        ]
+        widths = [
+            max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)
+        ]
+        lines = [
+            self.name,
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines += [" | ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+        return "\n".join(lines)
+
+
+def sweep1d(
+    name: str,
+    param: str,
+    values: Iterable,
+    measure: Callable[..., dict],
+) -> SweepResult:
+    """Run ``measure(param=value)`` over the grid.
+
+    ``measure`` returns a dict of metrics for each point.
+    """
+    result = SweepResult(name=name)
+    for value in values:
+        metrics = measure(**{param: value})
+        result.points.append(SweepPoint(params={param: value}, metrics=metrics))
+    return result
+
+
+def sweep2d(
+    name: str,
+    param_a: str,
+    values_a: Iterable,
+    param_b: str,
+    values_b: Iterable,
+    measure: Callable[..., dict],
+) -> SweepResult:
+    """Run ``measure`` over the cross product of two parameter grids."""
+    result = SweepResult(name=name)
+    values_b = list(values_b)
+    for a in values_a:
+        for b in values_b:
+            metrics = measure(**{param_a: a, param_b: b})
+            result.points.append(
+                SweepPoint(params={param_a: a, param_b: b}, metrics=metrics)
+            )
+    return result

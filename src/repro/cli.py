@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Three subcommands mirror the three ways people use this package::
+
+    repro iperf3    --testbed amlight --path wan54 --zerocopy --fq-rate 50
+    repro experiment fig09 [--paper] [--markdown out.md]
+    repro advise    --testbed esnet --path wan --streams 8
+
+Each prints to stdout; exit status is 0 on success.  The module is
+import-safe (``main`` takes argv) so tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import result_to_markdown
+from repro.core.errors import ReproError
+from repro.core.rng import RngFactory
+from repro.experiments import all_experiment_ids, run_experiment
+from repro.host.advisor import advise
+from repro.host.sysctl import OPTMEM_1MB
+from repro.testbeds.amlight import AmLightTestbed
+from repro.testbeds.esnet import ESnetTestbed
+from repro.tools.harness import HarnessConfig
+from repro.tools.iperf3 import Iperf3, Iperf3Options
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_testbed(name: str, kernel: str, optmem: int):
+    if name == "amlight":
+        return AmLightTestbed(kernel=kernel, optmem_max=optmem)
+    if name == "esnet":
+        return ESnetTestbed(kernel=kernel, optmem_max=optmem)
+    raise ReproError(f"unknown testbed {name!r}; have amlight, esnet")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Simulated reproduction of the SC'24 Linux TCP throughput study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # -- repro iperf3 -----------------------------------------------------
+    p_iperf = sub.add_parser("iperf3", help="run one simulated iperf3 test")
+    p_iperf.add_argument("--testbed", default="amlight", choices=["amlight", "esnet"])
+    p_iperf.add_argument("--path", default="lan",
+                         help="amlight: lan/wan25/wan54/wan104; esnet: lan/wan")
+    p_iperf.add_argument("--kernel", default="6.8")
+    p_iperf.add_argument("-P", "--parallel", type=int, default=1)
+    p_iperf.add_argument("-t", "--time", type=float, default=20.0)
+    p_iperf.add_argument("--fq-rate", type=float, default=None, metavar="GBPS")
+    p_iperf.add_argument("--zerocopy", action="store_true",
+                         help="MSG_ZEROCOPY (--zerocopy=z)")
+    p_iperf.add_argument("--skip-rx-copy", action="store_true")
+    p_iperf.add_argument("-C", "--congestion", default="cubic")
+    p_iperf.add_argument("--optmem", type=int, default=OPTMEM_1MB)
+    p_iperf.add_argument("--json", action="store_true", help="emit iperf3 -J JSON")
+    p_iperf.add_argument("--seed", type=int, default=7)
+
+    # -- repro experiment -------------------------------------------------
+    p_exp = sub.add_parser("experiment", help="reproduce a paper artifact")
+    p_exp.add_argument("exp_id", nargs="?", default=None,
+                       help="experiment id (omit to list)")
+    p_exp.add_argument("--paper", action="store_true",
+                       help="full 60s x 10-rep fidelity")
+    p_exp.add_argument("--markdown", metavar="FILE")
+
+    # -- repro advise -------------------------------------------------------
+    p_adv = sub.add_parser("advise", help="tuning advice for a host/path")
+    p_adv.add_argument("--testbed", default="amlight", choices=["amlight", "esnet"])
+    p_adv.add_argument("--path", default="wan54")
+    p_adv.add_argument("--kernel", default="6.8")
+    p_adv.add_argument("--streams", type=int, default=1)
+    p_adv.add_argument("--target", type=float, default=None, metavar="GBPS")
+    p_adv.add_argument("--stock", action="store_true",
+                       help="advise a stock (untuned) host instead of the "
+                       "paper-tuned one")
+    return parser
+
+
+def _cmd_iperf3(args) -> int:
+    tb = _make_testbed(args.testbed, args.kernel, args.optmem)
+    snd, rcv = tb.host_pair()
+    tool = Iperf3(snd, rcv, tb.path(args.path), rng=RngFactory(args.seed))
+    opts = Iperf3Options(
+        parallel=args.parallel,
+        duration=args.time,
+        fq_rate_gbps=args.fq_rate,
+        zerocopy="z" if args.zerocopy else None,
+        skip_rx_copy=args.skip_rx_copy,
+        congestion=args.congestion,
+    )
+    result = tool.run(opts)
+    if args.json:
+        print(result.to_json())
+    else:
+        print(f"$ {opts.command_line()}")
+        print(result.summary_line())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.exp_id is None:
+        print("available experiments:")
+        for exp_id in all_experiment_ids():
+            print(f"  {exp_id}")
+        return 0
+    config = HarnessConfig.paper() if args.paper else HarnessConfig.bench()
+    result = run_experiment(args.exp_id, config)
+    print(result.render())
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(result_to_markdown(result))
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    tb = _make_testbed(args.testbed, args.kernel, OPTMEM_1MB)
+    if args.stock:
+        from repro.testbeds.profiles import stock_host
+
+        cpu = "intel" if args.testbed == "amlight" else "amd"
+        nic = "cx5" if args.testbed == "amlight" else "cx7"
+        host = stock_host("host", cpu=cpu, nic=nic, kernel=args.kernel)
+    else:
+        host, _ = tb.host_pair()
+    report = advise(host, tb.path(args.path), target_gbps=args.target,
+                    streams=args.streams)
+    print(report.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "iperf3":
+            return _cmd_iperf3(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "advise":
+            return _cmd_advise(args)
+        raise AssertionError("unreachable")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

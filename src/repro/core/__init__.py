@@ -1,0 +1,25 @@
+"""Core simulation primitives: event engine, processes, units, RNG."""
+
+from repro.core.engine import Engine, Event
+from repro.core.errors import (
+    ConfigurationError,
+    FeatureUnavailableError,
+    HarnessError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.process import Process, Signal
+from repro.core.rng import RngFactory
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Signal",
+    "RngFactory",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "FeatureUnavailableError",
+    "HarnessError",
+]

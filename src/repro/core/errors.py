@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything from this package with a single ``except`` clause, while unit
+tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A host, NIC, kernel, or testbed was configured inconsistently.
+
+    Examples: requesting MSG_ZEROCOPY on a kernel older than 4.17,
+    enabling BIG TCP together with zerocopy on a stock kernel, or binding
+    IRQs to cores that do not exist on the host.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an invalid internal state.
+
+    These indicate bugs in the simulator (negative queues, time moving
+    backwards) rather than bad user input, and are accompanied by enough
+    context to reproduce.
+    """
+
+
+class FeatureUnavailableError(ConfigurationError):
+    """A kernel/NIC feature was requested but is not available.
+
+    Carries the feature name and the reason so tools like the iperf3
+    front-end can print the same kind of diagnostics the real tools do.
+    """
+
+    def __init__(self, feature: str, reason: str):
+        self.feature = feature
+        self.reason = reason
+        super().__init__(f"{feature} unavailable: {reason}")
+
+
+class HarnessError(ReproError):
+    """The test harness was asked to run an impossible test matrix."""

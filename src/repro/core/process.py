@@ -1,0 +1,112 @@
+"""Generator-based processes on top of the event engine.
+
+A *process* is a Python generator that yields either
+
+* a float — "sleep this many seconds", or
+* a :class:`Signal` — "park until someone fires this signal".
+
+This is the same coroutine style SimPy popularized, reimplemented here
+minimally so the package has no external simulation dependency.  It is
+used for the micro-level models (pause-frame handshakes, token-bucket
+pacing release loops) and in tests as a concise way to script scenarios
+against the engine.
+
+Example::
+
+    eng = Engine()
+
+    def pinger(log):
+        for _ in range(3):
+            yield 0.5
+            log.append(eng.now)
+
+    Process(eng, pinger([]))
+    eng.run()
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Union
+
+from repro.core.engine import Engine, Event
+from repro.core.errors import SimulationError
+
+__all__ = ["Signal", "Process"]
+
+
+class Signal:
+    """A broadcast wake-up point processes can wait on.
+
+    Firing a signal wakes every process currently waiting on it, passing
+    an optional payload as the value of their ``yield`` expression.
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self._engine = engine
+        self.name = name
+        self._waiters: list["Process"] = []
+        self.fire_count = 0
+
+    def wait(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def fire(self, payload: object = None) -> None:
+        """Wake all waiters at the current simulation time."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            # Resume via the event queue so wake-ups interleave
+            # deterministically with other same-time events.
+            self._engine.call_in(0.0, lambda p=proc: p._resume(payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+YieldType = Union[float, int, Signal]
+
+
+class Process:
+    """Drives a generator as a simulation process."""
+
+    def __init__(self, engine: Engine, gen: Generator[YieldType, object, None], name: str = ""):
+        self._engine = engine
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Optional[object] = None
+        self._pending_event: Optional[Event] = None
+        # Kick off at the current time, after any already-queued events.
+        self._pending_event = engine.call_in(0.0, lambda: self._resume(None))
+
+    def _resume(self, value: object) -> None:
+        if self.finished:
+            return
+        self._pending_event = None
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        if isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            if delay < 0:
+                raise SimulationError(f"process {self.name!r} yielded negative delay {delay}")
+            self._pending_event = self._engine.call_in(delay, lambda: self._resume(None))
+        elif isinstance(yielded, Signal):
+            yielded.wait(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def interrupt(self) -> None:
+        """Stop the process: cancel its pending timer and close the generator."""
+        if self.finished:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._gen.close()
+        self.finished = True

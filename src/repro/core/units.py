@@ -1,0 +1,141 @@
+"""Unit helpers used across the simulator.
+
+Internally the simulator uses SI base units throughout:
+
+* time        — seconds (float)
+* data        — bytes (float; fractional bytes are fine in fluid models)
+* rates       — bytes per second (float)
+* CPU work    — cycles (float)
+* frequencies — hertz (float)
+
+Anything user-facing (CLI flags, reports, paper tables) speaks the units
+the paper uses — Gbps, milliseconds, MB — and converts at the boundary
+with the helpers in this module.  Keeping the conversion in one place
+avoids the classic factor-of-8 / 1000-vs-1024 bugs that plague
+networking code.
+
+Conventions follow networking practice:
+
+* ``Gbps``/``Mbps`` are decimal (1 Gbps = 1e9 bits/s).
+* Buffer and memory sizes are binary (1 KiB = 1024 B) because the kernel
+  sysctls the paper tunes (``optmem_max``, ``rmem_max``) are byte counts
+  usually written as powers of two.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data sizes (binary, matching kernel sysctl conventions)
+# ---------------------------------------------------------------------------
+
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+
+# Decimal variants, used for link rates and NIC marketing numbers.
+K = 1e3
+M = 1e6
+G = 1e9
+
+BITS_PER_BYTE = 8.0
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+
+
+def ms(value: float) -> float:
+    """Milliseconds → seconds."""
+    return value * MSEC
+
+
+def us(value: float) -> float:
+    """Microseconds → seconds."""
+    return value * USEC
+
+
+def seconds_to_ms(value: float) -> float:
+    """Seconds → milliseconds."""
+    return value / MSEC
+
+
+# ---------------------------------------------------------------------------
+# Rates
+# ---------------------------------------------------------------------------
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second → bytes per second."""
+    return value * G / BITS_PER_BYTE
+
+
+def mbps(value: float) -> float:
+    """Megabits per second → bytes per second."""
+    return value * M / BITS_PER_BYTE
+
+
+def to_gbps(bytes_per_sec: float) -> float:
+    """Bytes per second → gigabits per second."""
+    return bytes_per_sec * BITS_PER_BYTE / G
+
+
+def to_mbps(bytes_per_sec: float) -> float:
+    """Bytes per second → megabits per second."""
+    return bytes_per_sec * BITS_PER_BYTE / M
+
+
+# ---------------------------------------------------------------------------
+# Sizes
+# ---------------------------------------------------------------------------
+
+
+def kib(value: float) -> float:
+    """KiB → bytes."""
+    return value * KB
+
+
+def mib(value: float) -> float:
+    """MiB → bytes."""
+    return value * MB
+
+
+def to_mib(value: float) -> float:
+    """Bytes → MiB."""
+    return value / MB
+
+
+def ghz(value: float) -> float:
+    """GHz → Hz (cycles per second)."""
+    return value * G
+
+
+def bdp_bytes(rate_bytes_per_sec: float, rtt_sec: float) -> float:
+    """Bandwidth-delay product in bytes.
+
+    The BDP is the amount of data in flight on a path when a flow runs at
+    ``rate`` over a round-trip time of ``rtt``.  It drives TCP window
+    sizing, and — central to this paper — the number of MSG_ZEROCOPY
+    completion notifications outstanding at any moment.
+    """
+    return rate_bytes_per_sec * rtt_sec
+
+
+def fmt_gbps(bytes_per_sec: float, digits: int = 1) -> str:
+    """Render a byte rate as e.g. ``'49.8 Gbps'`` for reports."""
+    return f"{to_gbps(bytes_per_sec):.{digits}f} Gbps"
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``'3.2 MiB'``."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{value:.0f} {suffix}"
+            return f"{value:.1f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,12 @@
+"""Reproductions of every table and figure in the paper's evaluation."""
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.registry import REGISTRY, all_experiment_ids, run_experiment
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "REGISTRY",
+    "run_experiment",
+    "all_experiment_ids",
+]

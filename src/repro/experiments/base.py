@@ -1,0 +1,107 @@
+"""Experiment framework: declarative reproductions of paper artifacts.
+
+Every table and figure in the paper's evaluation section is one
+:class:`Experiment` subclass.  An experiment
+
+* documents what it reproduces (``exp_id``, ``paper_ref``, ``title``,
+  and ``expectation`` — the paper's qualitative claim);
+* builds its testbed/host/flow configurations;
+* runs them through the :class:`~repro.tools.harness.TestHarness`;
+* returns an :class:`ExperimentResult` — a list of labelled rows that
+  renders as the same table/series the paper prints.
+
+Experiments take a :class:`~repro.tools.harness.HarnessConfig` so the
+same definition serves unit tests (quick), benchmarks (bench), and
+full paper-fidelity runs (paper).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.tools.harness import HarnessConfig
+
+__all__ = ["Experiment", "ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: labelled rows + provenance."""
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, **match) -> dict:
+        """First row whose fields match all the given key=value pairs."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match} in {self.exp_id}")
+
+    def render(self) -> str:
+        """Text table in the style of the paper's tables."""
+        widths = {
+            c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in self.rows))
+            if self.rows
+            else len(str(c))
+            for c in self.columns
+        }
+        sep = "-+-".join("-" * widths[c] for c in self.columns)
+        lines = [
+            f"{self.exp_id}: {self.title}   [{self.paper_ref}]",
+            " | ".join(str(c).ljust(widths[c]) for c in self.columns),
+            sep,
+        ]
+        for row in self.rows:
+            lines.append(
+                " | ".join(_fmt(row.get(c)).ljust(widths[c]) for c in self.columns)
+            )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+class Experiment(abc.ABC):
+    """Base class for paper-artifact reproductions."""
+
+    #: Short id used by the registry and the benchmarks ('fig05', 'tab1'...).
+    exp_id: str = ""
+    #: Human title.
+    title: str = ""
+    #: Which paper artifact this regenerates ('Figure 5', 'Table II'...).
+    paper_ref: str = ""
+    #: The paper's qualitative claim, asserted (with tolerance) in tests.
+    expectation: str = ""
+
+    @abc.abstractmethod
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        """Execute the experiment and return its rows."""
+
+    def _result(self, columns: list[str], notes: str = "") -> ExperimentResult:
+        return ExperimentResult(
+            exp_id=self.exp_id,
+            title=self.title,
+            paper_ref=self.paper_ref,
+            columns=columns,
+            notes=notes,
+        )

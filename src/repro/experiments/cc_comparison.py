@@ -1,0 +1,77 @@
+"""Section IV.F: congestion-control comparison (CUBIC vs BBRv1/v3).
+
+The paper ran CUBIC and BBR side by side and summarized without a
+figure: single-stream throughput essentially identical on the loss-free
+testbeds, more retransmits under BBR (especially v1), faster WAN
+ramp-up for BBR, and parallel BBR flows needing pacing to avoid
+interfering with each other.  This experiment regenerates those four
+observations as a table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.testbeds.amlight import AmLightTestbed
+from repro.tools.harness import HarnessConfig, TestHarness
+from repro.tools.iperf3 import Iperf3Options
+
+__all__ = ["CcComparison"]
+
+ALGOS = ("cubic", "bbr1", "bbr3")
+
+
+class CcComparison(Experiment):
+    exp_id = "cc"
+    title = "Congestion control comparison (CUBIC vs BBRv1/BBRv3)"
+    paper_ref = "Section IV.F"
+    expectation = (
+        "single-stream throughput within a few percent across algorithms "
+        "on a clean path; BBRv1 retransmits most; parallel BBR benefits "
+        "from pacing"
+    )
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(
+            ["algo", "scenario", "gbps", "retr", "stdev"]
+        )
+        tb = AmLightTestbed(kernel="6.8")
+        snd, rcv = tb.host_pair()
+        wan = tb.path("wan54")
+        harness = TestHarness(snd, rcv, wan, config)
+        for algo in ALGOS:
+            single = harness.run(
+                Iperf3Options(congestion=algo), label=f"{algo}/single"
+            )
+            result.add_row(
+                algo=algo,
+                scenario="single-wan54",
+                gbps=single.mean_gbps,
+                retr=int(single.mean_retransmits),
+                stdev=single.stdev_gbps,
+            )
+            par_unpaced = harness.run(
+                Iperf3Options(congestion=algo, parallel=8, zerocopy="z",
+                              skip_rx_copy=True),
+                label=f"{algo}/8flows-unpaced",
+            )
+            result.add_row(
+                algo=algo,
+                scenario="8flows-unpaced",
+                gbps=par_unpaced.mean_gbps,
+                retr=int(par_unpaced.mean_retransmits),
+                stdev=par_unpaced.stdev_gbps,
+            )
+            par_paced = harness.run(
+                Iperf3Options(congestion=algo, parallel=8, zerocopy="z",
+                              skip_rx_copy=True, fq_rate_gbps=9),
+                label=f"{algo}/8flows-9G",
+            )
+            result.add_row(
+                algo=algo,
+                scenario="8flows-9G",
+                gbps=par_paced.mean_gbps,
+                retr=int(par_paced.mean_retransmits),
+                stdev=par_paced.stdev_gbps,
+            )
+        return result

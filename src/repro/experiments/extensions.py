@@ -1,0 +1,105 @@
+"""Future-work extensions beyond the paper's measurements.
+
+The paper's Section V.C sketches the next steps; these experiments run
+them in the simulator:
+
+* **400G scalability** (`ext-400g`) — "we would expect that 20 flows
+  paced at 20 Gbps would be possible, and possibly 10x40G" on 400G
+  gear.  We scale the ESnet hosts to 400G NICs and test exactly those
+  matrices, reporting where new bottlenecks (host aggregate ceilings)
+  appear.
+
+* **optmem auto-sizing** (`ext-optmem`) — validates the advisor's
+  BDP-based optmem recommendation across every AmLight path: the
+  recommended value must reach the pacing rate wherever a 16 MB
+  upper-bound "oracle" value does.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.host.advisor import recommended_optmem
+from repro.testbeds.amlight import AMLIGHT_RTTS_MS, AmLightTestbed
+from repro.testbeds.esnet import ESnetTestbed
+from repro.tools.harness import HarnessConfig, TestHarness
+from repro.tools.iperf3 import Iperf3Options
+
+__all__ = ["Ext400G", "ExtOptmemAutosize"]
+
+
+class Ext400G(Experiment):
+    exp_id = "ext-400g"
+    title = "Parallel-stream scaling projection on 400G NICs"
+    paper_ref = "Section V.C (future work)"
+    expectation = (
+        "20 x 20G is achievable; 10 x 40G approaches the host aggregate "
+        "ceiling and loses efficiency"
+    )
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(
+            ["matrix", "attempted", "gbps", "stdev", "retr"],
+            notes="ESnet AMD hosts with NICs scaled to 400G, kernel 6.8, "
+            "zerocopy + skip-rx-copy as in the paper's tuned protocol",
+        )
+        tb = ESnetTestbed(kernel="6.8")
+        snd, rcv = tb.host_pair()
+        snd = snd.set(nic=snd.nic.with_speed_gbps(400))
+        rcv = rcv.set(nic=rcv.nic.with_speed_gbps(400))
+        # Scale the path to 400G as well (new optics end to end).
+        path = tb.path("lan")
+        from dataclasses import replace
+
+        path = replace(path, bottleneck=replace(
+            path.bottleneck, rate_bytes_per_sec=400e9 / 8
+        ))
+        harness = TestHarness(snd, rcv, path, config)
+        for streams, pace in ((8, 25.0), (20, 20.0), (10, 40.0)):
+            opts = Iperf3Options(
+                parallel=streams, fq_rate_gbps=pace,
+                zerocopy="z", skip_rx_copy=True,
+            )
+            res = harness.run(opts, label=f"{streams}x{pace:g}G")
+            result.add_row(
+                matrix=f"{streams} x {pace:g}G",
+                attempted=streams * pace,
+                gbps=res.mean_gbps,
+                stdev=res.stdev_gbps,
+                retr=int(res.mean_retransmits),
+            )
+        return result
+
+
+class ExtOptmemAutosize(Experiment):
+    exp_id = "ext-optmem"
+    title = "BDP-sized optmem_max recommendation vs oracle"
+    paper_ref = "Section V.A (recommendation), Fig. 9 (mechanism)"
+    expectation = (
+        "the advisor's recommended optmem reaches the pacing rate on "
+        "every path, matching a 16 MB oracle"
+    )
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(["path", "recommended_bytes", "gbps", "oracle_gbps"])
+        opts = Iperf3Options(zerocopy="z", fq_rate_gbps=50, skip_rx_copy=True)
+        for path_name, rtt_ms in AMLIGHT_RTTS_MS.items():
+            rec = recommended_optmem(rate_gbps=50, rtt_sec=rtt_ms / 1e3)
+            tb_rec = AmLightTestbed(kernel="6.5", optmem_max=rec)
+            tb_oracle = AmLightTestbed(kernel="6.5", optmem_max=16 * 1024 * 1024)
+            snd, rcv = tb_rec.host_pair()
+            res = TestHarness(snd, rcv, tb_rec.path(path_name), config).run(
+                opts, label=f"rec/{path_name}"
+            )
+            snd_o, rcv_o = tb_oracle.host_pair()
+            oracle = TestHarness(snd_o, rcv_o, tb_oracle.path(path_name), config).run(
+                opts, label=f"oracle/{path_name}"
+            )
+            result.add_row(
+                path=path_name,
+                recommended_bytes=rec,
+                gbps=res.mean_gbps,
+                oracle_gbps=oracle.mean_gbps,
+            )
+        return result

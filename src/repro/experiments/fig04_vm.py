@@ -1,0 +1,58 @@
+"""Figure 4: bare metal vs tuned VM (AmLight, Debian 11 / kernel 5.10).
+
+The paper validates its virtual testing environment by showing that a
+VM with PCI passthrough + pinned vCPUs performs within one standard
+deviation of bare metal for both default and zerocopy+pacing single
+streams at every RTT.  We reproduce that, and add the untuned-VM
+configuration as an ablation showing *why* the tuning matters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.testbeds.amlight import AmLightTestbed
+from repro.tools.harness import HarnessConfig, TestHarness
+from repro.tools.iperf3 import Iperf3Options
+
+__all__ = ["Fig04VmValidation"]
+
+PATHS = ("lan", "wan25", "wan54", "wan104")
+
+
+class Fig04VmValidation(Experiment):
+    exp_id = "fig04"
+    title = "Baremetal vs VM, single stream (Intel, kernel 5.10)"
+    paper_ref = "Figure 4"
+    expectation = (
+        "tuned VM within ~5% of bare metal in every configuration; "
+        "untuned VM far below both"
+    )
+
+    #: VM modes shown; 'untuned' is our added ablation.
+    vm_modes = ("baremetal", "tuned", "untuned")
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(
+            ["path", "vm_mode", "test", "gbps", "stdev"],
+            notes="'tuned' = PCI passthrough + pinned vCPUs (the paper's VM); "
+            "'untuned' is an added ablation.",
+        )
+        for vm_mode in self.vm_modes:
+            tb = AmLightTestbed(kernel="5.10", vm_mode=vm_mode)
+            snd, rcv = tb.host_pair()
+            for path_name in PATHS:
+                harness = TestHarness(snd, rcv, tb.path(path_name), config)
+                for test, opts in (
+                    ("default", Iperf3Options()),
+                    ("zc+pace50", Iperf3Options(zerocopy="z", fq_rate_gbps=50)),
+                ):
+                    res = harness.run(opts, label=f"{vm_mode}/{path_name}/{test}")
+                    result.add_row(
+                        path=path_name,
+                        vm_mode=vm_mode,
+                        test=test,
+                        gbps=res.mean_gbps,
+                        stdev=res.stdev_gbps,
+                    )
+        return result

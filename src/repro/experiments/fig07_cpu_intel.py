@@ -1,0 +1,70 @@
+"""Figure 7: CPU utilization vs latency, single stream, Intel hosts.
+
+For default settings and for zerocopy+pacing(50G), report sender and
+receiver "TX/RX Cores" utilization (iperf3 core + NIC interrupt cores;
+can exceed 100%) at each RTT, on kernel 6.5 as in the paper.
+
+Paper claims reproduced: with defaults, the receiver CPU limits on the
+LAN while the sender limits on the WAN; with zerocopy+pacing the sender
+CPU drops dramatically and the receiver becomes the bottleneck, with
+throughput identical at every RTT.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.testbeds.amlight import AmLightTestbed
+from repro.tools.harness import HarnessConfig, TestHarness
+from repro.tools.iperf3 import Iperf3Options
+
+__all__ = ["Fig07CpuIntel"]
+
+PATHS = ("lan", "wan25", "wan54", "wan104")
+
+
+class Fig07CpuIntel(Experiment):
+    exp_id = "fig07"
+    title = "CPU utilization vs latency (Intel single stream, kernel 6.5)"
+    paper_ref = "Figure 7"
+    expectation = (
+        "default: receiver-limited on LAN, sender-limited on WAN; "
+        "zc+pacing: sender CPU collapses, receiver becomes the bottleneck"
+    )
+
+    kernel = "6.5"
+    pace_gbps = 50.0
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(
+            ["path", "config", "gbps", "snd_cpu_pct", "rcv_cpu_pct",
+             "snd_app_pct", "rcv_app_pct"],
+            notes="cpu percentages are TX/RX-cores aggregates (iperf3 core "
+            "+ IRQ cores) and can exceed 100%",
+        )
+        tb = self._testbed()
+        snd, rcv = tb.host_pair()
+        cases = [
+            ("default", Iperf3Options()),
+            ("zc+pace", Iperf3Options(zerocopy="z", fq_rate_gbps=self.pace_gbps)),
+        ]
+        for path_name in self._paths():
+            harness = TestHarness(snd, rcv, tb.path(path_name), config)
+            for label, opts in cases:
+                res = harness.run(opts, label=f"{path_name}/{label}")
+                result.add_row(
+                    path=path_name,
+                    config=label,
+                    gbps=res.mean_gbps,
+                    snd_cpu_pct=res.sender_cpu_pct,
+                    rcv_cpu_pct=res.receiver_cpu_pct,
+                    snd_app_pct=res.sender_cpu.app_pct,
+                    rcv_app_pct=res.receiver_cpu.app_pct,
+                )
+        return result
+
+    def _testbed(self):
+        return AmLightTestbed(kernel=self.kernel)
+
+    def _paths(self):
+        return PATHS

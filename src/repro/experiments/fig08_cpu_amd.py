@@ -1,0 +1,33 @@
+"""Figure 8: CPU utilization, single stream, AMD hosts (ESnet).
+
+Same protocol as Fig. 7 on the ESnet AMD pair (LAN + WAN, pacing 40G).
+Paper claim reproduced: same qualitative pattern as Intel, but the
+sender CPU on the WAN is much higher on AMD — the per-CCX L3 makes
+WAN-sized copies far more expensive.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.fig07_cpu_intel import Fig07CpuIntel
+from repro.testbeds.esnet import ESnetTestbed
+
+__all__ = ["Fig08CpuAmd"]
+
+
+class Fig08CpuAmd(Fig07CpuIntel):
+    exp_id = "fig08"
+    title = "CPU utilization vs latency (AMD single stream, kernel 6.5)"
+    paper_ref = "Figure 8"
+    expectation = (
+        "same pattern as Intel but WAN sender CPU much higher; "
+        "zc+pacing brings WAN throughput to LAN level"
+    )
+
+    pace_gbps = 40.0
+
+    def _testbed(self):
+        return ESnetTestbed(kernel=self.kernel)
+
+    def _paths(self):
+        return ("lan", "wan")

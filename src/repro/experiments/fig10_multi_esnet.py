@@ -1,0 +1,61 @@
+"""Figure 10: 8 parallel flows on the ESnet testbed, pacing sweep.
+
+Eight streams with zerocopy (+ ``--skip-rx-copy`` to focus on the send
+path, as the paper's sender-tuning protocol does) at several per-stream
+pacing rates, LAN and WAN, kernel 6.8, with the "Max Tput" reference
+(NIC speed or 8 x pacing, whichever is lower).
+
+Paper claim reproduced: zerocopy+pacing delivers close to the maximum
+possible at every pacing point (200 down to 120 Gbps), with the
+smallest variance at the lowest pacing rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.testbeds.esnet import ESnetTestbed
+from repro.tools.harness import HarnessConfig, TestHarness
+from repro.tools.iperf3 import Iperf3Options
+
+__all__ = ["Fig10MultiStreamESnet"]
+
+PACING_GBPS = (25.0, 20.0, 15.0)
+N_STREAMS = 8
+
+
+class Fig10MultiStreamESnet(Experiment):
+    exp_id = "fig10"
+    title = "8-flow pacing sweep with zerocopy, ESnet (AMD, kernel 6.8)"
+    paper_ref = "Figure 10"
+    expectation = (
+        "throughput tracks min(NIC, 8 x pacing) closely on LAN and WAN; "
+        "stdev smallest at 15 Gbps/stream"
+    )
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(
+            ["path", "pacing", "gbps", "max_tput", "stdev", "retr"]
+        )
+        tb = ESnetTestbed(kernel="6.8")
+        snd, rcv = tb.host_pair()
+        nic_gbps = snd.nic.speed_gbps
+        for path_name in ("lan", "wan"):
+            harness = TestHarness(snd, rcv, tb.path(path_name), config)
+            for pace in PACING_GBPS:
+                opts = Iperf3Options(
+                    parallel=N_STREAMS,
+                    zerocopy="z",
+                    skip_rx_copy=True,
+                    fq_rate_gbps=pace,
+                )
+                res = harness.run(opts, label=f"{path_name}/{pace:g}G")
+                result.add_row(
+                    path=path_name,
+                    pacing=f"{pace:g}G/stream",
+                    gbps=res.mean_gbps,
+                    max_tput=min(nic_gbps, N_STREAMS * pace),
+                    stdev=res.stdev_gbps,
+                    retr=int(res.mean_retransmits),
+                )
+        return result

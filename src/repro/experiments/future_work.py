@@ -1,0 +1,133 @@
+"""Section V.C previews: hardware GRO and BIG TCP + MSG_ZEROCOPY.
+
+Two forward-looking results the paper reports preliminary numbers for:
+
+* **Hardware GRO (SHAMPO)** — ConnectX-7 receivers on Linux 6.11 with
+  header/data split.  Paper: +33%-class gains at 9K MTU (62 vs 65 Gbps
+  in their note) and a dramatic +160% at 1500-byte MTU (24 -> 62 Gbps),
+  because HW GRO removes the per-wire-packet CPU cost that dominates at
+  small MTU.
+
+* **BIG TCP + MSG_ZEROCOPY combined** — requires a custom kernel built
+  with ``CONFIG_MAX_SKB_FRAGS=45`` (plus an mlx5 driver patch); the
+  paper measured up to +65% but found results inconsistent.  We run the
+  combination on a custom-frags kernel and also demonstrate that the
+  stock kernel *refuses* the combination.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import FeatureUnavailableError
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.host.kernel import KERNELS
+from repro.host.sysctl import OPTMEM_BEST_WAN
+from repro.testbeds.amlight import AmLightTestbed
+from repro.testbeds.esnet import ESnetTestbed
+from repro.tcp.bigtcp import BigTcpConfig
+from repro.tools.harness import HarnessConfig, TestHarness
+from repro.tools.iperf3 import Iperf3Options
+
+__all__ = ["FutureHwGro", "FutureBigTcpZerocopy"]
+
+
+class FutureHwGro(Experiment):
+    exp_id = "fw-hwgro"
+    title = "Hardware GRO on ConnectX-7 receivers (kernel 6.11)"
+    paper_ref = "Section V.C"
+    expectation = (
+        "modest single-stream gain at 9K MTU; large (>2x) gain at 1500B "
+        "MTU where per-packet costs dominate"
+    )
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(
+            ["mtu", "kernel", "hw_gro", "gbps"],
+            notes="Intel hosts with ConnectX-7 receivers, as in the paper's "
+            "preview (their 62-vs-24 Gbps 1500-byte result).",
+        )
+        from repro.testbeds.profiles import paper_host
+        from repro.testbeds.esnet import ESnetTestbed
+
+        for mtu in (9000, 1500):
+            for kernel, hw_label in (("6.8", "off"), ("6.11", "on")):
+                snd = paper_host("snd", cpu="intel", nic="cx7", kernel=kernel, mtu=mtu)
+                rcv = paper_host("rcv", cpu="intel", nic="cx7", kernel=kernel, mtu=mtu)
+                path = ESnetTestbed(kernel=kernel).path("lan")
+                harness = TestHarness(snd, rcv, path, config)
+                res = harness.run(Iperf3Options(), label=f"mtu{mtu}/{kernel}")
+                result.add_row(
+                    mtu=mtu,
+                    kernel=kernel,
+                    hw_gro=hw_label,
+                    gbps=res.mean_gbps,
+                )
+        return result
+
+
+class FutureBigTcpZerocopy(Experiment):
+    exp_id = "fw-combo"
+    title = "BIG TCP + MSG_ZEROCOPY on a MAX_SKB_FRAGS=45 kernel"
+    paper_ref = "Section V.C"
+    expectation = (
+        "stock kernel refuses the combination; custom kernel allows it "
+        "and improves WAN throughput beyond zc+pacing alone"
+    )
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(["kernel", "config", "gbps", "note"])
+        # 1. Stock kernel: the combination must be rejected.
+        tb_stock = AmLightTestbed(
+            kernel="6.8", big_tcp_size=BigTcpConfig.paper().gso_size,
+            optmem_max=OPTMEM_BEST_WAN,
+        )
+        snd, rcv = tb_stock.host_pair()
+        refused = False
+        try:
+            TestHarness(snd, rcv, tb_stock.path("wan54"), config).run(
+                Iperf3Options(zerocopy="z", fq_rate_gbps=50)
+            )
+        except FeatureUnavailableError:
+            refused = True
+        result.add_row(
+            kernel="6.8 stock",
+            config="bigtcp+zc",
+            gbps=0.0,
+            note="refused (MAX_SKB_FRAGS=17)" if refused else "UNEXPECTEDLY RAN",
+        )
+
+        # 2. Custom kernel: zc+pace baseline vs bigtcp+zc+pace.
+        custom = KERNELS["6.8"].with_custom_skb_frags()
+        tb_zc = AmLightTestbed(kernel="6.8", optmem_max=OPTMEM_BEST_WAN)
+        snd_b, rcv_b = tb_zc.host_pair()
+        snd_b = snd_b.set(kernel=custom)
+        rcv_b = rcv_b.set(kernel=custom)
+        harness = TestHarness(snd_b, rcv_b, tb_zc.path("wan54"), config)
+        base = harness.run(
+            Iperf3Options(zerocopy="z", fq_rate_gbps=50, skip_rx_copy=True),
+            label="zc+pace",
+        )
+        result.add_row(
+            kernel="6.8 frags=45", config="zc+pace50", gbps=base.mean_gbps, note=""
+        )
+
+        tb_combo = AmLightTestbed(
+            kernel="6.8", big_tcp_size=BigTcpConfig.paper().gso_size,
+            optmem_max=OPTMEM_BEST_WAN,
+        )
+        snd_c, rcv_c = tb_combo.host_pair()
+        snd_c = snd_c.set(kernel=custom)
+        rcv_c = rcv_c.set(kernel=custom)
+        harness_c = TestHarness(snd_c, rcv_c, tb_combo.path("wan54"), config)
+        combo = harness_c.run(
+            Iperf3Options(zerocopy="z", fq_rate_gbps=65, skip_rx_copy=True),
+            label="bigtcp+zc+pace",
+        )
+        result.add_row(
+            kernel="6.8 frags=45",
+            config="bigtcp+zc+pace65",
+            gbps=combo.mean_gbps,
+            note="paper: up to +65%, inconsistent",
+        )
+        return result

@@ -1,0 +1,76 @@
+"""Registry mapping experiment ids to classes, plus the run helper.
+
+``run_experiment("fig05")`` is the single entry point the benchmarks,
+examples, and EXPERIMENTS.md generator all share.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.ablations import AblationBurst, AblationCache, AblationFallback
+from repro.experiments.affinity import AffinityVariability
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.cc_comparison import CcComparison
+from repro.experiments.extensions import Ext400G, ExtOptmemAutosize
+from repro.experiments.fig04_vm import Fig04VmValidation
+from repro.experiments.fig05_single_amlight import Fig05SingleStreamAmLight
+from repro.experiments.fig06_single_esnet import Fig06SingleStreamESnet
+from repro.experiments.fig07_cpu_intel import Fig07CpuIntel
+from repro.experiments.fig08_cpu_amd import Fig08CpuAmd
+from repro.experiments.fig09_optmem import Fig09OptmemSweep
+from repro.experiments.fig10_multi_esnet import Fig10MultiStreamESnet
+from repro.experiments.fig11_multi_amlight import Fig11MultiStreamAmLight
+from repro.experiments.fig12_fig13_kernels import Fig12KernelsESnet, Fig13KernelsAmLight
+from repro.experiments.future_work import FutureBigTcpZerocopy, FutureHwGro
+from repro.experiments.pitfalls import IommuPitfall, PacingOverflowPitfall
+from repro.experiments.tables import Table1ESnetLan, Table2ESnetWan, Table3FlowControl
+from repro.tools.harness import HarnessConfig
+
+__all__ = ["REGISTRY", "run_experiment", "all_experiment_ids"]
+
+_CLASSES: list[type[Experiment]] = [
+    Fig04VmValidation,
+    Fig05SingleStreamAmLight,
+    Fig06SingleStreamESnet,
+    Fig07CpuIntel,
+    Fig08CpuAmd,
+    Fig09OptmemSweep,
+    Fig10MultiStreamESnet,
+    Fig11MultiStreamAmLight,
+    Table1ESnetLan,
+    Table2ESnetWan,
+    Table3FlowControl,
+    Fig12KernelsESnet,
+    Fig13KernelsAmLight,
+    CcComparison,
+    FutureHwGro,
+    FutureBigTcpZerocopy,
+    AffinityVariability,
+    PacingOverflowPitfall,
+    IommuPitfall,
+    Ext400G,
+    ExtOptmemAutosize,
+    AblationCache,
+    AblationBurst,
+    AblationFallback,
+]
+
+REGISTRY: dict[str, type[Experiment]] = {cls.exp_id: cls for cls in _CLASSES}
+
+
+def all_experiment_ids() -> list[str]:
+    """Experiment ids in paper order."""
+    return [cls.exp_id for cls in _CLASSES]
+
+
+def run_experiment(
+    exp_id: str, config: HarnessConfig | None = None
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``'fig05'``, ``'tab2'``)."""
+    try:
+        cls = REGISTRY[exp_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; have {all_experiment_ids()}"
+        ) from None
+    return cls().run(config)

@@ -1,0 +1,109 @@
+"""Tables I-III: 8-flow pacing matrices with full statistics.
+
+* **Table I** — ESnet testbed LAN, kernel 5.15, no flow control:
+  unpaced and 25/20/15 Gbps per stream.
+* **Table II** — same on the ESnet WAN loop.
+* **Table III** — two ESnet *production* DTNs (RTT 63 ms) whose network
+  honours IEEE 802.3x flow control: unpaced and 15/12/10 Gbps per
+  stream, with the per-flow Range column.
+
+Paper claims reproduced: on the LAN, pacing at 25G/stream keeps full
+throughput while cutting retransmits; 15G/stream trades throughput for
+near-zero variance.  On the WAN, any attempt above ~120 Gbps aggregate
+interferes (retransmits, high stdev).  With flow control, pacing no
+longer changes the average — only the retransmit count and the
+per-flow fairness range (9-16 Gbps unpaced vs exactly 10 when paced).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.testbeds.esnet import ESnetTestbed
+from repro.tools.harness import HarnessConfig, TestHarness
+from repro.tools.iperf3 import Iperf3Options
+
+__all__ = ["Table1ESnetLan", "Table2ESnetWan", "Table3FlowControl"]
+
+N_STREAMS = 8
+
+
+class Table1ESnetLan(Experiment):
+    exp_id = "tab1"
+    title = "ESnet testbed LAN, 8 flows, no flow control (kernel 5.15)"
+    paper_ref = "Table I"
+    expectation = (
+        "unpaced and 25G/stream both ~NIC-limited (~165G); pacing to "
+        "15G/stream gives ~120G with near-zero stdev"
+    )
+
+    path_name = "lan"
+    pacing_rows = (None, 25.0, 20.0, 15.0)
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(
+            ["config", "avg_gbps", "retr", "min", "max", "stdev"]
+        )
+        harness = self._harness(config)
+        for pace in self.pacing_rows:
+            label = "unpaced" if pace is None else f"{pace:g} Gbps/stream"
+            opts = Iperf3Options(parallel=N_STREAMS, fq_rate_gbps=pace)
+            res = harness.run(opts, label=label)
+            result.add_row(
+                config=label,
+                avg_gbps=res.mean_gbps,
+                retr=int(res.mean_retransmits),
+                min=res.min_gbps,
+                max=res.max_gbps,
+                stdev=round(res.stdev_gbps, 2),
+            )
+        return result
+
+    def _harness(self, config: HarnessConfig) -> TestHarness:
+        tb = ESnetTestbed(kernel="5.15")
+        snd, rcv = tb.host_pair()
+        return TestHarness(snd, rcv, tb.path(self.path_name), config)
+
+
+class Table2ESnetWan(Table1ESnetLan):
+    exp_id = "tab2"
+    title = "ESnet testbed WAN, 8 flows, no flow control (kernel 5.15)"
+    paper_ref = "Table II"
+    expectation = (
+        "aggregate attempts above ~120G interfere: retransmits and stdev "
+        "high for unpaced/25G/20G; 15G/stream (~120G) is clean"
+    )
+
+    path_name = "wan"
+
+
+class Table3FlowControl(Experiment):
+    exp_id = "tab3"
+    title = "ESnet production DTNs with 802.3x flow control (RTT 63 ms)"
+    paper_ref = "Table III"
+    expectation = (
+        "average throughput roughly unchanged by pacing (until the pacing "
+        "total drops below the path); retransmits and per-flow spread "
+        "shrink with pacing (9-16 Gbps unpaced -> exactly 10 when paced)"
+    )
+
+    pacing_rows = (None, 15.0, 12.0, 10.0)
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(["config", "avg_gbps", "retr", "range"])
+        tb = ESnetTestbed()
+        snd, rcv = tb.production_host_pair()
+        harness = TestHarness(snd, rcv, tb.production_path(), config)
+        for pace in self.pacing_rows:
+            label = "unpaced" if pace is None else f"{pace:g} Gbps/stream"
+            opts = Iperf3Options(parallel=N_STREAMS, fq_rate_gbps=pace)
+            res = harness.run(opts, label=label)
+            lo, hi = res.per_flow_range_gbps
+            result.add_row(
+                config=label,
+                avg_gbps=res.mean_gbps,
+                retr=int(res.mean_retransmits),
+                range=f"{lo:.0f}-{hi:.0f} Gbps",
+            )
+        return result

@@ -1,0 +1,38 @@
+"""Host models: CPU, NUMA, NIC, kernel, sysctls, tuning, VM layer."""
+
+from repro.host.advisor import Recommendation, TuningReport, advise
+from repro.host.cpu import CPUS, EPYC_73F3, XEON_6346, CpuSpec
+from repro.host.kernel import KERNELS, Kernel, KernelVersion
+from repro.host.machine import Host
+from repro.host.nic import CONNECTX_5, CONNECTX_6, CONNECTX_7, NICS, NicSpec
+from repro.host.numa import CorePlacement, NumaTopology
+from repro.host.sysctl import OPTMEM_1MB, OPTMEM_BEST_WAN, OPTMEM_DEFAULT, Sysctls
+from repro.host.tuning import HostTuning
+from repro.host.vm import VmConfig
+
+__all__ = [
+    "Host",
+    "advise",
+    "TuningReport",
+    "Recommendation",
+    "CpuSpec",
+    "XEON_6346",
+    "EPYC_73F3",
+    "CPUS",
+    "Kernel",
+    "KernelVersion",
+    "KERNELS",
+    "NicSpec",
+    "CONNECTX_5",
+    "CONNECTX_6",
+    "CONNECTX_7",
+    "NICS",
+    "NumaTopology",
+    "CorePlacement",
+    "Sysctls",
+    "OPTMEM_DEFAULT",
+    "OPTMEM_1MB",
+    "OPTMEM_BEST_WAN",
+    "HostTuning",
+    "VmConfig",
+]

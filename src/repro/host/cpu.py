@@ -1,0 +1,170 @@
+"""CPU models for the paper's two host platforms.
+
+The paper's single-stream results are CPU-bound, so the CPU model is the
+most load-bearing part of the reproduction.  We model a CPU as a set of
+cores with a clock, organized into NUMA domains (see
+:mod:`repro.host.numa`), plus calibrated *cycle costs* for the primitive
+operations the network stack performs per byte and per batch:
+
+per byte
+    * ``copy_cyc_per_byte`` — user↔kernel copy (``copy_from_iter`` etc.).
+      On AVX-512-capable Intel parts with a 6.x kernel the optimized
+      copy/checksum routines make this markedly cheaper; this single
+      number is most of the Intel-vs-AMD single-stream gap the paper
+      observes (55 vs 42 Gbps LAN on kernel 6.8).
+    * ``pin_cyc_per_byte`` — page pinning for MSG_ZEROCOPY; an order of
+      magnitude cheaper than copying.
+    * ``stack_cyc_per_byte`` — residual per-byte protocol work
+      (checksum verify fallback, skb data touching).
+
+per batch (one GSO/GRO super-packet traversing the stack)
+    * ``tx_batch_cyc`` — sendmsg syscall + skb alloc + qdisc enqueue +
+      doorbell, amortized over the GSO size.
+    * ``rx_batch_cyc`` — GRO flush + protocol receive + socket wakeup.
+
+per wire packet (MTU-sized, handled by the IRQ core's NAPI loop)
+    * ``rx_pkt_cyc`` — driver descriptor processing before GRO
+      aggregation.  Hardware GRO (ConnectX-7 + 6.11) moves aggregation
+      into the NIC, slashing this cost; that is the §V.C preview.
+
+Cache behaviour matters on the WAN: once the socket buffer outgrows the
+effective L3 slice, every copy misses cache and the per-byte cost rises.
+AMD EPYC's L3 is large in total but partitioned into 32 MB CCX slices,
+so it degrades sooner and harder than the Xeon's unified cache — this is
+the mechanism behind the paper's observation that AMD sender CPU on the
+WAN is much higher than Intel's (Figs. 7 vs 8).  The cache factor is
+computed in :mod:`repro.sim.cpumodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import units
+
+__all__ = ["CpuSpec", "XEON_6346", "EPYC_73F3", "CPUS"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A dual-socket server CPU as the paper's testbeds use."""
+
+    model: str
+    arch: str  # 'intel' or 'amd'
+    sockets: int
+    cores_per_socket: int
+    base_ghz: float
+    max_ghz: float
+    smt: int  # hardware threads per core when SMT is on
+    avx512: bool
+    #: Effective L3 a single core can stream through before misses
+    #: dominate — unified per-socket for Intel, per-CCX for AMD.
+    l3_effective_bytes: float
+    #: How steeply per-byte copy cost rises once the working set
+    #: (socket buffer) exceeds the effective L3.  Dimensionless multiplier
+    #: at full saturation; see CpuCostModel.cache_factor.
+    cache_penalty: float
+
+    # -- calibrated cycle costs (at kernel 6.8 efficiency; the kernel's
+    # stack_cost_scale multiplies these) --------------------------------
+    copy_cyc_per_byte: float
+    pin_cyc_per_byte: float
+    stack_cyc_per_byte: float
+    tx_batch_cyc: float
+    rx_batch_cyc: float
+    rx_pkt_cyc: float
+    #: Per-GSO/GRO-batch stack traversal cost on the app core (skb
+    #: walk, TCP bookkeeping, socket wakeups).  Amortized over the
+    #: batch size; this is the term BIG TCP shrinks by raising the
+    #: batch ceiling from 64 KB to 150-512 KB (paper: up to +16%).
+    skb_walk_cyc: float = 6000.0
+    #: Effective memory bandwidth available to the network stack on the
+    #: NIC's NUMA node, bytes/s.  Divided by the number of memory
+    #: touches per byte this bounds *aggregate* (multi-stream) host
+    #: throughput; calibrated from the paper's unpaced 8-stream results
+    #: (AmLight Intel ~62 Gbps on kernel 6.8; ESnet AMD ~166 Gbps on
+    #: 5.15).  The Intel figure is lower than raw DRAM bandwidth because
+    #: the ConnectX-5 hosts also contend on PCIe Gen3 and the qdisc.
+    stack_mem_bw_bytes_per_sec: float = 60e9
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("intel", "amd"):
+            raise ValueError(f"arch must be 'intel' or 'amd', got {self.arch!r}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def cycles_per_second(self, turbo: bool = True) -> float:
+        """Cycle budget of one core, assuming the performance governor.
+
+        The paper sets the governor to ``performance`` and disables SMT,
+        so a network-saturating core runs near its max turbo clock.
+        """
+        return units.ghz(self.max_ghz if turbo else self.base_ghz)
+
+    def with_overrides(self, **kwargs) -> "CpuSpec":
+        """A copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# The paper's two platforms.
+#
+# Calibration anchors (kernel 6.8, LAN, default iperf3, receiver-limited):
+#   Intel Xeon 6346  : ~55 Gbps single stream  (Fig. 5)
+#   AMD EPYC 73F3    : ~42 Gbps single stream  (Fig. 6)
+# Receiver rate ≈ max_clock / (copy + stack + batch terms) bytes/s.
+# For Intel: 3.6e9 / (0.40 + 0.04 + ~0.07)  ≈ 7.0 GB/s ≈ 56 Gbps.
+# For AMD : 4.0e9 / (0.60 + 0.05 + ~0.08)  ≈ 5.5 GB/s ≈ 44 Gbps.
+# ---------------------------------------------------------------------------
+
+XEON_6346 = CpuSpec(
+    model="Intel Xeon Gold 6346",
+    arch="intel",
+    sockets=2,
+    cores_per_socket=16,
+    base_ghz=3.1,
+    max_ghz=3.6,
+    smt=2,
+    avx512=True,
+    l3_effective_bytes=36 * units.MB,
+    cache_penalty=0.57,
+    copy_cyc_per_byte=0.40,
+    pin_cyc_per_byte=0.055,
+    stack_cyc_per_byte=0.040,
+    tx_batch_cyc=2600.0,
+    rx_batch_cyc=2100.0,
+    rx_pkt_cyc=1700.0,
+    skb_walk_cyc=6000.0,
+    stack_mem_bw_bytes_per_sec=23.4e9,
+)
+
+EPYC_73F3 = CpuSpec(
+    model="AMD EPYC 73F3",
+    arch="amd",
+    sockets=2,
+    cores_per_socket=16,
+    base_ghz=3.5,
+    max_ghz=4.0,
+    smt=2,
+    avx512=False,
+    l3_effective_bytes=32 * units.MB,  # one Zen3 CCX slice
+    cache_penalty=1.10,
+    copy_cyc_per_byte=0.60,
+    pin_cyc_per_byte=0.075,
+    stack_cyc_per_byte=0.050,
+    tx_batch_cyc=3100.0,
+    rx_batch_cyc=2500.0,
+    rx_pkt_cyc=1900.0,
+    skb_walk_cyc=7000.0,
+    stack_mem_bw_bytes_per_sec=81e9,
+)
+
+#: Catalog by short name for CLI-ish front-ends.
+CPUS: dict[str, CpuSpec] = {
+    "xeon-6346": XEON_6346,
+    "epyc-73f3": EPYC_73F3,
+    "intel": XEON_6346,
+    "amd": EPYC_73F3,
+}

@@ -1,0 +1,224 @@
+"""Linux kernel version model: feature availability and efficiency.
+
+The paper compares three kernels (5.15, 6.5, 6.8, plus Debian 11's 5.10
+for the VM-validation experiment and 6.11 for the hardware-GRO preview).
+Two things change between kernel versions:
+
+1. **Feature availability** — hard gates with a first-supported version:
+
+   ========================  =============================
+   MSG_ZEROCOPY (send)       4.17
+   BIG TCP, IPv6             5.19
+   BIG TCP, IPv4             6.3
+   HW GRO / header-data
+   split on ConnectX-7       6.11
+   fq qdisc                  3.12
+   BBR v1                    4.9
+   BBR v3                    6.6   (out-of-tree before; we gate at 6.6)
+   multi-queue fq pacing     always (pacing itself is fq's job)
+   ========================  =============================
+
+2. **Stack efficiency** — the per-byte and per-batch CPU cost of pushing
+   data through the stack drops in newer kernels (driver updates, AVX-512
+   checksum/copy routines on Intel, buffer-management and memory-bandwidth
+   work).  The paper measures the aggregate effect: on AMD hosts 6.5 is
+   ~12% faster than 5.15 and 6.8 another ~17% faster (Fig. 12); on Intel,
+   6.8 is ~27-30% faster than 5.15 on the LAN (Fig. 13).  We encode these
+   as calibrated *cost multipliers* relative to a 6.8 == 1.0 baseline,
+   per CPU architecture, interpolating for versions in between.
+
+``MAX_SKB_FRAGS`` is also modelled: stock kernels build with 17 fragments
+per skb, which is why BIG TCP and MSG_ZEROCOPY cannot be combined —
+both consume skb fragment slots.  A custom build with
+``CONFIG_MAX_SKB_FRAGS=45`` lifts the conflict (paper §V.C).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["KernelVersion", "Kernel", "KERNELS"]
+
+_VERSION_RE = re.compile(r"^(\d+)\.(\d+)(?:\.(\d+))?")
+
+
+@dataclass(frozen=True, order=True)
+class KernelVersion:
+    """A sortable (major, minor, patch) kernel version."""
+
+    major: int
+    minor: int
+    patch: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "KernelVersion":
+        m = _VERSION_RE.match(text.strip())
+        if not m:
+            raise ConfigurationError(f"unparseable kernel version: {text!r}")
+        return cls(int(m.group(1)), int(m.group(2)), int(m.group(3) or 0))
+
+    def __str__(self) -> str:
+        if self.patch:
+            return f"{self.major}.{self.minor}.{self.patch}"
+        return f"{self.major}.{self.minor}"
+
+
+# First-supported versions for the features the paper exercises.
+_FEATURE_SINCE = {
+    "msg_zerocopy": KernelVersion(4, 17),
+    "big_tcp_ipv6": KernelVersion(5, 19),
+    "big_tcp_ipv4": KernelVersion(6, 3),
+    "hw_gro": KernelVersion(6, 11),
+    "fq_qdisc": KernelVersion(3, 12),
+    "bbr1": KernelVersion(4, 9),
+    "bbr3": KernelVersion(6, 6),
+}
+
+# Calibrated network-stack cost multipliers relative to kernel 6.8 == 1.0.
+# Keys are (arch, version-string).  Derived from the paper's measured
+# ratios: AMD 5.15→6.5 +12%, 6.5→6.8 +17% (Fig. 12); Intel 5.15→6.8
+# +27% LAN (Fig. 13).  5.10 (Debian 11) is slightly worse than 5.15;
+# 6.11 carries 6.8 efficiency plus new receive-side features.
+_COST_SCALE = {
+    "amd": {
+        "5.10": 1.34,
+        "5.15": 1.31,
+        "6.5": 1.17,
+        "6.8": 1.00,
+        "6.11": 1.00,
+    },
+    "intel": {
+        "5.10": 1.31,
+        "5.15": 1.28,
+        "6.5": 1.14,
+        "6.8": 1.00,
+        "6.11": 1.00,
+    },
+}
+
+# Default compile-time skb fragment budget.  BIG TCP batches above
+# ~192 KB and MSG_ZEROCOPY pinned-page chains both consume fragment
+# slots; at 17 they cannot coexist (see Dumazet, lore 20230323162842).
+DEFAULT_MAX_SKB_FRAGS = 17
+CUSTOM_MAX_SKB_FRAGS = 45
+
+# Upper GSO/GRO sizes.  Stock behaviour is 64 KB; BIG TCP raises the
+# ceiling to 512 KB for IPv6 and to ~512 KB (minus header room) for IPv4.
+GSO_LEGACY_MAX = 65536
+BIG_TCP_MAX_IPV6 = 524288
+BIG_TCP_MAX_IPV4 = 524288 - 4096
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A kernel as configured on a host.
+
+    Combines the version with the two build/configuration knobs the
+    paper varies: ``max_skb_frags`` (stock 17 vs custom 45) and an
+    optional flag for distribution quirks.
+    """
+
+    version: KernelVersion
+    max_skb_frags: int = DEFAULT_MAX_SKB_FRAGS
+    distro: str = "ubuntu"
+
+    @classmethod
+    def named(cls, name: str, **overrides) -> "Kernel":
+        """Build one of the paper's kernels by version string, e.g. '6.8'."""
+        return cls(version=KernelVersion.parse(name), **overrides)
+
+    def with_custom_skb_frags(self) -> "Kernel":
+        """The paper's custom build: CONFIG_MAX_SKB_FRAGS=45."""
+        return replace(self, max_skb_frags=CUSTOM_MAX_SKB_FRAGS)
+
+    # -- feature gates ------------------------------------------------------
+
+    def supports(self, feature: str) -> bool:
+        try:
+            return self.version >= _FEATURE_SINCE[feature]
+        except KeyError:
+            raise ConfigurationError(f"unknown kernel feature: {feature!r}") from None
+
+    @property
+    def supports_msg_zerocopy(self) -> bool:
+        return self.supports("msg_zerocopy")
+
+    @property
+    def supports_big_tcp_ipv4(self) -> bool:
+        return self.supports("big_tcp_ipv4")
+
+    @property
+    def supports_big_tcp_ipv6(self) -> bool:
+        return self.supports("big_tcp_ipv6")
+
+    @property
+    def supports_hw_gro(self) -> bool:
+        return self.supports("hw_gro")
+
+    def big_tcp_limit(self, ipv6: bool = False) -> int:
+        """Max configurable GSO/GRO size for this kernel, in bytes."""
+        if ipv6 and self.supports_big_tcp_ipv6:
+            return BIG_TCP_MAX_IPV6
+        if not ipv6 and self.supports_big_tcp_ipv4:
+            return BIG_TCP_MAX_IPV4
+        return GSO_LEGACY_MAX
+
+    @property
+    def allows_bigtcp_with_zerocopy(self) -> bool:
+        """BIG TCP + MSG_ZEROCOPY need >= 45 skb frags to coexist."""
+        return self.max_skb_frags >= CUSTOM_MAX_SKB_FRAGS
+
+    # -- efficiency ---------------------------------------------------------
+
+    def stack_cost_scale(self, arch: str) -> float:
+        """Per-byte/per-batch CPU cost multiplier vs the 6.8 baseline.
+
+        ``arch`` is ``'intel'`` or ``'amd'``.  Unknown versions are
+        interpolated linearly between the calibrated anchor versions,
+        clamped at the ends; this keeps the model usable for kernels the
+        paper did not measure (e.g. 6.2) without pretending precision.
+        """
+        if arch not in _COST_SCALE:
+            raise ConfigurationError(f"unknown arch {arch!r}; want 'intel' or 'amd'")
+        table = _COST_SCALE[arch]
+        key = str(self.version)
+        base_key = f"{self.version.major}.{self.version.minor}"
+        if key in table:
+            return table[key]
+        if base_key in table:
+            return table[base_key]
+        # Interpolate on a scalar version coordinate (major + minor/100).
+        anchors = sorted(
+            (KernelVersion.parse(k), v) for k, v in table.items()
+        )
+        coord = self.version
+        if coord <= anchors[0][0]:
+            return anchors[0][1]
+        if coord >= anchors[-1][0]:
+            return anchors[-1][1]
+        for (v0, s0), (v1, s1) in zip(anchors, anchors[1:]):
+            if v0 <= coord <= v1:
+                def scalar(v: KernelVersion) -> float:
+                    return v.major + v.minor / 100.0
+                t = (scalar(coord) - scalar(v0)) / (scalar(v1) - scalar(v0))
+                return s0 + t * (s1 - s0)
+        raise AssertionError("unreachable")
+
+    def __str__(self) -> str:
+        frags = "" if self.max_skb_frags == DEFAULT_MAX_SKB_FRAGS else (
+            f" (MAX_SKB_FRAGS={self.max_skb_frags})"
+        )
+        return f"Linux {self.version}{frags}"
+
+
+#: The kernels used in the paper, by short name.
+KERNELS: dict[str, Kernel] = {
+    "5.10": Kernel.named("5.10", distro="debian11"),
+    "5.15": Kernel.named("5.15", distro="ubuntu22.04"),
+    "6.5": Kernel.named("6.5", distro="ubuntu22.04-hwe"),
+    "6.8": Kernel.named("6.8", distro="ubuntu24.04"),
+    "6.11": Kernel.named("6.11", distro="mainline"),
+}

@@ -1,0 +1,207 @@
+"""The :class:`Host` aggregate: CPU + NUMA + NIC + kernel + tuning.
+
+A ``Host`` is one end of a test: it validates that the requested feature
+combination is actually possible (the same checks the real tools and
+kernel enforce), and computes the derived quantities the flow simulator
+consumes — effective GSO/GRO sizes, per-core cycle budgets, placement
+penalties.
+
+Example::
+
+    host = Host.build(cpu="intel", nic="cx5", kernel="6.8",
+                      sysctls=Sysctls.fasterdata_tuned(),
+                      tuning=HostTuning.paper())
+    host.effective_gso_size()   # 65536 unless BIG TCP is enabled
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError, FeatureUnavailableError
+from repro.host.cpu import CPUS, CpuSpec
+from repro.host.kernel import KERNELS, Kernel
+from repro.host.nic import NICS, NicSpec
+from repro.host.numa import CorePlacement, NumaTopology
+from repro.host.sysctl import Sysctls
+from repro.host.tuning import HostTuning
+from repro.host.vm import VmConfig
+
+__all__ = ["Host"]
+
+
+@dataclass(frozen=True)
+class Host:
+    """A fully configured test host."""
+
+    name: str
+    cpu: CpuSpec
+    nic: NicSpec
+    kernel: Kernel
+    sysctls: Sysctls = field(default_factory=Sysctls)
+    tuning: HostTuning = field(default_factory=HostTuning)
+    vm: VmConfig = field(default_factory=VmConfig.baremetal)
+    placement: CorePlacement | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        name: str = "host",
+        cpu: str | CpuSpec = "intel",
+        nic: str | NicSpec = "cx5",
+        kernel: str | Kernel = "6.8",
+        sysctls: Sysctls | None = None,
+        tuning: HostTuning | None = None,
+        vm: VmConfig | None = None,
+        placement: CorePlacement | None = None,
+    ) -> "Host":
+        """Build a host from catalog short-names or full specs."""
+        cpu_spec = CPUS[cpu] if isinstance(cpu, str) else cpu
+        nic_spec = NICS[nic] if isinstance(nic, str) else nic
+        kern = KERNELS[kernel] if isinstance(kernel, str) else kernel
+        host = cls(
+            name=name,
+            cpu=cpu_spec,
+            nic=nic_spec,
+            kernel=kern,
+            sysctls=sysctls if sysctls is not None else Sysctls(),
+            tuning=tuning if tuning is not None else HostTuning(),
+            vm=vm if vm is not None else VmConfig.baremetal(),
+            placement=placement,
+        )
+        host.validate()
+        return host
+
+    def validate(self) -> None:
+        """Cross-component consistency checks."""
+        ring = self.tuning.ring_entries
+        if ring is not None and ring > self.nic.max_ring_entries:
+            raise ConfigurationError(
+                f"{self.nic.model} supports at most "
+                f"{self.nic.max_ring_entries} ring entries, got {ring}"
+            )
+        if self.placement is not None:
+            topo = self.numa
+            for core in (*self.placement.irq_cores, *self.placement.app_cores):
+                topo.node_of(core)  # raises if out of range
+        if self.sysctls.gso_max_size > 65536 and not (
+            self.kernel.supports_big_tcp_ipv4 or self.kernel.supports_big_tcp_ipv6
+        ):
+            raise FeatureUnavailableError(
+                "BIG TCP",
+                f"kernel {self.kernel.version} predates BIG TCP "
+                "(5.19 for IPv6, 6.3 for IPv4)",
+            )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def numa(self) -> NumaTopology:
+        return NumaTopology(cpu=self.cpu)
+
+    def resolved_placement(self, rng: np.random.Generator | None = None) -> CorePlacement:
+        """The core placement in effect for a run.
+
+        Explicit placement wins; otherwise irqbalance-style random
+        placement when irqbalance is on (needs ``rng``), else the paper's
+        pinned layout.
+        """
+        if self.placement is not None:
+            return self.placement
+        if self.tuning.irqbalance:
+            if rng is None:
+                raise ConfigurationError(
+                    "irqbalance placement is random; pass an rng to resolve it"
+                )
+            return CorePlacement.irqbalanced(self.numa, rng)
+        return CorePlacement.paper_pinned(self.numa)
+
+    def core_cycles_per_sec(self) -> float:
+        """Cycle budget of one busy core under this host's tuning."""
+        return (
+            self.cpu.cycles_per_second(turbo=True)
+            * self.tuning.clock_factor
+            * self.tuning.smt_factor
+        )
+
+    @property
+    def stack_cost_scale(self) -> float:
+        """Kernel-version efficiency multiplier for this CPU arch."""
+        return self.kernel.stack_cost_scale(self.cpu.arch)
+
+    # -- feature resolution --------------------------------------------------
+
+    def zerocopy_available(self) -> bool:
+        return self.kernel.supports_msg_zerocopy
+
+    def require_zerocopy(self) -> None:
+        if not self.zerocopy_available():
+            raise FeatureUnavailableError(
+                "MSG_ZEROCOPY", f"kernel {self.kernel.version} < 4.17"
+            )
+
+    def big_tcp_enabled(self) -> bool:
+        return self.sysctls.gso_max_size > 65536
+
+    def effective_gso_size(self, ipv6: bool = False) -> float:
+        """The GSO super-packet size the send path actually uses."""
+        limit = self.kernel.big_tcp_limit(ipv6=ipv6)
+        return float(min(self.sysctls.gso_max_size, limit))
+
+    def effective_gro_size(self, ipv6: bool = False) -> float:
+        """The GRO aggregate size the receive path actually builds.
+
+        GRO cannot aggregate beyond what arrives in a burst window, so
+        the simulator may further cap this; here we apply only the
+        configured/kernel limits.
+        """
+        limit = self.kernel.big_tcp_limit(ipv6=ipv6)
+        return float(min(self.sysctls.gro_max_size, limit))
+
+    def hw_gro_active(self) -> bool:
+        """Hardware GRO (SHAMPO): needs ConnectX-7-class NIC and >= 6.11."""
+        return self.nic.supports_hw_gro and self.kernel.supports_hw_gro
+
+    def check_zerocopy_bigtcp_combo(self) -> None:
+        """Stock kernels cannot run BIG TCP and MSG_ZEROCOPY together."""
+        if self.big_tcp_enabled() and not self.kernel.allows_bigtcp_with_zerocopy:
+            raise FeatureUnavailableError(
+                "BIG TCP + MSG_ZEROCOPY",
+                "both consume skb fragment slots; needs a custom kernel "
+                "built with CONFIG_MAX_SKB_FRAGS=45",
+            )
+
+    def rx_ring_bytes(self) -> float:
+        """Receive-ring burst capacity in bytes under current tuning."""
+        entries = self.tuning.ring_entries or self.nic.default_ring_entries
+        return self.nic.ring_bytes(entries, self.tuning.mtu)
+
+    def set(self, **kwargs) -> "Host":
+        """Copy with fields replaced, then re-validated."""
+        new = replace(self, **kwargs)
+        new.validate()
+        return new
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (examples/logs)."""
+        lines = [
+            f"Host {self.name}: {self.cpu.model}, {self.nic.model}, {self.kernel}",
+            f"  cores: {self.cpu.total_cores} ({self.cpu.sockets} sockets), "
+            f"clock {self.cpu.base_ghz}/{self.cpu.max_ghz} GHz, "
+            f"SMT {'on' if self.tuning.smt_enabled else 'off'}, "
+            f"governor {self.tuning.governor}",
+            f"  mtu {self.tuning.mtu}, rings "
+            f"{self.tuning.ring_entries or self.nic.default_ring_entries}, "
+            f"iommu=pt {'yes' if self.tuning.iommu_passthrough else 'no'}, "
+            f"irqbalance {'on' if self.tuning.irqbalance else 'off'}",
+            f"  vm: {'none' if not self.vm.enabled else ('tuned' if self.vm.pci_passthrough and self.vm.vcpu_pinned else 'untuned')}",
+        ]
+        return "\n".join(lines)

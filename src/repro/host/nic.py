@@ -1,0 +1,102 @@
+"""NIC models (Nvidia/Mellanox ConnectX series).
+
+The NIC matters to the paper in four ways:
+
+1. **Line rate** — 100 Gbps (ConnectX-5 at AmLight) vs 200 Gbps
+   (ConnectX-7 at ESnet) bounds everything.
+2. **Receive rings** — when packets arrive faster than the host drains
+   them and the network has no IEEE 802.3x flow control, the rings
+   overrun and the NIC drops packets.  Ring size is an ethtool tunable
+   (``ethtool -G eth100 rx 8192``); the paper found enlarging rings
+   helps on the AMD hosts.
+3. **Segmentation offloads** — the NIC slices GSO super-packets to MTU
+   on transmit and GRO-aggregates on receive, so the *host* cost is per
+   super-packet, not per wire packet.  BIG TCP raises the super-packet
+   ceiling (kernel permitting).
+4. **Hardware GRO / header-data split** — ConnectX-7 with Linux 6.11
+   aggregates in hardware (SHAMPO), removing most per-wire-packet CPU
+   cost; the paper previews +33% (9K MTU) and +160% (1500B MTU)
+   single-stream gains (§V.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+
+__all__ = ["NicSpec", "CONNECTX_5", "CONNECTX_6", "CONNECTX_7", "NICS"]
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """A server NIC."""
+
+    model: str
+    speed_bytes_per_sec: float
+    default_ring_entries: int
+    max_ring_entries: int
+    #: Supports IEEE 802.3x pause generation/honouring (they all do;
+    #: whether it helps depends on the *switch*, modelled in repro.net).
+    supports_pause: bool = True
+    #: Hardware GRO with header/data split (ConnectX-7, kernel >= 6.11).
+    supports_hw_gro: bool = False
+    #: Fraction of per-wire-packet host CPU cost remaining when HW GRO
+    #: is active (the NIC does the aggregation work instead).
+    hw_gro_residual: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.speed_bytes_per_sec <= 0:
+            raise ConfigurationError("NIC speed must be positive")
+        if self.default_ring_entries > self.max_ring_entries:
+            raise ConfigurationError("default ring larger than max ring")
+
+    @property
+    def speed_gbps(self) -> float:
+        return units.to_gbps(self.speed_bytes_per_sec)
+
+    def ring_bytes(self, entries: int, mtu: int) -> float:
+        """Buffering capacity of a receive ring, in bytes.
+
+        Each descriptor holds one wire packet; at 9000-byte MTU an
+        8192-entry ring buffers ~70 MB of burst.
+        """
+        if entries <= 0 or entries > self.max_ring_entries:
+            raise ConfigurationError(
+                f"ring entries {entries} out of range 1..{self.max_ring_entries}"
+            )
+        return float(entries) * float(mtu)
+
+    def with_speed_gbps(self, gbps_value: float) -> "NicSpec":
+        """A copy at a different port speed (e.g. 400G what-if studies)."""
+        return replace(self, speed_bytes_per_sec=units.gbps(gbps_value))
+
+
+CONNECTX_5 = NicSpec(
+    model="Nvidia ConnectX-5 (fw 16.35.3502)",
+    speed_bytes_per_sec=units.gbps(100),
+    default_ring_entries=1024,
+    max_ring_entries=8192,
+)
+
+CONNECTX_6 = NicSpec(
+    model="Nvidia ConnectX-6",
+    speed_bytes_per_sec=units.gbps(200),
+    default_ring_entries=1024,
+    max_ring_entries=8192,
+)
+
+CONNECTX_7 = NicSpec(
+    model="Nvidia ConnectX-7",
+    speed_bytes_per_sec=units.gbps(200),
+    default_ring_entries=1024,
+    max_ring_entries=8192,
+    supports_hw_gro=True,
+)
+
+NICS: dict[str, NicSpec] = {
+    "cx5": CONNECTX_5,
+    "cx6": CONNECTX_6,
+    "cx7": CONNECTX_7,
+}

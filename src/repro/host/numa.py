@@ -1,0 +1,140 @@
+"""NUMA topology and core-placement effects.
+
+Section III.A of the paper reports that without explicit core binding,
+single-flow throughput on the same hardware varied from 20 to 55 Gbps
+depending on where ``irqbalance`` and the scheduler happened to place
+NIC interrupts and the iperf3 process.  The fix — the standard
+fasterdata.es.net advice — is to disable irqbalance, pin IRQs to one
+block of cores on the NIC's NUMA node, and run the application on a
+*different* block of cores on the same node::
+
+    set_irq_affinity_cpulist.sh 0-7 ethN
+    numactl -C 8-15 iperf3
+
+We model a dual-socket host as two NUMA nodes with the NIC attached to
+node 0.  A placement assigns the IRQ core set and the application core
+set; the cost model then applies:
+
+* ``remote_memory_penalty`` to per-byte costs for any core on the wrong
+  node (packet buffers live in NIC-node memory);
+* ``shared_core_penalty`` when the application shares a core with the
+  NIC IRQs (cache thrash + scheduling contention — the worst case the
+  paper warns about, and what Hock et al. also found).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.host.cpu import CpuSpec
+
+__all__ = ["NumaTopology", "CorePlacement"]
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """Maps cores to NUMA nodes and records the NIC's node."""
+
+    cpu: CpuSpec
+    nic_node: int = 0
+    #: Per-byte cost multiplier when buffers are on the remote node.
+    remote_memory_penalty: float = 1.35
+    #: Per-byte cost multiplier when app and IRQ share the same core.
+    shared_core_penalty: float = 1.9
+
+    @property
+    def nodes(self) -> int:
+        return self.cpu.sockets
+
+    def node_of(self, core: int) -> int:
+        """NUMA node of a core.  Cores are numbered node-major, i.e.
+        cores [0, cores_per_socket) are node 0, matching how the paper's
+        hosts enumerate them."""
+        if not 0 <= core < self.cpu.total_cores:
+            raise ConfigurationError(
+                f"core {core} out of range 0..{self.cpu.total_cores - 1}"
+            )
+        return core // self.cpu.cores_per_socket
+
+    def cores_of_node(self, node: int) -> list[int]:
+        if not 0 <= node < self.nodes:
+            raise ConfigurationError(f"node {node} out of range 0..{self.nodes - 1}")
+        start = node * self.cpu.cores_per_socket
+        return list(range(start, start + self.cpu.cores_per_socket))
+
+
+@dataclass(frozen=True)
+class CorePlacement:
+    """An assignment of IRQ cores and application cores.
+
+    ``pinned`` placements are what the paper uses for all reported
+    results (IRQs on 0-7, iperf3 on 8-15, both on the NIC node).
+    ``irqbalance`` placements are drawn at random per run to reproduce
+    the 20-55 Gbps variability of §III.A.
+    """
+
+    irq_cores: tuple[int, ...]
+    app_cores: tuple[int, ...]
+    label: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.irq_cores:
+            raise ConfigurationError("placement needs at least one IRQ core")
+        if not self.app_cores:
+            raise ConfigurationError("placement needs at least one app core")
+
+    @property
+    def overlap(self) -> frozenset[int]:
+        """Cores used for both IRQs and the application."""
+        return frozenset(self.irq_cores) & frozenset(self.app_cores)
+
+    @classmethod
+    def paper_pinned(cls, topo: NumaTopology) -> "CorePlacement":
+        """The paper's configuration: IRQs 0-7, app 8-15, NIC node."""
+        node_cores = topo.cores_of_node(topo.nic_node)
+        if len(node_cores) < 16:
+            half = len(node_cores) // 2
+            return cls(tuple(node_cores[:half]), tuple(node_cores[half:]), "pinned")
+        return cls(tuple(node_cores[:8]), tuple(node_cores[8:16]), "pinned")
+
+    @classmethod
+    def irqbalanced(cls, topo: NumaTopology, rng: np.random.Generator,
+                    n_irq: int = 8, n_app: int = 8) -> "CorePlacement":
+        """A random placement as irqbalance + the scheduler would make.
+
+        IRQs and the app process land on arbitrary cores across both
+        sockets, sometimes overlapping — the source of the paper's
+        run-to-run variability.
+        """
+        total = topo.cpu.total_cores
+        irq = tuple(int(c) for c in rng.choice(total, size=min(n_irq, total), replace=False))
+        app = tuple(int(c) for c in rng.choice(total, size=min(n_app, total), replace=False))
+        return cls(irq, app, "irqbalance")
+
+    # -- penalty factors consumed by the cost model -------------------------
+
+    def irq_penalty(self, topo: NumaTopology) -> float:
+        """Average per-byte multiplier for IRQ-side (driver/GRO) work."""
+        factors = [
+            topo.remote_memory_penalty if topo.node_of(c) != topo.nic_node else 1.0
+            for c in self.irq_cores
+        ]
+        return float(np.mean(factors))
+
+    def app_penalty(self, topo: NumaTopology) -> float:
+        """Average per-byte multiplier for application-side work.
+
+        Includes both the remote-node penalty and the shared-core penalty
+        when the app competes with IRQ processing for the same core.
+        """
+        overlap = self.overlap
+        factors = []
+        for c in self.app_cores:
+            f = topo.remote_memory_penalty if topo.node_of(c) != topo.nic_node else 1.0
+            if c in overlap:
+                f *= topo.shared_core_penalty
+            factors.append(f)
+        return float(np.mean(factors))

@@ -1,0 +1,130 @@
+"""The sysctl surface the paper tunes.
+
+Defaults below are stock Linux values; :func:`Sysctls.fasterdata_tuned`
+returns the paper's /etc/sysctl.conf (Section III.D):
+
+.. code-block:: none
+
+    net.core.rmem_max=2147483647
+    net.core.wmem_max=2147483647
+    net.ipv4.tcp_rmem=4096 131072 2147483647
+    net.ipv4.tcp_wmem=4096 16384 2147483647
+    net.ipv4.tcp_no_metrics_save=1
+    net.core.default_qdisc=fq
+    net.core.optmem_max=1048576        # needed for MSG_ZEROCOPY
+
+``optmem_max`` is the star of Fig. 9: it caps the ancillary buffer
+space per socket, which MSG_ZEROCOPY uses for its completion
+notifications.  Too small, and zerocopy sends silently fall back to
+copying (with the failed-attempt overhead on top); see
+:mod:`repro.tcp.zerocopy` for the mechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Sysctls", "OPTMEM_DEFAULT", "OPTMEM_1MB", "OPTMEM_BEST_WAN"]
+
+# Stock Linux default (20 KB) and the two tuned values the paper studies.
+OPTMEM_DEFAULT = 20480
+OPTMEM_1MB = 1048576
+#: The empirically best WAN value the paper found on kernel 6.5
+#: (~3.25 MB) — enough notification space for a 104 ms x 50 Gbps path.
+OPTMEM_BEST_WAN = 3405376
+
+
+@dataclass(frozen=True)
+class TcpMem:
+    """A ``tcp_rmem``/``tcp_wmem`` triple: min, default, max (bytes)."""
+
+    min: int
+    default: int
+    max: int
+
+    def __post_init__(self) -> None:
+        if not self.min <= self.default <= self.max:
+            raise ConfigurationError(
+                f"tcp mem triple must be ordered: {self.min} {self.default} {self.max}"
+            )
+
+
+@dataclass(frozen=True)
+class Sysctls:
+    """Kernel network tunables, stock-Linux defaults."""
+
+    rmem_max: int = 212992
+    wmem_max: int = 212992
+    tcp_rmem: TcpMem = field(default_factory=lambda: TcpMem(4096, 131072, 6291456))
+    tcp_wmem: TcpMem = field(default_factory=lambda: TcpMem(4096, 16384, 4194304))
+    tcp_no_metrics_save: bool = False
+    default_qdisc: str = "fq_codel"
+    optmem_max: int = OPTMEM_DEFAULT
+    tcp_congestion_control: str = "cubic"
+    #: BIG TCP knobs (ip link set ... gso_ipv4_max_size / gro_ipv4_max_size).
+    gso_max_size: int = 65536
+    gro_max_size: int = 65536
+
+    @classmethod
+    def fasterdata_tuned(cls, optmem_max: int = OPTMEM_1MB) -> "Sysctls":
+        """The paper's base tuning (Section III.D)."""
+        return cls(
+            rmem_max=2147483647,
+            wmem_max=2147483647,
+            tcp_rmem=TcpMem(4096, 131072, 2147483647),
+            tcp_wmem=TcpMem(4096, 16384, 2147483647),
+            tcp_no_metrics_save=True,
+            default_qdisc="fq",
+            optmem_max=optmem_max,
+        )
+
+    # -- derived quantities --------------------------------------------------
+
+    def max_send_window(self) -> float:
+        """Largest send-side window autotuning can reach, in bytes.
+
+        TCP autotuning grows the send buffer up to ``tcp_wmem.max`` (the
+        socket-level ``wmem_max`` applies only to explicit SO_SNDBUF).
+        The usable window is roughly buffer/2 due to skb overhead
+        bookkeeping (``tcp_adv_win_scale`` semantics approximated).
+        """
+        return self.tcp_wmem.max / 2.0
+
+    def max_recv_window(self) -> float:
+        """Largest receive window autotuning can advertise, in bytes."""
+        return self.tcp_rmem.max / 2.0
+
+    def set(self, **kwargs) -> "Sysctls":
+        """Return a copy with the given sysctls changed.
+
+        Mirrors ``sysctl -w``; names use underscores as in the dataclass.
+        """
+        return replace(self, **kwargs)
+
+    def enable_big_tcp(self, size: int = 196608) -> "Sysctls":
+        """Raise GSO/GRO max sizes (``ip link set ... gso_ipv4_max_size``).
+
+        The paper uses 150 KB-class sizes for its BIG TCP runs; the
+        kernel caps the effective value (checked at host level where the
+        kernel version is known).
+        """
+        if size < 65536:
+            raise ConfigurationError("BIG TCP size below the 64 KB legacy max")
+        return replace(self, gso_max_size=size, gro_max_size=size)
+
+    def describe(self) -> str:
+        """sysctl.conf-style rendering, for logs and examples."""
+        lines = [
+            f"net.core.rmem_max={self.rmem_max}",
+            f"net.core.wmem_max={self.wmem_max}",
+            f"net.ipv4.tcp_rmem={self.tcp_rmem.min} {self.tcp_rmem.default} {self.tcp_rmem.max}",
+            f"net.ipv4.tcp_wmem={self.tcp_wmem.min} {self.tcp_wmem.default} {self.tcp_wmem.max}",
+            f"net.ipv4.tcp_no_metrics_save={int(self.tcp_no_metrics_save)}",
+            f"net.core.default_qdisc={self.default_qdisc}",
+            f"net.core.optmem_max={self.optmem_max}",
+            f"net.ipv4.tcp_congestion_control={self.tcp_congestion_control}",
+        ]
+        return "\n".join(lines)

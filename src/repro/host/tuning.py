@@ -1,0 +1,95 @@
+"""Host-level (non-sysctl) tuning: ethtool, SMT, governor, IOMMU, MTU.
+
+These are the "other tuning" items from Section III.D of the paper:
+
+.. code-block:: none
+
+    /usr/sbin/ethtool -G eth100 rx 8192 tx 8192    # AMD hosts
+    echo off > /sys/devices/system/cpu/smt/control
+    cpupower frequency-set -g performance
+    iommu=pt                                        # kernel cmdline
+
+and the IRQ/process binding from Section III.A.  The `iommu=pt` setting
+is modelled as a per-byte DMA-translation overhead that disappears in
+passthrough mode — the paper saw 8-stream throughput jump from 80 to
+181 Gbps on the ESnet AMD hosts when it was set, so the penalty factor
+for translated mode is large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["HostTuning"]
+
+
+@dataclass(frozen=True)
+class HostTuning:
+    """Knobs outside sysctl."""
+
+    #: MTU on the data interface.  The paper uses 9000 everywhere except
+    #: the §V.C hardware-GRO preview, which also tests 1500.
+    mtu: int = 1500
+    #: rx/tx ring entries (ethtool -G).  None = driver default.
+    ring_entries: int | None = None
+    #: SMT (hyper-threading).  The paper turns it off; leaving it on
+    #: halves the effective cycle budget of a saturated core's thread.
+    smt_enabled: bool = True
+    #: CPU frequency governor.  'performance' pins max turbo;
+    #: 'powersave'/'schedutil' let the clock sag under irregular load.
+    governor: str = "schedutil"
+    #: IOMMU passthrough (iommu=pt).  Off = every DMA goes through the
+    #: IOMMU page tables, which throttles aggregate throughput hard on
+    #: the AMD hosts (80 -> 181 Gbps with pt, per the paper).
+    iommu_passthrough: bool = False
+    #: irqbalance daemon running?  The paper disables it and pins IRQs.
+    irqbalance: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mtu < 576 or self.mtu > 9216:
+            raise ConfigurationError(f"implausible MTU {self.mtu}")
+        if self.governor not in ("performance", "powersave", "schedutil", "ondemand"):
+            raise ConfigurationError(f"unknown governor {self.governor!r}")
+
+    @classmethod
+    def paper(cls, ring_entries: int | None = 8192) -> "HostTuning":
+        """The tuning used for all of the paper's reported results."""
+        return cls(
+            mtu=9000,
+            ring_entries=ring_entries,
+            smt_enabled=False,
+            governor="performance",
+            iommu_passthrough=True,
+            irqbalance=False,
+        )
+
+    @classmethod
+    def stock(cls) -> "HostTuning":
+        """An untouched distro install (for ablation experiments)."""
+        return cls()
+
+    def set(self, **kwargs) -> "HostTuning":
+        return replace(self, **kwargs)
+
+    # -- factors consumed by the cost model ---------------------------------
+
+    @property
+    def clock_factor(self) -> float:
+        """Fraction of max turbo the busy core actually sustains."""
+        return 1.0 if self.governor == "performance" else 0.9
+
+    @property
+    def smt_factor(self) -> float:
+        """Cycle-budget multiplier for a saturated networking core.
+
+        With SMT on, the sibling thread steals issue slots; the paper
+        disables SMT on all hosts.  0.85 reflects a mostly-idle sibling.
+        """
+        return 0.85 if self.smt_enabled else 1.0
+
+    @property
+    def iommu_byte_cost_factor(self) -> float:
+        """Multiplier on DMA-related per-byte costs without iommu=pt."""
+        return 1.0 if self.iommu_passthrough else 2.2

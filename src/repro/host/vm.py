@@ -1,0 +1,80 @@
+"""Virtual-machine layer (Section III.H of the paper).
+
+AmLight's bare-metal hosts run Debian 11, ESnet's run Ubuntu 22.04; to
+compare like with like, the paper runs an Ubuntu VM at AmLight with
+
+* PCI passthrough of the NIC (no virtio/vhost data path), and
+* vCPU pinning so every vCPU sits on a dedicated physical core on the
+  NIC's NUMA node (their Fig. 3), plus host ``iommu=pt``.
+
+With all three, VM performance is indistinguishable from bare metal
+(their Fig. 4) — the differences were below the run-to-run standard
+deviation.  Without passthrough or without pinning, each virtual
+interrupt and exit costs host cycles and the scheduler can migrate
+vCPUs across nodes, which both costs throughput and adds variance.
+
+We model virtualization as (a) a multiplier on per-batch costs (exits,
+interrupt injection) and (b) extra run-to-run jitter, both ≈ zero in the
+tuned configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VmConfig"]
+
+
+@dataclass(frozen=True)
+class VmConfig:
+    """How (and whether) the host's workload runs inside a VM."""
+
+    enabled: bool = False
+    pci_passthrough: bool = True
+    vcpu_pinned: bool = True
+    vcpus: int = 16
+    memory_gb: int = 16
+
+    @classmethod
+    def baremetal(cls) -> "VmConfig":
+        return cls(enabled=False)
+
+    @classmethod
+    def paper_tuned(cls) -> "VmConfig":
+        """The AmLight configuration: passthrough + pinned vCPUs."""
+        return cls(enabled=True, pci_passthrough=True, vcpu_pinned=True)
+
+    @classmethod
+    def untuned(cls) -> "VmConfig":
+        """A naive VM: emulated/virtio NIC path, floating vCPUs."""
+        return cls(enabled=True, pci_passthrough=False, vcpu_pinned=False)
+
+    # -- factors consumed by the cost model ---------------------------------
+
+    @property
+    def batch_cost_factor(self) -> float:
+        """Multiplier on per-batch (syscall/interrupt) costs."""
+        if not self.enabled:
+            return 1.0
+        factor = 1.02  # residual exit cost even when fully tuned
+        if not self.pci_passthrough:
+            factor *= 2.6  # virtio/vhost copies + interrupt emulation
+        if not self.vcpu_pinned:
+            factor *= 1.25
+        return factor
+
+    @property
+    def byte_cost_factor(self) -> float:
+        """Multiplier on per-byte costs (extra copy without passthrough)."""
+        if not self.enabled or self.pci_passthrough:
+            return 1.0
+        return 1.8
+
+    @property
+    def jitter(self) -> float:
+        """Extra relative run-to-run noise contributed by virtualization."""
+        if not self.enabled:
+            return 0.0
+        if self.pci_passthrough and self.vcpu_pinned:
+            return 0.004
+        return 0.06

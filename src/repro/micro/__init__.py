@@ -1,0 +1,16 @@
+"""Packet-level micro simulator (cross-validates the fluid model)."""
+
+from repro.micro.endpoint import MicroReceiver, MicroSender
+from repro.micro.packets import Ack, Segment
+from repro.micro.queues import LinkQueue
+from repro.micro.simulation import MicroResult, MicroSimulation
+
+__all__ = [
+    "Segment",
+    "Ack",
+    "LinkQueue",
+    "MicroSender",
+    "MicroReceiver",
+    "MicroSimulation",
+    "MicroResult",
+]

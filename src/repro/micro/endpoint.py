@@ -1,0 +1,258 @@
+"""TCP endpoints for the micro simulator.
+
+The sender reuses the congestion-control classes from
+:mod:`repro.tcp.cc` (CUBIC by default) and implements:
+
+* window-based transmission, clocked by ACK arrivals;
+* optional fq-style pacing: segments are released by a token timer at
+  the pacing rate instead of back-to-back;
+* loss recovery: three duplicate ACKs trigger a retransmission of the
+  missing segment and a congestion event; a coarse retransmission
+  timeout (RTO) backstops tail loss;
+* an application-limited mode (the sender only has ``app_rate`` bytes/s
+  available), used to emulate CPU-bound senders at micro scale.
+
+The receiver delivers in-order data, buffers out-of-order segments, and
+acknowledges every arrival cumulatively (no delayed ACKs — at GSO-batch
+granularity every batch earns an ACK, which matches GRO reality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import Engine
+from repro.micro.packets import Ack, Segment
+from repro.micro.queues import LinkQueue
+from repro.tcp.cc import CongestionControl, make_cc
+
+__all__ = ["MicroSender", "MicroReceiver"]
+
+DUPACK_THRESHOLD = 3
+
+
+@dataclass
+class MicroReceiver:
+    """Cumulative-ACK receiver with out-of-order buffering."""
+
+    engine: Engine
+    ack_path: LinkQueue
+    rcv_next: int = 0
+    ooo: dict = field(default_factory=dict)  # seq -> Segment
+    delivered_bytes: int = 0
+    dup_count: int = 0
+
+    def on_segment(self, seg: Segment) -> None:
+        if seg.seq <= self.rcv_next < seg.end:
+            # in-order (or fills the gap partially)
+            self.rcv_next = seg.end
+            self.delivered_bytes += seg.length
+            # drain any now-contiguous buffered segments
+            while self.rcv_next in self.ooo:
+                nxt = self.ooo.pop(self.rcv_next)
+                self.rcv_next = nxt.end
+                self.delivered_bytes += nxt.length
+            self.dup_count = 0
+        elif seg.seq > self.rcv_next:
+            self.ooo.setdefault(seg.seq, seg)
+            self.dup_count += 1
+        # else: duplicate of already-delivered data; still ACK
+        self.ack_path.send(
+            Ack(cum_ack=self.rcv_next, sent_at=self.engine.now,
+                dup_hint=self.dup_count, sack_holes=self._holes())
+        )
+
+    def _holes(self, limit: int = 8) -> tuple[int, ...]:
+        """First missing segment offsets above rcv_next (SACK hints)."""
+        if not self.ooo:
+            return ()
+        holes: list[int] = []
+        expected = self.rcv_next
+        for seq in sorted(self.ooo):
+            while seq > expected and len(holes) < limit:
+                holes.append(expected)
+                expected += self.ooo[seq].length  # fixed-size segments
+            expected = max(expected, self.ooo[seq].end)
+            if len(holes) >= limit:
+                break
+        return tuple(holes)
+
+
+@dataclass
+class MicroSender:
+    """Window/pacing-driven sender."""
+
+    engine: Engine
+    data_path: LinkQueue
+    mss: int = 65536  # GSO-batch granularity
+    cc_name: str = "cubic"
+    pacing_rate: float | None = None  # bytes/s, None = ACK-clocked
+    app_limit_rate: float | None = None  # sender-CPU emulation
+    max_window: float = float("inf")
+    rto: float = 0.2
+
+    snd_next: int = 0
+    snd_una: int = 0
+    cc: CongestionControl = field(init=False)
+    retransmissions: int = 0
+    delivered_updates: int = 0
+    _dupacks: int = 0
+    _recovery_until: int = -1
+    _pace_timer_armed: bool = False
+    _app_retry_armed: bool = False
+    _retransmitted: set = field(default_factory=set)
+    _app_credit: float = 0.0
+    _last_cc_tick: float = 0.0
+    _last_app_refill: float = 0.0
+    _srtt: float = 0.1
+    _rto_event = None
+
+    def __post_init__(self) -> None:
+        self.cc = make_cc(self.cc_name, mss=float(self.mss))
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._last_app_refill = self.engine.now
+        self._try_send()
+        self._arm_rto()
+
+    @property
+    def inflight(self) -> int:
+        return self.snd_next - self.snd_una
+
+    def _window(self) -> float:
+        w = min(self.cc.cwnd_bytes, self.max_window)
+        if self.snd_una < self._recovery_until:
+            # fast recovery: hold new data back while repairing
+            w *= 0.65
+        return w
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def _current_pacing(self) -> float | None:
+        """Effective pacing: min of fq (--fq-rate) and the CC's own
+        model-based rate (BBR paces itself even without fq)."""
+        cc_rate = self.cc.pacing_rate(self._srtt)
+        rates = [r for r in (self.pacing_rate, cc_rate) if r is not None and r > 0]
+        return min(rates) if rates else None
+
+    def _try_send(self) -> None:
+        if self._current_pacing() is not None:
+            if not self._pace_timer_armed:
+                self._release_paced()
+            return
+        while self.inflight + self.mss <= self._window() and self._app_allows():
+            self._emit(self.snd_next, False)
+
+    def _release_paced(self) -> None:
+        self._pace_timer_armed = False
+        if self.inflight + self.mss <= self._window() and self._app_allows():
+            self._emit(self.snd_next, False)
+        rate = self._current_pacing()
+        if rate is None:
+            return  # pacing vanished; fall back to ACK clocking
+        # keep the release clock running as long as the flow lives
+        self._pace_timer_armed = True
+        self.engine.call_in(self.mss / rate, self._release_paced)
+
+    def _app_allows(self) -> bool:
+        """Application-limited senders only produce app_rate bytes/s."""
+        if self.app_limit_rate is None:
+            return True
+        now = self.engine.now
+        self._app_credit += (now - self._last_app_refill) * self.app_limit_rate
+        self._app_credit = min(self._app_credit, 4.0 * self.mss)
+        self._last_app_refill = now
+        if self._app_credit >= self.mss - 0.5:  # float-drift tolerance
+            self._app_credit = max(self._app_credit, float(self.mss))
+            return True
+        if not self._app_retry_armed:
+            # exactly one pending retry timer, or credit checks snowball
+            self._app_retry_armed = True
+            wait = (self.mss - self._app_credit) / self.app_limit_rate
+            self.engine.call_in(max(wait, 1e-6), self._app_retry)
+        return False
+
+    def _app_retry(self) -> None:
+        self._app_retry_armed = False
+        self._try_send()
+
+    def _emit(self, seq: int, retrans: bool) -> None:
+        seg = Segment(seq=seq, length=self.mss, sent_at=self.engine.now,
+                      retransmission=retrans)
+        if self.app_limit_rate is not None:
+            self._app_credit -= self.mss
+        if retrans:
+            self.retransmissions += 1
+        else:
+            self.snd_next = max(self.snd_next, seq + self.mss)
+        self.data_path.send(seg)  # tail drop handled by the queue
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+
+    def on_ack(self, ack: Ack) -> None:
+        now = self.engine.now
+        rtt_sample = max(1e-6, now - ack.sent_at) * 2.0  # crude: 2x one-way
+        self._srtt = 0.875 * self._srtt + 0.125 * rtt_sample
+
+        if ack.cum_ack > self.snd_una:
+            self._retransmitted = {
+                s for s in self._retransmitted if s >= ack.cum_ack
+            }
+            newly = ack.cum_ack - self.snd_una
+            self.snd_una = ack.cum_ack
+            self._dupacks = 0
+            self.delivered_updates += 1
+            dt = max(1e-9, now - self._last_cc_tick)
+            self._last_cc_tick = now
+            if self.snd_una >= self._recovery_until:
+                self.cc.on_tick(now, dt, float(newly), self._srtt)
+            else:
+                # no window growth while repairing losses
+                self.cc.on_app_limited(now, dt)
+            self.cc.clamp(self.max_window)
+            self._arm_rto()
+            if self.snd_una < self._recovery_until:
+                self._sack_retransmit(ack)
+        elif ack.dup_hint > 0:
+            self._dupacks += 1
+            if self._dupacks >= DUPACK_THRESHOLD:
+                # the CC rate-limits reactions to one per RTT itself,
+                # so persistent overload decays the window geometrically
+                if self.cc.on_loss(now, self._srtt):
+                    self._recovery_until = self.snd_next
+                self._sack_retransmit(ack)
+        self._try_send()
+
+    def _sack_retransmit(self, ack: Ack) -> None:
+        """Retransmit the reported holes (each at most once per pass)."""
+        holes = ack.sack_holes or (self.snd_una,)
+        for seq in holes:
+            if seq < self.snd_una or seq in self._retransmitted:
+                continue
+            self._retransmitted.add(seq)
+            self._emit(seq, True)
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+        self._rto_event = self.engine.call_in(
+            max(self.rto, 4.0 * self._srtt), self._on_rto
+        )
+
+    def _on_rto(self) -> None:
+        if self.inflight <= 0:
+            return
+        # timeout: collapse to slow start, invalidate the SACK
+        # scoreboard (retransmissions may themselves have been lost),
+        # and retransmit the head
+        self.cc.on_timeout(self.engine.now)
+        self._recovery_until = self.snd_next
+        self._retransmitted.clear()
+        self._emit(self.snd_una, True)
+        self._arm_rto()

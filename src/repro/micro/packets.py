@@ -1,0 +1,49 @@
+"""Packet-level primitives for the micro simulator.
+
+The micro simulator (see :mod:`repro.micro.simulation`) complements the
+fluid model: it moves *individual segments* through an event-driven
+pipeline — sender qdisc, bottleneck queue, receiver, ACK return path —
+using the same congestion-control classes as the fluid simulator.  It
+is exact but slow, so it runs at GSO-batch granularity on scaled-down
+(1-20 Gbps) links; its role is validating the fluid model's dynamics
+(window limits, pacing, drop-tail loss, CUBIC sawtooth) at small scale,
+and serving as a teaching tool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Segment", "Ack"]
+
+_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One data segment (a GSO batch in wire terms)."""
+
+    seq: int  # first byte carried
+    length: int
+    sent_at: float
+    retransmission: bool = False
+    uid: int = field(default_factory=lambda: next(_ids))
+
+    @property
+    def end(self) -> int:
+        return self.seq + self.length
+
+
+@dataclass(frozen=True)
+class Ack:
+    """A cumulative acknowledgment with SACK-style hole hints."""
+
+    cum_ack: int  # next byte expected by the receiver
+    sent_at: float
+    #: count of out-of-order segments seen since the gap opened —
+    #: the sender reads dupacks off this.
+    dup_hint: int = 0
+    #: start offsets of the first few missing segments above cum_ack
+    #: (a compact SACK encoding at fixed segment granularity).
+    sack_holes: tuple[int, ...] = ()

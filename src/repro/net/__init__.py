@@ -1,0 +1,18 @@
+"""Network substrate: links, switches, paths, flow control, background traffic."""
+
+from repro.net.background import BackgroundTraffic
+from repro.net.flowcontrol import FlowControlState
+from repro.net.link import Link
+from repro.net.path import NetworkPath
+from repro.net.switch import SharedBufferQueue, SwitchModel
+from repro.net.topology import Topology
+
+__all__ = [
+    "Link",
+    "SwitchModel",
+    "SharedBufferQueue",
+    "FlowControlState",
+    "BackgroundTraffic",
+    "NetworkPath",
+    "Topology",
+]

@@ -1,0 +1,69 @@
+"""Background (production) cross-traffic model.
+
+AmLight's WAN paths carried an estimated ~16 Gbps of production traffic
+during the experiments, with micro-bursts the authors acknowledge may
+have influenced results; the unpaced-zerocopy anomaly in their Fig. 11
+(zerocopy without pacing failing to reach max rate at AmLight but not
+at ESnet) is attributed to exactly this congestion.  The ESnet testbed
+had no competing traffic.
+
+We model background traffic as a mean rate plus lognormal micro-burst
+fluctuation sampled per tick.  The fluid simulator subtracts the sample
+from the bottleneck link capacity, and the loss model treats ticks
+where (test + background) exceed capacity as congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+
+__all__ = ["BackgroundTraffic"]
+
+
+@dataclass(frozen=True)
+class BackgroundTraffic:
+    """Stochastic cross-traffic on a shared path."""
+
+    mean_bytes_per_sec: float
+    #: Relative magnitude of micro-burst fluctuation (lognormal sigma).
+    burstiness: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.mean_bytes_per_sec < 0:
+            raise ConfigurationError("background mean must be >= 0")
+        if self.burstiness < 0:
+            raise ConfigurationError("burstiness must be >= 0")
+
+    @classmethod
+    def none(cls) -> "BackgroundTraffic":
+        return cls(mean_bytes_per_sec=0.0, burstiness=0.0)
+
+    @classmethod
+    def amlight_production(cls) -> "BackgroundTraffic":
+        """~16 Gbps of production traffic with micro-bursts.
+
+        Burstiness is moderate: the backbone aggregates many flows, so
+        20 ms-scale averages fluctuate by tens of percent, not multiples
+        (heavier values starve the paper's paced 8x10G configuration,
+        which the authors measured at near-full rate)."""
+        return cls(mean_bytes_per_sec=units.gbps(16), burstiness=0.20)
+
+    @property
+    def active(self) -> bool:
+        return self.mean_bytes_per_sec > 0
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Per-tick background rate samples, bytes/s."""
+        if not self.active:
+            return np.zeros(n)
+        if self.burstiness == 0:
+            return np.full(n, self.mean_bytes_per_sec)
+        sigma = self.burstiness
+        # lognormal with mean exactly mean_bytes_per_sec
+        mu = np.log(self.mean_bytes_per_sec) - sigma**2 / 2.0
+        return rng.lognormal(mean=mu, sigma=sigma, size=n)

@@ -1,0 +1,63 @@
+"""IEEE 802.3x Ethernet flow control (pause frames).
+
+When the receiving host cannot keep up and its NIC rings approach
+overflow, an 802.3x-capable NIC emits *pause frames* asking the
+adjacent switch port to stop transmitting briefly; the switch buffers
+(and may propagate pause upstream).  The net effect for TCP: **loss is
+replaced by backpressure** — throughput is bounded by the receiver's
+drain rate, retransmits all but vanish, and parallel flows converge to
+similar rates.
+
+The paper's testbed switches do *not* support 802.3x (hence the pacing
+focus); its Table III shows ESnet *production* DTNs, which do — there,
+pacing no longer changes average throughput, only the retransmit count
+and per-flow fairness.  This module implements the pause-driven
+delivery model the simulator uses when a path advertises flow control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlowControlState"]
+
+
+@dataclass
+class FlowControlState:
+    """Tracks pause activity between a receiver NIC and its switch port."""
+
+    enabled: bool
+    #: Ring fill fraction at which the NIC emits a pause.
+    pause_threshold: float = 0.75
+    #: Ring fill fraction at which it resumes.
+    resume_threshold: float = 0.40
+    paused: bool = False
+    pause_events: int = 0
+    total_paused_sec: float = 0.0
+
+    def update(self, ring_fill: float, dt: float) -> float:
+        """Advance one tick given the receiver ring fill fraction.
+
+        Returns the fraction of the tick the link was paused (0..1),
+        which the simulator applies as a delivery-rate reduction on the
+        final hop (the data is buffered upstream, not lost).
+        """
+        if not self.enabled:
+            return 0.0
+        if self.paused:
+            if ring_fill <= self.resume_threshold:
+                self.paused = False
+                return 0.3  # partial pause while draining
+            self.total_paused_sec += dt
+            return 1.0
+        if ring_fill >= self.pause_threshold:
+            self.paused = True
+            self.pause_events += 1
+            self.total_paused_sec += dt * 0.5
+            return 0.5  # paused for about half the tick
+        return 0.0
+
+    def reset(self) -> None:
+        self.paused = False
+        self.pause_events = 0
+        self.total_paused_sec = 0.0

@@ -1,0 +1,64 @@
+"""Network links: rate + propagation delay.
+
+Links carry *wire* bytes; goodput conversions happen at the endpoints
+via :class:`repro.tcp.segment.SegmentGeometry`.  A link may carry a
+capacity cap below its physical rate — AmLight limits test traffic on
+WAN paths to 80 Gbps to protect production traffic, which we model as
+an ``admin_limit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional transmission link."""
+
+    name: str
+    rate_bytes_per_sec: float
+    delay_sec: float = 0.0
+    #: Administrative cap on test traffic (None = full rate usable).
+    admin_limit_bytes_per_sec: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate_bytes_per_sec <= 0:
+            raise ConfigurationError(f"link {self.name!r}: rate must be positive")
+        if self.delay_sec < 0:
+            raise ConfigurationError(f"link {self.name!r}: negative delay")
+        if (
+            self.admin_limit_bytes_per_sec is not None
+            and not 0 < self.admin_limit_bytes_per_sec <= self.rate_bytes_per_sec
+        ):
+            raise ConfigurationError(
+                f"link {self.name!r}: admin limit outside (0, rate]"
+            )
+
+    @classmethod
+    def of_gbps(cls, name: str, gbps_value: float, delay_ms: float = 0.0,
+                admin_limit_gbps: float | None = None) -> "Link":
+        return cls(
+            name=name,
+            rate_bytes_per_sec=units.gbps(gbps_value),
+            delay_sec=units.ms(delay_ms),
+            admin_limit_bytes_per_sec=(
+                units.gbps(admin_limit_gbps) if admin_limit_gbps is not None else None
+            ),
+        )
+
+    @property
+    def usable_rate(self) -> float:
+        """Rate available to test traffic (admin cap applied)."""
+        if self.admin_limit_bytes_per_sec is not None:
+            return self.admin_limit_bytes_per_sec
+        return self.rate_bytes_per_sec
+
+    def serialization_time(self, nbytes: float) -> float:
+        """Time to clock ``nbytes`` onto the wire."""
+        return nbytes / self.rate_bytes_per_sec

@@ -1,0 +1,94 @@
+"""End-to-end network paths.
+
+A :class:`NetworkPath` bundles what the flow simulator needs about the
+network between two hosts: the bottleneck link (rate + admin cap), the
+round-trip time, the bottleneck switch (shared buffer, flow-control
+support), and any background traffic sharing the bottleneck.
+
+Both testbeds are modelled as a small set of named paths:
+
+========  =========  ======  ==============================
+AmLight   lan        0.2 ms  100G, no background
+AmLight   wan25      25 ms   80G admin cap, ~16G background
+AmLight   wan54      54 ms   80G admin cap, ~16G background
+AmLight   wan104     104 ms  80G admin cap, ~16G background
+ESnet     lan        0.1 ms  200G, clean
+ESnet     wan        47 ms   200G loop, clean
+ESnet prod dtn       63 ms   100G, 802.3x flow control
+========  =========  ======  ==============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.net.background import BackgroundTraffic
+from repro.net.link import Link
+from repro.net.switch import SwitchModel
+
+__all__ = ["NetworkPath"]
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """A host-to-host path through a testbed."""
+
+    name: str
+    bottleneck: Link
+    rtt_sec: float
+    switch: SwitchModel
+    background: BackgroundTraffic = field(default_factory=BackgroundTraffic.none)
+    #: True when every device on the path honours 802.3x pause frames
+    #: end to end (switch support alone is not enough).
+    flow_control: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rtt_sec < 0:
+            raise ConfigurationError("negative RTT")
+        if self.flow_control and not self.switch.supports_flow_control:
+            raise ConfigurationError(
+                f"path {self.name!r} claims flow control but switch "
+                f"{self.switch.model!r} does not support it"
+            )
+
+    @classmethod
+    def lan(cls, name: str = "lan", gbps_value: float = 100.0,
+            switch: SwitchModel | None = None, rtt_ms: float = 0.2) -> "NetworkPath":
+        return cls(
+            name=name,
+            bottleneck=Link.of_gbps(name, gbps_value, delay_ms=rtt_ms / 2.0),
+            rtt_sec=units.ms(rtt_ms),
+            switch=switch if switch is not None else SwitchModel.noviflow_wb5132(),
+        )
+
+    @property
+    def rtt_ms(self) -> float:
+        return units.seconds_to_ms(self.rtt_sec)
+
+    @property
+    def capacity(self) -> float:
+        """Wire capacity usable by test traffic, bytes/s."""
+        return self.bottleneck.usable_rate
+
+    @property
+    def is_wan(self) -> bool:
+        return self.rtt_sec >= units.ms(5)
+
+    def bdp_bytes(self, rate: float | None = None) -> float:
+        """Bandwidth-delay product at ``rate`` (default: path capacity)."""
+        r = self.capacity if rate is None else rate
+        return r * self.rtt_sec
+
+    def describe(self) -> str:
+        bits = [
+            f"{self.name}: {units.fmt_gbps(self.bottleneck.rate_bytes_per_sec)}",
+            f"rtt {self.rtt_ms:.1f} ms",
+        ]
+        if self.bottleneck.admin_limit_bytes_per_sec is not None:
+            bits.append(f"admin cap {units.fmt_gbps(self.bottleneck.admin_limit_bytes_per_sec)}")
+        if self.background.active:
+            bits.append(f"background ~{units.fmt_gbps(self.background.mean_bytes_per_sec)}")
+        bits.append("802.3x" if self.flow_control else "no flow control")
+        return ", ".join(bits)

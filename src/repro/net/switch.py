@@ -1,0 +1,103 @@
+"""Switch model: shared output buffering and tail drop.
+
+Both testbeds use shallow-buffer merchant-silicon switches (NoviFlow
+WB-5132D-E / Edgecore Wedge 100BF-32X at AmLight; Edgecore AS9716-32D at
+ESnet with a 64 MB shared buffer) — and, critically, **neither supports
+IEEE 802.3x flow control** (paper §III.F).  When simultaneous bursts
+from multiple flows (or a burst plus production background traffic)
+exceed an output port's drain rate for longer than the shared buffer
+can absorb, the switch tail-drops.
+
+The fluid simulator uses this model per tick: arrivals above the drain
+rate grow the queue; occupancy above the buffer capacity converts the
+excess into dropped bytes that the loss model turns into congestion
+events and retransmit counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import units
+from repro.core.errors import SimulationError
+
+__all__ = ["SwitchModel", "SharedBufferQueue"]
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """Static description of a switch."""
+
+    model: str
+    shared_buffer_bytes: float
+    supports_flow_control: bool = False
+
+    @classmethod
+    def edgecore_as9716(cls) -> "SwitchModel":
+        """ESnet testbed switch: 64 MB shared buffer, no 802.3x."""
+        return cls("Edgecore AS9716-32D", 64 * units.MB, supports_flow_control=False)
+
+    @classmethod
+    def noviflow_wb5132(cls) -> "SwitchModel":
+        """AmLight switches (Tofino-based): 22 MB of packet buffer total,
+        but Tofino statically carves it across pipes/queues, so the
+        share one congested output queue can actually occupy is ~12 MB.
+        No 802.3x."""
+        return cls("NoviFlow WB-5132D-E", 16 * units.MB, supports_flow_control=False)
+
+    @classmethod
+    def flow_control_capable(cls, buffer_mb: float = 32.0) -> "SwitchModel":
+        """A switch/port honouring pause frames (ESnet production DTNs)."""
+        return cls("802.3x-capable switch", buffer_mb * units.MB, supports_flow_control=True)
+
+
+@dataclass
+class SharedBufferQueue:
+    """Mutable per-run queue state for one congested output port."""
+
+    switch: SwitchModel
+    drain_rate: float  # bytes/s the port can emit
+    occupancy: float = 0.0
+    dropped_bytes: float = 0.0
+    paused_time: float = 0.0
+
+    def offer(self, arrival_bytes: float, dt: float) -> tuple[float, float]:
+        """Offer ``arrival_bytes`` over ``dt``; return (delivered, dropped).
+
+        Without flow control the excess beyond buffer capacity is
+        dropped.  With flow control the excess is *held back* — the
+        caller should treat the returned ``dropped`` (always 0 here) as
+        backpressure instead: delivery simply saturates at drain rate +
+        available buffer, and we accumulate paused time for reporting.
+        """
+        if arrival_bytes < 0 or dt <= 0:
+            raise SimulationError("offer() needs arrival>=0 and dt>0")
+        drained = self.drain_rate * dt
+        # Serve from queue first, then arrivals.
+        queue_after = self.occupancy + arrival_bytes - drained
+        if queue_after <= 0:
+            delivered = self.occupancy + arrival_bytes
+            self.occupancy = 0.0
+            return delivered, 0.0
+        delivered = drained
+        if queue_after > self.switch.shared_buffer_bytes:
+            excess = queue_after - self.switch.shared_buffer_bytes
+            self.occupancy = self.switch.shared_buffer_bytes
+            if self.switch.supports_flow_control:
+                # Pause frames push the excess back into the senders'
+                # qdiscs; nothing is lost, but the port was saturated.
+                self.paused_time += dt
+                return delivered, 0.0
+            self.dropped_bytes += excess
+            return delivered, excess
+        self.occupancy = queue_after
+        return delivered, 0.0
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.occupancy / self.switch.shared_buffer_bytes
+
+    def reset(self) -> None:
+        self.occupancy = 0.0
+        self.dropped_bytes = 0.0
+        self.paused_time = 0.0

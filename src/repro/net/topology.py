@@ -1,0 +1,122 @@
+"""Testbed topology graphs (networkx-backed).
+
+The fluid simulator only needs the per-path summary
+(:class:`repro.net.path.NetworkPath`), but the testbeds are documented
+as full graphs so that paths are *derived* rather than hand-entered:
+nodes are hosts/switches, edges carry link attributes, and
+:meth:`Topology.path_between` computes the bottleneck, the RTT (sum of
+edge delays, both directions), and the minimum shared-buffer switch
+along the way — mirroring Figs. 1 and 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.net.background import BackgroundTraffic
+from repro.net.link import Link
+from repro.net.path import NetworkPath
+from repro.net.switch import SwitchModel
+
+__all__ = ["Topology"]
+
+
+@dataclass
+class Topology:
+    """A named testbed graph."""
+
+    name: str
+    graph: nx.Graph = field(default_factory=nx.Graph)
+
+    def add_host(self, name: str) -> None:
+        self.graph.add_node(name, kind="host")
+
+    def add_switch(self, name: str, model: SwitchModel) -> None:
+        self.graph.add_node(name, kind="switch", model=model)
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        gbps_value: float,
+        delay_ms: float = 0.0,
+        admin_limit_gbps: float | None = None,
+    ) -> None:
+        for node in (a, b):
+            if node not in self.graph:
+                raise ConfigurationError(f"unknown node {node!r} in {self.name}")
+        self.graph.add_edge(
+            a,
+            b,
+            rate=units.gbps(gbps_value),
+            delay=units.ms(delay_ms),
+            admin=units.gbps(admin_limit_gbps) if admin_limit_gbps is not None else None,
+        )
+
+    # ------------------------------------------------------------------
+
+    def path_between(
+        self,
+        src: str,
+        dst: str,
+        name: str | None = None,
+        background: BackgroundTraffic | None = None,
+        flow_control: bool = False,
+    ) -> NetworkPath:
+        """Derive the NetworkPath along the shortest (by delay) route."""
+        try:
+            route = nx.shortest_path(self.graph, src, dst, weight="delay")
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise ConfigurationError(f"no route {src!r}->{dst!r} in {self.name}") from exc
+
+        edges = list(zip(route, route[1:]))
+        if not edges:
+            raise ConfigurationError("src and dst are the same node")
+
+        one_way_delay = sum(self.graph.edges[e]["delay"] for e in edges)
+        rates = [self.graph.edges[e]["rate"] for e in edges]
+        admins = [
+            self.graph.edges[e]["admin"]
+            for e in edges
+            if self.graph.edges[e]["admin"] is not None
+        ]
+        bottleneck_rate = min(rates)
+        admin = min(admins) if admins else None
+
+        # The binding switch: smallest shared buffer among transit switches.
+        transit_switches = [
+            self.graph.nodes[n]["model"]
+            for n in route[1:-1]
+            if self.graph.nodes[n].get("kind") == "switch"
+        ]
+        if transit_switches:
+            switch = min(transit_switches, key=lambda s: s.shared_buffer_bytes)
+        else:
+            switch = SwitchModel.edgecore_as9716()
+
+        link = Link(
+            name=name or f"{src}->{dst}",
+            rate_bytes_per_sec=bottleneck_rate,
+            delay_sec=one_way_delay,
+            admin_limit_bytes_per_sec=admin,
+        )
+        return NetworkPath(
+            name=name or f"{src}->{dst}",
+            bottleneck=link,
+            rtt_sec=2.0 * one_way_delay,
+            switch=switch,
+            background=background if background is not None else BackgroundTraffic.none(),
+            flow_control=flow_control,
+        )
+
+    @property
+    def hosts(self) -> list[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d.get("kind") == "host"]
+
+    @property
+    def switches(self) -> list[str]:
+        return [n for n, d in self.graph.nodes(data=True) if d.get("kind") == "switch"]

@@ -1,0 +1,22 @@
+"""Fluid flow simulation: CPU cost model, loss model, allocation, driver."""
+
+from repro.sim.bottleneck import maxmin_allocate
+from repro.sim.cpumodel import CpuCostModel, RecvCosts, SendCosts
+from repro.sim.flowsim import FlowSimulator, FlowSpec, SimProfile
+from repro.sim.lossmodel import BurstModel, distribute_drops
+from repro.sim.metrics import CpuUtil, MetricsAccumulator, RunResult
+
+__all__ = [
+    "FlowSimulator",
+    "FlowSpec",
+    "SimProfile",
+    "CpuCostModel",
+    "SendCosts",
+    "RecvCosts",
+    "BurstModel",
+    "distribute_drops",
+    "maxmin_allocate",
+    "MetricsAccumulator",
+    "RunResult",
+    "CpuUtil",
+]

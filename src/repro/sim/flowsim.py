@@ -1,0 +1,420 @@
+"""The fluid flow simulator: N TCP flows between two hosts over a path.
+
+This is the engine behind every experiment in the reproduction.  It
+advances in fixed ticks (default 2 ms); each tick it
+
+1. computes every flow's *rate caps* — window rate (cwnd / RTT),
+   pacing rate (fq or BBR-internal), sender per-core CPU limit,
+   receiver per-core CPU limit;
+2. computes the *shared capacity* — path rate net of background
+   traffic, the sender host's aggregate ceiling, the receiver host's
+   aggregate ceiling — and allocates it max-min fairly;
+3. applies the burst model: unpaced flows' arrivals are inflated by
+   stochastic packet-train factors that grow with cwnd (see
+   :mod:`repro.sim.lossmodel`);
+4. pushes arrivals through two queues in series — the bottleneck
+   switch's shared buffer, then the receiver NIC ring.  Overflow is
+   tail-dropped unless the path has IEEE 802.3x flow control, in which
+   case the ring backpressures instead of dropping;
+5. feeds losses and deliveries back into each flow's congestion
+   control, and accumulates throughput/retransmit/CPU metrics.
+
+The result of :meth:`FlowSimulator.run` corresponds to one iperf3
+invocation; the harness repeats runs with different RNG streams to get
+the paper's mean/stdev/min/max statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RngFactory
+from repro.host.machine import Host
+from repro.net.path import NetworkPath
+from repro.net.switch import SharedBufferQueue, SwitchModel
+from repro.sim.bottleneck import maxmin_allocate
+from repro.sim.cpumodel import CpuCostModel
+from repro.sim.lossmodel import BurstModel, concentrate_drops
+from repro.sim.metrics import MetricsAccumulator, RunResult
+from repro.tcp.cc import make_cc
+from repro.tcp.pacing import PacingConfig
+from repro.tcp.segment import SegmentGeometry
+from repro.tcp.sockets import SocketProfile
+
+__all__ = ["FlowSpec", "SimProfile", "FlowSimulator"]
+
+#: Receiver aggregate ceiling degradation on large-window (WAN) workloads:
+#: hundred-MB receive backlogs defeat the LLC and DDIO, costing up to
+#: this fraction of the host's aggregate receive bandwidth.  This is the
+#: mechanism behind the paper's observation that ESnet WAN parallel
+#: streams interfere "any time the total bandwidth attempted is over
+#: 120 Gbps" while the same hosts sustain 166 Gbps on the LAN.
+WAN_RX_AGG_PENALTY = 0.30
+
+#: A flow's congestion control reacts when more than this fraction of
+#: its tick arrival was dropped (smaller fractions model SACK-repaired
+#: stragglers that do not trigger a window reduction).
+LOSS_REACT_FRACTION = 5e-4
+
+#: Relative per-tick jitter of the receiver aggregate ceiling at full
+#: WAN exposure (LLC / memory-controller / softirq contention noise).
+RX_CEILING_NOISE = 0.05
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Configuration of one TCP flow (one iperf3 stream)."""
+
+    pacing: PacingConfig = field(default_factory=PacingConfig.unpaced)
+    zerocopy: bool = False
+    skip_rx_copy: bool = False
+    cc: str = "cubic"
+    label: str = ""
+
+    def with_pacing_gbps(self, gbps_value: float) -> "FlowSpec":
+        return replace(self, pacing=PacingConfig.fq_rate_gbps(gbps_value))
+
+
+@dataclass(frozen=True)
+class SimProfile:
+    """Time resolution and duration of a simulated test."""
+
+    duration: float = 20.0
+    tick: float = 0.002
+    omit: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.tick <= 0 or self.duration <= self.omit:
+            raise ConfigurationError("need tick > 0 and duration > omit")
+
+    @classmethod
+    def paper(cls) -> "SimProfile":
+        """60-second tests as in the paper."""
+        return cls(duration=60.0, tick=0.002, omit=3.0)
+
+    @classmethod
+    def quick(cls) -> "SimProfile":
+        """Short runs for unit tests."""
+        return cls(duration=6.0, tick=0.004, omit=1.5)
+
+
+class FlowSimulator:
+    """Simulates a set of flows between ``sender`` and ``receiver``."""
+
+    def __init__(
+        self,
+        sender: Host,
+        receiver: Host,
+        path: NetworkPath,
+        flows: list[FlowSpec],
+        profile: SimProfile | None = None,
+        rng: RngFactory | None = None,
+    ) -> None:
+        if not flows:
+            raise ConfigurationError("need at least one flow")
+        self.sender = sender
+        self.receiver = receiver
+        self.path = path
+        self.flows = list(flows)
+        self.profile = profile or SimProfile()
+        self.rng = rng or RngFactory(seed=1)
+        self._validate()
+
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        any_zc = any(f.zerocopy for f in self.flows)
+        if any_zc:
+            self.sender.require_zerocopy()
+            self.sender.check_zerocopy_bigtcp_combo()
+        for f in self.flows:
+            # Instantiating checks the cc name early.
+            make_cc(f.cc)
+
+    # ------------------------------------------------------------------
+
+    def run(self, rep: int = 0) -> RunResult:
+        """Simulate one test run (≈ one iperf3 invocation)."""
+        prof = self.profile
+        n = len(self.flows)
+        dt = prof.tick
+
+        jitter_rng = self.rng.stream("hostjitter", rep)
+        burst_rng = self.rng.stream("burst", rep)
+        bg_rng = self.rng.stream("background", rep)
+        place_rng = self.rng.stream("placement", rep)
+
+        snd_place = self.sender.resolved_placement(place_rng)
+        rcv_place = self.receiver.resolved_placement(place_rng)
+
+        geom_tx = SegmentGeometry(
+            mtu=self.sender.tuning.mtu,
+            gso_size=self.sender.effective_gso_size(),
+            gro_size=self.receiver.effective_gro_size(),
+        )
+        sockets = SocketProfile.from_sysctls(self.sender.sysctls, self.receiver.sysctls)
+
+        send_models = [
+            CpuCostModel(self.sender, geom_tx, snd_place, zerocopy=f.zerocopy)
+            for f in self.flows
+        ]
+        recv_models = [
+            CpuCostModel(self.receiver, geom_tx, rcv_place, skip_rx_copy=f.skip_rx_copy)
+            for f in self.flows
+        ]
+
+        ccs = [make_cc(f.cc, mss=float(geom_tx.mss)) for f in self.flows]
+        pace_eff = np.array(
+            [
+                f.pacing.effective_rate() if f.pacing.enabled else np.inf
+                for f in self.flows
+            ]
+        )
+        burst = BurstModel(rng=burst_rng)
+        slacks = np.array(
+            [
+                burst.slack_for(f.pacing.smooths_bursts, f.pacing.enabled, f.zerocopy)
+                for f in self.flows
+            ]
+        )
+
+        # Run-to-run hardware/placement jitter: a single multiplicative
+        # factor per run on CPU-derived limits (thermal/clock/scheduler
+        # noise plus any VM overhead noise).
+        run_noise = 1.0 + jitter_rng.normal(
+            0.0, 0.012 + self.sender.vm.jitter + self.receiver.vm.jitter
+        )
+        run_noise = float(np.clip(run_noise, 0.85, 1.15))
+
+        # Core shares: flows spread over the app/IRQ core sets.
+        snd_app_share = min(1.0, len(snd_place.app_cores) / n)
+        rcv_app_share = min(1.0, len(rcv_place.app_cores) / n)
+        rcv_irq_share = min(1.0, len(rcv_place.irq_cores) / n)
+
+        # Queues: bottleneck switch buffer, then the receiver NIC ring.
+        # The backbone switch queue always tail-drops: even on
+        # flow-control paths, 802.3x protects only the receiver's access
+        # link — backbone congestion still loses packets.
+        eff = geom_tx.wire_efficiency
+        path_cap_good = self.path.capacity * eff
+        backbone = SwitchModel(
+            model=self.path.switch.model,
+            shared_buffer_bytes=self.path.switch.shared_buffer_bytes,
+            supports_flow_control=False,
+        )
+        q_switch = SharedBufferQueue(backbone, drain_rate=path_cap_good)
+        ring_switch = SwitchModel(
+            model="rx-ring",
+            shared_buffer_bytes=self.receiver.rx_ring_bytes(),
+            supports_flow_control=self.path.flow_control,
+        )
+        q_ring = SharedBufferQueue(ring_switch, drain_rate=path_cap_good)
+
+        agg_tx = min(m.aggregate_tx_ceiling() for m in send_models) * run_noise
+        agg_rx_base = min(m.aggregate_rx_ceiling() for m in recv_models) * run_noise
+
+        metrics = MetricsAccumulator(n, prof.duration, prof.omit)
+        base_rtt = self.path.rtt_sec
+
+        # Warm-started per-flow CPU limits (fixed point across ticks).
+        snd_limit = np.full(n, agg_tx)
+        rcv_limit = np.full(n, agg_rx_base)
+
+        cwnd = np.array([cc.cwnd_bytes for cc in ccs])
+        max_window = sockets.max_window
+        prev_alloc = np.zeros(n)
+        persistent_w = burst.persistent_weights(slacks)
+
+        n_ticks = int(round(prof.duration / dt))
+        steps_per_bg = max(1, int(round(0.02 / dt)))  # resample bg every ~20 ms
+        bg_sample = 0.0
+
+        budget_tx = self.sender.core_cycles_per_sec() * run_noise
+        budget_rx = self.receiver.core_cycles_per_sec() * run_noise
+
+        now = 0.0
+        rtt = base_rtt
+        for step in range(n_ticks):
+            now += dt
+            if step % steps_per_bg == 0 and self.path.background.active:
+                bg_sample = float(self.path.background.sample(bg_rng, 1)[0])
+
+            queue_delay = q_switch.occupancy / max(q_switch.drain_rate, 1.0)
+            rtt = base_rtt + queue_delay
+
+            # --- per-flow caps -------------------------------------------
+            window_rate = cwnd / max(rtt, 1e-6)
+            pace = pace_eff.copy()
+            for i, cc in enumerate(ccs):
+                cc_rate = cc.pacing_rate(rtt)
+                if cc_rate is not None:
+                    pace[i] = min(pace[i], cc_rate)
+
+            # Working set the sender actually touches: the in-flight
+            # bytes (~rate*RTT) plus qdisc/socket slack — NOT the raw
+            # cwnd, which can sit far above what an app-limited flow
+            # uses (cwnd validation below keeps them close anyway).
+            inflight = prev_alloc * rtt
+            footprint = np.minimum(
+                cwnd, np.maximum(1.5 * inflight, 64 * geom_tx.gso_size)
+            )
+            footprint = np.minimum(footprint, sockets.max_send_window * 2.0)
+            for i in range(n):
+                snd_limit[i] = send_models[i].sender_cpu_rate_limit(
+                    rtt, footprint[i], core_share=snd_app_share
+                ) * run_noise
+                # Receiver limit: pb falls as the GRO batch fills, then
+                # is rate-independent; one damped step per tick converges.
+                rm = recv_models[i]
+                rcosts = rm.receiver_costs(max(rcv_limit[i], 1e6), rtt)
+                app_lim = (
+                    budget_rx * rcv_app_share / max(rcosts.app_cyc_per_byte, 1e-9)
+                )
+                irq_lim = (
+                    budget_rx * rcv_irq_share / max(rcosts.irq_cyc_per_byte, 1e-9)
+                )
+                rcv_limit[i] = 0.5 * rcv_limit[i] + 0.5 * min(app_lim, irq_lim)
+
+            caps = np.minimum.reduce([window_rate, pace, snd_limit, rcv_limit])
+
+            # --- shared capacity ----------------------------------------
+            # The receiver's aggregate ceiling is deliberately NOT part
+            # of the allocation: senders do not know it.  It appears as
+            # the ring drain below, so exceeding it costs losses (the
+            # paper's >120 Gbps WAN interference), not a clean cap.
+            # Exposure grows with the total receive working set and with
+            # the number of competing receiver processes — one stream
+            # cannot thrash the LLC the way eight iperf3 threads do.
+            total_foot = float(footprint.sum())
+            l3 = self.receiver.cpu.l3_effective_bytes
+            rx_exposure = min(1.0, total_foot / (20.0 * l3)) * min(1.0, n / 4.0)
+            # The ceiling is noisy tick to tick (LLC/memory-controller
+            # contention, softirq scheduling): flows operating close to
+            # it keep clipping the dips, which is where the paper's
+            # sustained WAN retransmit counts come from.
+            rx_noise = 1.0 + RX_CEILING_NOISE * rx_exposure * float(
+                np.clip(burst_rng.standard_normal(), -2.5, 2.5)
+            )
+            agg_rx = agg_rx_base * (1.0 - WAN_RX_AGG_PENALTY * rx_exposure) * rx_noise
+            # Background traffic shares the *physical* link; the admin
+            # cap applies to test traffic only.  TCP adapts to the
+            # *average* background (that is what its ACK clock measures)
+            # — the micro-burst sample drives the queue drain below, so
+            # spikes show up as queueing and loss, not as an instant,
+            # clairvoyant rate adjustment.
+            physical = self.path.bottleneck.rate_bytes_per_sec
+            bg_mean = self.path.background.mean_bytes_per_sec
+            cap_avg = max(
+                0.05 * path_cap_good,
+                min(self.path.capacity, physical - bg_mean) * eff,
+            )
+            cap_net = max(
+                0.05 * path_cap_good,
+                min(self.path.capacity, physical - bg_sample) * eff,
+            )
+            capacity = min(cap_avg, agg_tx)
+
+            weights = burst.tick_weights(persistent_w, slacks)
+            alloc = maxmin_allocate(caps, capacity, weights)
+
+            # --- queues + packet-train loss ------------------------------
+            # Standing queues carry the *average* volume (sum of
+            # allocations never exceeds the drain by construction, so
+            # they only build transiently when background-traffic spikes
+            # eat into the drain).  Packet trains are per-RTT
+            # time-compression: each RTT a train of V_i bytes arrives at
+            # line rate; the fraction the drain cannot absorb deposits
+            # into the buffer, and the part beyond the free headroom is
+            # tail-dropped.  Train overflow is converted to a per-tick
+            # drop volume by dt/rtt.
+            sent = alloc * dt  # goodput bytes actually emitted
+            trains = burst.train_volumes(slacks, cwnd)
+            tick_per_rtt = dt / max(rtt, dt)
+
+            q_switch.drain_rate = cap_net
+            _, dropped_std1 = q_switch.offer(float(sent.sum()), dt)
+            line1 = min(
+                self.sender.nic.speed_bytes_per_sec, self.path.bottleneck.rate_bytes_per_sec
+            ) * eff
+            fill1 = max(0.0, 1.0 - cap_net / max(line1, 1.0))
+            headroom1 = max(
+                0.0, self.path.switch.shared_buffer_bytes - q_switch.occupancy
+            )
+            overflow1 = max(0.0, float(trains.sum()) * fill1 - headroom1)
+            drops1 = concentrate_drops(burst_rng, trains, overflow1 * tick_per_rtt)
+            drops1 += concentrate_drops(burst_rng, sent, dropped_std1)
+
+            # Receiver NIC ring: drains at what the receiver actually
+            # consumes; trains arrive at the path's bottleneck line rate.
+            rcv_drain = min(agg_rx, float(rcv_limit.sum()))
+            after1 = np.maximum(0.0, sent - drops1)
+            q_ring.drain_rate = rcv_drain
+            _, dropped_std2 = q_ring.offer(float(after1.sum()), dt)
+            if self.path.flow_control:
+                # 802.3x pause frames: the overflow is held upstream,
+                # nothing is dropped at the ring.
+                drops2 = np.zeros(n)
+            else:
+                line2 = self.path.bottleneck.rate_bytes_per_sec * eff
+                fill2 = max(0.0, 1.0 - rcv_drain / max(line2, 1.0))
+                headroom2 = max(
+                    0.0, self.receiver.rx_ring_bytes() - q_ring.occupancy
+                )
+                trains_after = np.maximum(0.0, trains - drops1)
+                overflow2 = max(0.0, float(trains_after.sum()) * fill2 - headroom2)
+                drops2 = concentrate_drops(burst_rng, trains_after, overflow2 * tick_per_rtt)
+                drops2 += concentrate_drops(burst_rng, after1, dropped_std2)
+
+            drops = drops1 + drops2
+            delivered = np.maximum(0.0, sent - drops)
+
+            # --- congestion feedback ------------------------------------
+            loss_events = 0
+            retr_segments = float(drops.sum() / geom_tx.mss)
+            for i, cc in enumerate(ccs):
+                if drops[i] > LOSS_REACT_FRACTION * max(sent[i], 1.0):
+                    if cc.on_loss(now, rtt):
+                        loss_events += 1
+                # Congestion-window validation (RFC 7661): loss-based
+                # algorithms only grow while the window is what binds.
+                app_limited = (
+                    cc.needs_cwnd_validation
+                    and cwnd[i] > 1.5 * max(alloc[i] * rtt, 10 * geom_tx.mss)
+                    and window_rate[i] > 1.2 * alloc[i]
+                )
+                if app_limited:
+                    cc.on_app_limited(now, dt)
+                else:
+                    cc.on_tick(now, dt, delivered[i], rtt)
+                cc.clamp(max_window)
+                cwnd[i] = cc.cwnd_bytes
+            prev_alloc = alloc
+
+            # --- CPU accounting ------------------------------------------
+            tx_app = tx_irq = rx_app = rx_irq = 0.0
+            zc_sum = 0.0
+            for i in range(n):
+                rate_i = alloc[i]
+                costs = send_models[i].sender_costs(rate_i, rtt, footprint[i])
+                tx_app += rate_i * costs.app_cyc_per_byte / budget_tx
+                tx_irq += rate_i * costs.irq_cyc_per_byte / budget_tx
+                zc_sum += costs.zc_fraction
+                drate = delivered[i] / dt
+                rcosts = recv_models[i].receiver_costs(drate, rtt)
+                rx_app += drate * rcosts.app_cyc_per_byte / budget_rx
+                rx_irq += drate * rcosts.irq_cyc_per_byte / budget_rx
+
+            metrics.record_tick(
+                dt,
+                delivered,
+                retr_segments,
+                loss_events,
+                (tx_app / n, tx_irq / n, rx_app / n, rx_irq / n),
+                zc_sum / n,
+            )
+
+        return metrics.finalize()

@@ -1,0 +1,159 @@
+"""Burstiness and packet-loss model.
+
+The central loss mechanism in the paper's environments (no IEEE 802.3x
+flow control) is **burst overrun**: TCP without pacing transmits its
+window in line-rate packet trains; trains longer than the downstream
+buffering (switch shared buffer, receiver NIC ring) minus what drains
+during the train get tail-dropped.  Pacing with fq spaces the packets
+out and the trains disappear.
+
+The fluid simulator cannot see individual packets, so trains enter
+statistically.  Per RTT, flow *i* emits
+
+.. math::
+
+    V_i = s_i \\cdot X \\cdot 0.08 \\cdot cwnd_i
+
+bytes as back-to-back line-rate trains, where
+
+* ``s_i`` is the flow's *burst slack* — 1.0 for an unpaced zerocopy
+  flow (sendmsg returns instantly, the qdisc fills as fast as the wire
+  empties it), a calibrated ~0.3 for an unpaced *copying* flow (the
+  copy loop itself spreads the writes), and 0.0 under fq pacing;
+* 0.08 (``TRAIN_FRACTION``) is the auto-pacing overshoot: modern TCP
+  internally paces even "unpaced" flows at ~1.2x the delivery rate,
+  so only that overshoot travels in trains;
+* ``X`` is a lognormal draw with mean 1 supplying burst-to-burst noise
+  (ACK compression, stretch ACKs, slow-start overshoot).
+
+A train of volume V arriving at line rate into a queue draining at
+``d`` deposits ``V * (1 - d/line)`` bytes; whatever exceeds the free
+buffer headroom is tail-dropped.  Because V scales with cwnd, LAN flows
+(MB windows vs tens-of-MB buffers) never overflow while WAN flows
+(hundreds of MB windows) do — exactly the paper's "increases in hop
+count and path latency create longer packet trains" (§II.D).  Dropped
+bytes are charged back to flows in proportion to their train volumes,
+becoming congestion events and retransmit counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BurstModel", "COPY_MODE_SLACK", "TRAIN_FRACTION", "distribute_drops", "concentrate_drops"]
+
+#: Burst slack of an unpaced copying sender: the user->kernel copy
+#: naturally spreads transmission, leaving moderate residual trains.
+COPY_MODE_SLACK = 0.30
+
+#: Fraction of the congestion window an unpaced (slack=1) flow emits as
+#: line-rate trains per RTT — the auto-pacing overshoot.
+TRAIN_FRACTION = 0.08
+
+#: Lognormal sigma of the burst-to-burst variability multiplier X
+#: (E[X] = 1).
+BURST_SIGMA = 0.25
+
+
+@dataclass
+class BurstModel:
+    """Per-run burst state (owns the RNG stream for reproducibility)."""
+
+    rng: np.random.Generator
+    sigma: float = BURST_SIGMA
+
+    def slack_for(self, paced_smooth: bool, pacing_enabled: bool, zerocopy: bool) -> float:
+        """Burst slack for a flow configuration."""
+        if paced_smooth:
+            return 0.0
+        if pacing_enabled:
+            # paced, but by coarse internal pacing (non-fq qdisc)
+            return 0.35
+        return 1.0 if zerocopy else COPY_MODE_SLACK
+
+    def train_volumes(
+        self,
+        slacks: np.ndarray,
+        cwnd_bytes: np.ndarray,
+    ) -> np.ndarray:
+        """Bytes per RTT each flow sends as back-to-back trains.
+
+        Modern Linux TCP auto-paces even "unpaced" flows at ~1.2x the
+        delivery rate in congestion avoidance, so trains are the
+        *overshoot* — a fraction of the window, not the whole window.
+        ``TRAIN_FRACTION`` calibrates that overshoot; the lognormal X
+        adds burst-to-burst variability (ACK compression, stretch ACKs,
+        slow-start overshoot).  fq-paced flows (slack 0) emit none.
+        """
+        n = slacks.size
+        if n == 0:
+            return np.zeros(0)
+        x = self.rng.lognormal(mean=-self.sigma**2 / 2.0, sigma=self.sigma, size=n)
+        return slacks * x * TRAIN_FRACTION * cwnd_bytes
+
+    def persistent_weights(self, slacks: np.ndarray) -> np.ndarray:
+        """Per-run max-min weights modelling unpaced flow unfairness.
+
+        Unpaced flows grab persistently uneven shares of a congested
+        bottleneck — hash-based queue placement, NUMA luck, and loss
+        asymmetry hold for the whole run (the paper saw 5-30 Gbps per
+        flow in one run, and 9-16 Gbps in Table III).  Paced flows are
+        equalized by their own rate caps, so their weight noise is
+        irrelevant.  Drawn once per run.
+        """
+        n = slacks.size
+        noise = self.rng.lognormal(mean=0.0, sigma=0.28, size=n)
+        return 1.0 + slacks * (noise - 1.0)
+
+    def tick_weights(self, persistent: np.ndarray, slacks: np.ndarray) -> np.ndarray:
+        """Per-tick jitter layered on the persistent weights."""
+        n = slacks.size
+        noise = self.rng.lognormal(mean=0.0, sigma=0.1, size=n)
+        return persistent * (1.0 + slacks * (noise - 1.0))
+
+
+def distribute_drops(
+    arrivals: np.ndarray,
+    dropped: float,
+) -> np.ndarray:
+    """Charge ``dropped`` bytes back to flows proportionally."""
+    total = arrivals.sum()
+    if total <= 0 or dropped <= 0:
+        return np.zeros_like(arrivals)
+    return arrivals * (dropped / total)
+
+
+def concentrate_drops(
+    rng: np.random.Generator,
+    arrivals: np.ndarray,
+    dropped: float,
+    spread: int = 2,
+) -> np.ndarray:
+    """Charge ``dropped`` bytes to a *few* flows, chosen ∝ arrivals.
+
+    Tail drops in a shared buffer land on whichever flows' packets are
+    in flight at the overflow instant — a small subset, not everyone.
+    This asymmetry is what keeps parallel unpaced flows churning at a
+    ceiling (some flows cut while others push) instead of synchronizing
+    into a global backoff; it is the source of the paper's sustained
+    WAN retransmit counts and per-flow unfairness.  ``spread`` flows
+    share each tick's drop volume.
+    """
+    n = arrivals.size
+    total = float(arrivals.sum())
+    if total <= 0 or dropped <= 0:
+        return np.zeros_like(arrivals)
+    if n == 1:
+        return np.array([float(dropped)])
+    p = np.asarray(arrivals, dtype=float) / total
+    k = min(spread, n, int(np.count_nonzero(p)))
+    if k == 0:
+        return np.zeros_like(arrivals)
+    victims = rng.choice(n, size=k, replace=False, p=p)
+    out = np.zeros_like(arrivals, dtype=float)
+    shares = np.array([0.7, 0.3, 0.15][:k])
+    shares = shares / shares.sum()
+    out[victims] = dropped * shares
+    return out

@@ -1,0 +1,128 @@
+"""Per-run metric accumulation and the RunResult record.
+
+The simulator accumulates everything post-``omit`` (like ``iperf3 -O``:
+the slow-start ramp is excluded from averages).  A :class:`RunResult`
+corresponds to one iperf3 invocation; the harness aggregates many runs
+into the mean/stdev/min/max the paper's tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import units
+
+__all__ = ["MetricsAccumulator", "RunResult", "CpuUtil"]
+
+
+@dataclass(frozen=True)
+class CpuUtil:
+    """CPU utilization as mpstat-style percentages of one core.
+
+    ``total`` = app + irq and can exceed 100% — matching the paper's
+    "TX/RX Cores" curves, which aggregate the iperf3 core and the NIC
+    interrupt cores.
+    """
+
+    app_pct: float
+    irq_pct: float
+
+    @property
+    def total_pct(self) -> float:
+        return self.app_pct + self.irq_pct
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a single simulated test (one iperf3 run)."""
+
+    duration: float
+    omit: float
+    per_flow_goodput: np.ndarray  # bytes/s, post-omit mean
+    retransmit_segments: float
+    loss_events: int
+    sender_cpu: CpuUtil
+    receiver_cpu: CpuUtil
+    zc_fraction_mean: float
+    #: 1-second interval aggregate throughput samples (bytes/s), like
+    #: iperf3's interval lines; used for within-run variability views.
+    interval_goodput: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def total_goodput(self) -> float:
+        return float(self.per_flow_goodput.sum())
+
+    @property
+    def total_gbps(self) -> float:
+        return units.to_gbps(self.total_goodput)
+
+    @property
+    def per_flow_gbps(self) -> np.ndarray:
+        return units.to_gbps(self.per_flow_goodput)
+
+    @property
+    def flow_range_gbps(self) -> tuple[float, float]:
+        g = self.per_flow_gbps
+        return float(g.min()), float(g.max())
+
+
+class MetricsAccumulator:
+    """Streaming accumulation during a simulation run."""
+
+    def __init__(self, n_flows: int, duration: float, omit: float) -> None:
+        self.n_flows = n_flows
+        self.duration = duration
+        self.omit = omit
+        self._bytes = np.zeros(n_flows)
+        self._retr = 0.0
+        self._loss_events = 0
+        self._time = 0.0
+        self._measured_time = 0.0
+        self._cpu_sums = np.zeros(4)  # tx app, tx irq, rx app, rx irq (core-sec)
+        self._zc_sum = 0.0
+        self._interval_bytes = 0.0
+        self._interval_marks: list[float] = []
+        self._next_interval = omit + 1.0
+
+    def record_tick(
+        self,
+        dt: float,
+        delivered: np.ndarray,
+        retr_segments: float,
+        loss_events: int,
+        cpu_core_fracs: tuple[float, float, float, float],
+        zc_fraction: float,
+    ) -> None:
+        """Record one tick.  ``cpu_core_fracs`` are fractions of one core
+        busy this tick for (tx app, tx irq, rx app, rx irq)."""
+        self._time += dt
+        if self._time <= self.omit + 1e-9:  # epsilon absorbs float drift
+            return
+        self._measured_time += dt
+        self._bytes += delivered
+        self._retr += retr_segments
+        self._loss_events += loss_events
+        self._cpu_sums += np.array(cpu_core_fracs) * dt
+        self._zc_sum += zc_fraction * dt
+        self._interval_bytes += float(delivered.sum())
+        if self._time >= self._next_interval:
+            self._interval_marks.append(self._interval_bytes)
+            self._interval_bytes = 0.0
+            self._next_interval += 1.0
+
+    def finalize(self) -> RunResult:
+        t = max(self._measured_time, 1e-9)
+        cpu = self._cpu_sums / t
+        return RunResult(
+            duration=self.duration,
+            omit=self.omit,
+            per_flow_goodput=self._bytes / t,
+            retransmit_segments=self._retr,
+            loss_events=self._loss_events,
+            sender_cpu=CpuUtil(app_pct=100 * cpu[0], irq_pct=100 * cpu[1]),
+            receiver_cpu=CpuUtil(app_pct=100 * cpu[2], irq_pct=100 * cpu[3]),
+            zc_fraction_mean=self._zc_sum / t,
+            interval_goodput=np.array(self._interval_marks),
+        )

@@ -1,0 +1,27 @@
+"""TCP stack models: segments, congestion control, pacing, zerocopy, BIG TCP."""
+
+from repro.tcp.bigtcp import BigTcpConfig, PAPER_BIG_TCP_SIZE
+from repro.tcp.cc import CC_ALGORITHMS, Bbr1, Bbr3, CongestionControl, Cubic, Reno, make_cc
+from repro.tcp.pacing import PacingConfig, UINT32_MAX_BYTES
+from repro.tcp.segment import SegmentGeometry
+from repro.tcp.sockets import SocketProfile
+from repro.tcp.zerocopy import DEFAULT_SEND_BLOCK, NOTIF_BYTES, ZerocopyModel
+
+__all__ = [
+    "SegmentGeometry",
+    "CongestionControl",
+    "Cubic",
+    "Reno",
+    "Bbr1",
+    "Bbr3",
+    "make_cc",
+    "CC_ALGORITHMS",
+    "PacingConfig",
+    "UINT32_MAX_BYTES",
+    "ZerocopyModel",
+    "NOTIF_BYTES",
+    "DEFAULT_SEND_BLOCK",
+    "BigTcpConfig",
+    "PAPER_BIG_TCP_SIZE",
+    "SocketProfile",
+]

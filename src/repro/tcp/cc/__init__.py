@@ -1,0 +1,38 @@
+"""Congestion-control algorithms: CUBIC (paper default), BBRv1/v3, Reno."""
+
+from repro.core.errors import ConfigurationError
+from repro.tcp.cc.base import CcState, CongestionControl
+from repro.tcp.cc.bbr import Bbr1, Bbr3
+from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.reno import Reno
+
+__all__ = [
+    "CongestionControl",
+    "CcState",
+    "Cubic",
+    "Reno",
+    "Bbr1",
+    "Bbr3",
+    "make_cc",
+    "CC_ALGORITHMS",
+]
+
+CC_ALGORITHMS = {
+    "cubic": Cubic,
+    "reno": Reno,
+    "bbr1": Bbr1,
+    "bbr": Bbr1,
+    "bbr3": Bbr3,
+}
+
+
+def make_cc(name: str, mss: float = 8960.0) -> CongestionControl:
+    """Instantiate a congestion-control algorithm by sysctl-style name."""
+    try:
+        cls = CC_ALGORITHMS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown congestion control {name!r}; "
+            f"have {sorted(set(CC_ALGORITHMS))}"
+        ) from None
+    return cls(mss=mss)

@@ -1,0 +1,136 @@
+"""Congestion-control interface for the fluid flow simulator.
+
+The simulator advances in small ticks.  Each tick it tells the CC module
+how many bytes were delivered (cumulatively ACKed) and the current RTT;
+the CC maintains ``cwnd_bytes`` and optionally a self-imposed pacing
+rate (BBR).  Loss events — at most one per round trip, as real TCP
+reacts per congestion *event*, not per lost packet — arrive through
+:meth:`on_loss`.
+
+Window units are bytes throughout; algorithms that are naturally
+expressed in MSS units (CUBIC) convert internally.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = ["CongestionControl", "CcState"]
+
+
+@dataclass
+class CcState:
+    """Common mutable state shared by the concrete algorithms."""
+
+    cwnd_bytes: float
+    ssthresh_bytes: float
+    in_slow_start: bool = True
+    last_loss_time: float = float("-inf")
+    loss_events: int = 0
+
+
+class CongestionControl(abc.ABC):
+    """Base class for congestion-control algorithms.
+
+    Subclasses must set :attr:`name` and implement :meth:`on_tick` and
+    :meth:`on_loss`.
+    """
+
+    name: str = "base"
+    #: Minimum interval between reactions to loss, in RTTs.  Real TCP
+    #: reduces once per window of data; we enforce one reduction per RTT.
+    LOSS_REACTION_RTTS = 1.0
+    #: Loss-based algorithms grow cwnd without bound in the absence of
+    #: loss, so the simulator must apply congestion-window validation
+    #: (RFC 7661): when the flow is application/CPU/pacing-limited, the
+    #: window must not grow.  Rate-based algorithms (BBR) size cwnd from
+    #: their bandwidth model and need no external validation.
+    needs_cwnd_validation = True
+
+    def __init__(self, mss: float = 8960.0, initial_cwnd_segments: int = 10):
+        self.mss = float(mss)
+        self.state = CcState(
+            cwnd_bytes=initial_cwnd_segments * self.mss,
+            ssthresh_bytes=float("inf"),
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def cwnd_bytes(self) -> float:
+        return self.state.cwnd_bytes
+
+    @property
+    def loss_events(self) -> int:
+        return self.state.loss_events
+
+    def pacing_rate(self, rtt: float) -> float | None:
+        """Self-imposed pacing rate in bytes/s, or None (window-limited).
+
+        Loss-based algorithms return None (the fq qdisc may still pace
+        them at ``2 * cwnd/rtt`` internally, but that never binds).
+        Rate-based algorithms (BBR) return their pacing rate.
+        """
+        return None
+
+    # -- event hooks -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_tick(self, now: float, dt: float, delivered_bytes: float, rtt: float) -> None:
+        """Advance the window given ``delivered_bytes`` ACKed this tick."""
+
+    def on_loss(self, now: float, rtt: float) -> bool:
+        """Register a congestion event.  Returns True if the algorithm
+        reacted (reductions are rate-limited to one per RTT)."""
+        if now - self.state.last_loss_time < self.LOSS_REACTION_RTTS * rtt:
+            return False
+        self.state.last_loss_time = now
+        self.state.loss_events += 1
+        self._react_to_loss(now, rtt)
+        return True
+
+    @abc.abstractmethod
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        """Algorithm-specific loss reaction."""
+
+    def on_timeout(self, now: float) -> None:
+        """Retransmission timeout: collapse to slow start (RFC 5681).
+
+        Used by the packet-level micro simulator; the fluid model never
+        starves a flow long enough to RTO.
+        """
+        st = self.state
+        st.ssthresh_bytes = max(2 * self.mss, st.cwnd_bytes * 0.5)
+        st.cwnd_bytes = 2 * self.mss
+        st.in_slow_start = True
+        st.loss_events += 1
+        st.last_loss_time = now
+
+    def on_app_limited(self, now: float, dt: float) -> None:
+        """The flow spent this tick limited by something other than the
+        window (CPU, pacing, link share): freeze window growth
+        (RFC 7661 congestion-window validation).  Time-based algorithms
+        override this to stop their clock as well."""
+        return
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _slow_start_tick(self, delivered_bytes: float) -> None:
+        """Classic slow start: cwnd += bytes ACKed (doubles per RTT)."""
+        st = self.state
+        st.cwnd_bytes += delivered_bytes
+        if st.cwnd_bytes >= st.ssthresh_bytes:
+            st.cwnd_bytes = st.ssthresh_bytes
+            st.in_slow_start = False
+
+    def clamp(self, max_cwnd_bytes: float) -> None:
+        """Apply the socket-buffer cap (min of send/recv windows)."""
+        if self.state.cwnd_bytes > max_cwnd_bytes:
+            self.state.cwnd_bytes = max_cwnd_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(cwnd={self.state.cwnd_bytes / self.mss:.1f} MSS, "
+            f"ss={self.state.in_slow_start}, losses={self.state.loss_events})"
+        )

@@ -1,0 +1,169 @@
+"""BBR congestion control, versions 1 and 3 (fluid-model adaptations).
+
+The paper (§IV.F) ran CUBIC and BBR side by side and found single-stream
+throughput essentially identical on their loss-free testbeds, with BBR —
+especially v1 — generating more retransmits, ramping up faster on the
+WAN, and benefiting strongly from pacing in the parallel-stream case.
+We model both versions faithfully enough to reproduce those qualitative
+statements:
+
+**BBRv1** (Cardwell et al. 2016)
+  * model-based: tracks ``btl_bw`` (windowed-max delivery rate) and
+    ``rt_prop`` (windowed-min RTT);
+  * STARTUP at 2/ln(2) ≈ 2.89x pacing gain until bandwidth plateaus,
+    then DRAIN, then PROBE_BW cycling gains [1.25, 0.75, 1x6];
+  * **ignores packet loss** — the source of its retransmit reputation.
+
+**BBRv3** (2023 IETF drafts)
+  * reacts to loss: bounds inflight to ~0.85x on loss and backs off
+    ``beta = 0.7`` on a congestion round, like v2/v3;
+  * gentler probing (1.25 probe gain but shorter probes), lower
+    STARTUP exit threshold, so far fewer retransmits.
+
+The fluid adaptation replaces per-packet bookkeeping with per-tick
+updates of the bandwidth/RTT filters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.tcp.cc.base import CongestionControl
+
+__all__ = ["Bbr1", "Bbr3"]
+
+
+@dataclass
+class _WindowedMax:
+    """Max-filter over a sliding time window (btl_bw estimator).
+
+    Implemented as a monotonic deque: amortized O(1) per update, which
+    matters in the packet-level micro simulator where this runs once
+    per ACK.
+    """
+
+    window: float
+    samples: deque = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.samples = deque()  # (time, value), values strictly decreasing
+
+    def update(self, now: float, value: float) -> float:
+        while self.samples and self.samples[-1][1] <= value:
+            self.samples.pop()
+        self.samples.append((now, value))
+        cutoff = now - self.window
+        while self.samples and self.samples[0][0] < cutoff:
+            self.samples.popleft()
+        return self.samples[0][1]
+
+
+class _BbrBase(CongestionControl):
+    """Shared BBR machinery."""
+
+    needs_cwnd_validation = False  # cwnd comes from the bw*rtt model
+    STARTUP_GAIN = 2.885  # 2/ln(2)
+    DRAIN_GAIN = 1.0 / 2.885
+    CWND_GAIN = 2.0
+    BW_WINDOW_SEC = 10.0  # ~10 round trips at WAN RTTs; simplified to time
+    #: Gain cycle for PROBE_BW (v1's 8-phase wheel).
+    PROBE_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+    def __init__(self, mss: float = 8960.0, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self.phase = "STARTUP"
+        self.btl_bw = 0.0  # bytes/s
+        self.rt_prop = float("inf")
+        self._bw_filter = _WindowedMax(self.BW_WINDOW_SEC)
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._cycle_index = 0
+        self._cycle_start = 0.0
+
+    # -- pacing-rate interface used by the flow simulator -------------------
+
+    def pacing_rate(self, rtt: float) -> float | None:
+        if self.btl_bw <= 0:
+            # No estimate yet: pace at cwnd/rtt * startup gain.
+            if rtt > 0:
+                return self.STARTUP_GAIN * self.state.cwnd_bytes / rtt
+            return None
+        return self._gain() * self.btl_bw
+
+    def _gain(self) -> float:
+        if self.phase == "STARTUP":
+            return self.STARTUP_GAIN
+        if self.phase == "DRAIN":
+            return self.DRAIN_GAIN
+        return self.PROBE_CYCLE[self._cycle_index]
+
+    # -- tick update -----------------------------------------------------------
+
+    def on_tick(self, now: float, dt: float, delivered_bytes: float, rtt: float) -> None:
+        st = self.state
+        if rtt > 0:
+            self.rt_prop = min(self.rt_prop, rtt)
+        if dt > 0 and delivered_bytes > 0:
+            rate = delivered_bytes / dt
+            self.btl_bw = self._bw_filter.update(now, rate)
+
+        if self.phase == "STARTUP":
+            self._check_full_pipe(now)
+            st.cwnd_bytes += delivered_bytes  # exponential like slow start
+        elif self.phase == "DRAIN":
+            if self._inflight_target() >= st.cwnd_bytes:
+                self.phase = "PROBE_BW"
+                self._cycle_start = now
+        else:  # PROBE_BW
+            self._advance_cycle(now)
+            st.cwnd_bytes = max(4 * self.mss, self._inflight_target())
+
+    def _inflight_target(self) -> float:
+        if self.btl_bw <= 0 or self.rt_prop == float("inf"):
+            return self.state.cwnd_bytes
+        return self.CWND_GAIN * self.btl_bw * self.rt_prop
+
+    def _check_full_pipe(self, now: float) -> None:
+        """Exit STARTUP once bandwidth stops growing ≥25% per round."""
+        if self.btl_bw > self._full_bw * 1.25:
+            self._full_bw = self.btl_bw
+            self._full_bw_rounds = 0
+            return
+        self._full_bw_rounds += 1
+        if self._full_bw_rounds >= 3:
+            self.phase = "DRAIN"
+
+    def _advance_cycle(self, now: float) -> None:
+        period = max(self.rt_prop, 1e-3)
+        if now - self._cycle_start >= period:
+            self._cycle_start = now
+            self._cycle_index = (self._cycle_index + 1) % len(self.PROBE_CYCLE)
+
+
+class Bbr1(_BbrBase):
+    """BBR version 1: loss-blind."""
+
+    name = "bbr1"
+
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        # v1 deliberately does not reduce on loss (beyond rare RTO
+        # handling we do not model).  The loss still counts as an event
+        # for retransmit accounting, which is exactly the paper's
+        # observation: more retransmits under BBRv1.
+        return
+
+
+class Bbr3(_BbrBase):
+    """BBR version 3: bounded loss response, gentler probing."""
+
+    name = "bbr3"
+    BETA = 0.7
+    PROBE_CYCLE = (1.25, 0.75, 1.0, 1.0)  # shorter wheel than v1
+
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        st = self.state
+        st.cwnd_bytes = max(4 * self.mss, st.cwnd_bytes * self.BETA)
+        # Also haircut the bandwidth model so pacing backs off.
+        self.btl_bw *= 0.9
+        self.phase = "PROBE_BW"

@@ -1,0 +1,104 @@
+"""CUBIC congestion control (RFC 8312bis), the paper's default CCA.
+
+CUBIC grows the window as a cubic function of time since the last
+congestion event::
+
+    W(t) = C * (t - K)^3 + W_max          [in MSS units]
+    K    = cbrt(W_max * (1 - beta) / C)
+
+with ``C = 0.4`` and ``beta = 0.7``.  At ``t = 0`` (just after the
+multiplicative decrease) ``W = beta * W_max``; the window plateaus near
+``W_max`` around ``t = K`` and then probes beyond it — the
+concave/convex shape that makes CUBIC RTT-fair on long paths.
+
+TCP-friendliness: CUBIC also tracks the window standard AIMD (Reno)
+would have reached and uses it when larger, which matters at low BDP —
+the LAN cases of the paper.
+
+The fluid simulator calls :meth:`on_tick` every ``dt``; since CUBIC's
+window is an explicit function of elapsed time, the tick update simply
+re-evaluates W(t).
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import CongestionControl
+
+__all__ = ["Cubic"]
+
+
+class Cubic(CongestionControl):
+    """CUBIC per RFC 8312bis, fluid-adapted."""
+
+    name = "cubic"
+    C = 0.4  # scaling constant, segments/sec^3
+    BETA = 0.7  # multiplicative decrease factor
+
+    def __init__(self, mss: float = 8960.0, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._w_max_seg = 0.0  # window (MSS) at last congestion event
+        self._epoch_start: float | None = None
+        self._k = 0.0
+        # Reno-tracking state for the TCP-friendly region.
+        self._w_est_seg = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _w_cubic_seg(self, t: float) -> float:
+        return self.C * (t - self._k) ** 3 + self._w_max_seg
+
+    def _open_epoch(self, now: float, w_max_seg: float, w_start_seg: float) -> None:
+        """Start a cubic epoch: W grows from ``w_start`` toward ``w_max``.
+
+        ``K`` is chosen so that W(0) == w_start, the RFC's formula
+        generalized to any starting window (it reduces to the standard
+        K when w_start == beta * w_max).
+        """
+        self._w_max_seg = w_max_seg
+        delta = max(0.0, (w_max_seg - w_start_seg) / self.C)
+        self._k = delta ** (1.0 / 3.0)
+        self._epoch_start = now
+        self._w_est_seg = w_start_seg
+
+    def on_tick(self, now: float, dt: float, delivered_bytes: float, rtt: float) -> None:
+        st = self.state
+        if st.in_slow_start:
+            self._slow_start_tick(delivered_bytes)
+            if st.in_slow_start:
+                return
+            self._open_epoch(now, st.cwnd_bytes / self.mss, st.cwnd_bytes / self.mss)
+        if self._epoch_start is None:
+            self._open_epoch(now, st.cwnd_bytes / self.mss, st.cwnd_bytes / self.mss)
+
+        t = now - self._epoch_start
+        target_seg = self._w_cubic_seg(t)
+
+        # TCP-friendly (Reno-equivalent) estimate: grows
+        # 3*(1-beta)/(1+beta) segments per delivered cwnd of ACKs.
+        if st.cwnd_bytes > 0 and rtt > 0:
+            alpha = 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+            self._w_est_seg += alpha * (delivered_bytes / st.cwnd_bytes)
+
+        new_bytes = max(target_seg, self._w_est_seg) * self.mss
+        if new_bytes > st.cwnd_bytes:
+            st.cwnd_bytes = new_bytes
+
+    def on_app_limited(self, now: float, dt: float) -> None:
+        """Freeze the cubic clock while app-limited: W(t) is a function
+        of time-in-epoch, so the epoch origin slides forward with us."""
+        if self._epoch_start is not None:
+            self._epoch_start += dt
+
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        st = self.state
+        w_seg = st.cwnd_bytes / self.mss
+        # Fast convergence: when the peak is lower than last time,
+        # remember a further-reduced W_max to release bandwidth sooner.
+        if w_seg < self._w_max_seg:
+            w_max = w_seg * (1.0 + self.BETA) / 2.0
+        else:
+            w_max = w_seg
+        st.cwnd_bytes = max(2 * self.mss, st.cwnd_bytes * self.BETA)
+        st.ssthresh_bytes = st.cwnd_bytes
+        st.in_slow_start = False
+        self._open_epoch(now, w_max, st.cwnd_bytes / self.mss)

@@ -1,0 +1,37 @@
+"""NewReno-style AIMD congestion control.
+
+Not used in the paper's headline results (CUBIC is the configured
+algorithm), but included as the canonical baseline: one MSS of window
+growth per RTT in congestion avoidance, halving on loss.  Useful in
+tests as the simplest-possible CC against which CUBIC/BBR behaviour can
+be contrasted.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import CongestionControl
+
+__all__ = ["Reno"]
+
+
+class Reno(CongestionControl):
+    """Classic AIMD: +1 MSS per RTT, x0.5 on loss."""
+
+    name = "reno"
+    BETA = 0.5
+
+    def on_tick(self, now: float, dt: float, delivered_bytes: float, rtt: float) -> None:
+        st = self.state
+        if st.in_slow_start:
+            self._slow_start_tick(delivered_bytes)
+            return
+        if st.cwnd_bytes <= 0 or rtt <= 0:
+            return
+        # cwnd += MSS * (bytes acked / cwnd): one MSS per cwnd of ACKs.
+        st.cwnd_bytes += self.mss * (delivered_bytes / st.cwnd_bytes)
+
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        st = self.state
+        st.ssthresh_bytes = max(2 * self.mss, st.cwnd_bytes * self.BETA)
+        st.cwnd_bytes = st.ssthresh_bytes
+        st.in_slow_start = False

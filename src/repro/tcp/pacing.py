@@ -1,0 +1,127 @@
+"""Packet pacing: the ``fq`` qdisc and the iperf3 ``--fq-rate`` flag.
+
+Pacing is the paper's single most important tuning lever.  Mechanisms
+modelled here:
+
+* **fq socket pacing** — ``SO_MAX_PACING_RATE`` set by iperf3's
+  ``--fq-rate``; the fq qdisc releases the flow's packets smoothly at
+  that rate, eliminating the line-rate packet trains that overrun
+  receiver NICs on paths without 802.3x flow control.
+
+* **The 32 Gbps overflow bug** — ``SO_MAX_PACING_RATE`` takes a rate in
+  *bytes per second*, and iperf3 (pre PR#1728) plumbed ``--fq-rate``
+  through an ``unsigned int``.  A 32-bit byte rate caps at
+  2^32 B/s ≈ 34.4 Gbps — which is exactly why the paper notes that
+  *"pacing single flows above 32 Gbps ... requires a recent patch to
+  iperf3"* (their PR#1728 widens the field to ``uint64_t``).  We
+  reproduce the user-visible symptom: an unpatched tool wraps the
+  requested byte rate modulo 2^32, so a requested 50 Gbps flow is
+  actually paced at ~15.6 Gbps.
+
+* **qdisc choice** — the paper recommends ``fq`` over the default
+  ``fq_codel`` in high-throughput environments because fq implements
+  per-flow pacing with fine-grained packet spacing.  Since kernel 4.20
+  TCP falls back to internal pacing under other qdiscs, which enforces
+  the average rate but with burst slack; the residual burstiness feeds
+  the receiver-overrun loss model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+
+__all__ = ["PacingConfig", "UINT32_MAX_BYTES"]
+
+#: Largest byte rate representable in the unpatched unsigned int field.
+UINT32_MAX_BYTES = 2**32  # bytes/s  (≈ 34.4 Gbps)
+
+
+@dataclass(frozen=True)
+class PacingConfig:
+    """Pacing as requested by the application (iperf3 ``--fq-rate``).
+
+    ``requested_bytes_per_sec`` is what the user asked for;
+    :meth:`effective_rate` applies the uint32 truncation when the tool
+    is unpatched, reproducing the >32 Gbps failure mode PR#1728 fixes.
+    """
+
+    requested_bytes_per_sec: float | None = None
+    #: iperf3 with PR#1728 (uint64 fq-rate)?
+    patched_uint64: bool = True
+    #: qdisc in effect on the sender ('fq' paces precisely; others fall
+    #: back to internal TCP pacing with burst slack).
+    qdisc: str = "fq"
+
+    def __post_init__(self) -> None:
+        if self.requested_bytes_per_sec is not None and self.requested_bytes_per_sec <= 0:
+            raise ConfigurationError("pacing rate must be positive")
+        if self.qdisc not in ("fq", "fq_codel", "pfifo_fast", "noqueue"):
+            raise ConfigurationError(f"unknown qdisc {self.qdisc!r}")
+
+    @classmethod
+    def unpaced(cls, qdisc: str = "fq") -> "PacingConfig":
+        return cls(requested_bytes_per_sec=None, qdisc=qdisc)
+
+    @classmethod
+    def fq_rate_gbps(cls, gbps_value: float, patched: bool = True,
+                     qdisc: str = "fq") -> "PacingConfig":
+        """Build from a ``--fq-rate`` value in Gbps."""
+        return cls(
+            requested_bytes_per_sec=units.gbps(gbps_value),
+            patched_uint64=patched,
+            qdisc=qdisc,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.requested_bytes_per_sec is not None
+
+    def effective_rate(self) -> float | None:
+        """The rate the kernel actually enforces, in bytes/s.
+
+        Unpatched iperf3 passes the bytes/s value through a 32-bit
+        unsigned field, so requested rates >= 2^32 B/s (≈34.4 Gbps)
+        wrap modulo 2^32: a requested 50 Gbps (6.25e9 B/s) becomes
+        6.25e9 - 2^32 ≈ 1.96e9 B/s ≈ 15.6 Gbps — far below the request,
+        and throughput collapses accordingly.
+        """
+        if self.requested_bytes_per_sec is None:
+            return None
+        rate = self.requested_bytes_per_sec
+        if not self.patched_uint64 and rate >= UINT32_MAX_BYTES:
+            rate = rate % UINT32_MAX_BYTES
+            if rate == 0:
+                rate = float(UINT32_MAX_BYTES - 1)
+        return rate
+
+    @property
+    def smooths_bursts(self) -> bool:
+        """True when packets are released with fine-grained spacing."""
+        return self.enabled and self.qdisc == "fq"
+
+    @property
+    def burst_slack(self) -> float:
+        """Residual burstiness fed into the loss model.
+
+        0.0 = perfectly smooth (fq pacing), 1.0 = fully bursty
+        (no pacing).  Internal TCP pacing under fq_codel lands between.
+        """
+        if not self.enabled:
+            return 1.0
+        return 0.0 if self.qdisc == "fq" else 0.35
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "unpaced"
+        eff = self.effective_rate()
+        req = self.requested_bytes_per_sec
+        assert eff is not None and req is not None
+        if abs(eff - req) > 1.0:
+            return (
+                f"fq-rate {units.fmt_gbps(req)} (WRAPPED to "
+                f"{units.fmt_gbps(eff)} by unpatched uint32!)"
+            )
+        return f"fq-rate {units.fmt_gbps(req)} ({self.qdisc})"

@@ -1,0 +1,15 @@
+"""Testbed factories: AmLight, ESnet testbed, ESnet production DTNs."""
+
+from repro.testbeds.amlight import AMLIGHT_RTTS_MS, AmLightTestbed
+from repro.testbeds.esnet import ESNET_WAN_RTT_MS, PRODUCTION_RTT_MS, ESnetTestbed
+from repro.testbeds.profiles import paper_host, stock_host
+
+__all__ = [
+    "AmLightTestbed",
+    "AMLIGHT_RTTS_MS",
+    "ESnetTestbed",
+    "ESNET_WAN_RTT_MS",
+    "PRODUCTION_RTT_MS",
+    "paper_host",
+    "stock_host",
+]

@@ -1,0 +1,123 @@
+"""The AmLight testbed (paper Fig. 1).
+
+Intel Xeon 6346 hosts with ConnectX-5 100G NICs in Miami, with real WAN
+paths down the AmLight backbone:
+
+=========  =======  =====================================
+``lan``    0.2 ms   Miami local, 100 Gbps
+``wan25``  25 ms    Miami <-> Fortaleza
+``wan54``  54 ms    Miami <-> Sao Paulo
+``wan104`` 104 ms   Miami <-> Santiago (via Sao Paulo)
+=========  =======  =====================================
+
+WAN test traffic is administratively capped at 80 Gbps to protect
+production traffic, and shares the backbone with ~16 Gbps of production
+background load.  Switches are NoviFlow/Tofino without 802.3x support.
+
+Bare-metal hosts run Debian 11 (kernel 5.10); the paper's main results
+use an Ubuntu VM with PCI passthrough and pinned vCPUs (validated
+against bare metal in its Fig. 4), which :func:`host_pair` reproduces
+via ``vm_mode``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.host.machine import Host
+from repro.host.sysctl import OPTMEM_1MB
+from repro.host.vm import VmConfig
+from repro.net.background import BackgroundTraffic
+from repro.net.path import NetworkPath
+from repro.net.switch import SwitchModel
+from repro.net.topology import Topology
+from repro.testbeds.profiles import paper_host
+
+__all__ = ["AmLightTestbed", "AMLIGHT_RTTS_MS"]
+
+AMLIGHT_RTTS_MS = {"lan": 0.2, "wan25": 25.0, "wan54": 54.0, "wan104": 104.0}
+
+
+def _build_topology() -> Topology:
+    topo = Topology("amlight")
+    switch = SwitchModel.noviflow_wb5132()
+    topo.add_host("dtn-miami-a")
+    topo.add_host("dtn-miami-b")
+    topo.add_host("dtn-fortaleza")
+    topo.add_host("dtn-saopaulo")
+    topo.add_host("dtn-santiago")
+    for sw in ("sw-miami", "sw-fortaleza", "sw-saopaulo", "sw-santiago"):
+        topo.add_switch(sw, switch)
+    topo.add_link("dtn-miami-a", "sw-miami", 100, delay_ms=0.05)
+    topo.add_link("dtn-miami-b", "sw-miami", 100, delay_ms=0.05)
+    topo.add_link("dtn-fortaleza", "sw-fortaleza", 100, delay_ms=0.05)
+    topo.add_link("dtn-saopaulo", "sw-saopaulo", 100, delay_ms=0.05)
+    topo.add_link("dtn-santiago", "sw-santiago", 100, delay_ms=0.05)
+    # Backbone links with one-way delays that sum to the paper's RTTs.
+    topo.add_link("sw-miami", "sw-fortaleza", 100, delay_ms=12.45, admin_limit_gbps=80)
+    topo.add_link("sw-miami", "sw-saopaulo", 100, delay_ms=26.95, admin_limit_gbps=80)
+    topo.add_link("sw-saopaulo", "sw-santiago", 100, delay_ms=24.95, admin_limit_gbps=80)
+    return topo
+
+
+@dataclass
+class AmLightTestbed:
+    """Factory for AmLight hosts and paths."""
+
+    kernel: str = "6.8"
+    vm_mode: str = "tuned"  # 'baremetal' | 'tuned' | 'untuned'
+    optmem_max: int = OPTMEM_1MB
+    mtu: int = 9000
+    big_tcp_size: int | None = None
+    topology: Topology = field(default_factory=_build_topology)
+
+    def _vm(self) -> VmConfig:
+        if self.vm_mode == "baremetal":
+            return VmConfig.baremetal()
+        if self.vm_mode == "tuned":
+            return VmConfig.paper_tuned()
+        if self.vm_mode == "untuned":
+            return VmConfig.untuned()
+        raise ConfigurationError(f"unknown vm_mode {self.vm_mode!r}")
+
+    def host_pair(self) -> tuple[Host, Host]:
+        """(sender, receiver) Intel/CX-5 hosts, paper tuning."""
+        mk = lambda name: paper_host(  # noqa: E731 - tiny local factory
+            name,
+            cpu="intel",
+            nic="cx5",
+            kernel=self.kernel,
+            optmem_max=self.optmem_max,
+            mtu=self.mtu,
+            vm=self._vm(),
+            big_tcp_size=self.big_tcp_size,
+        )
+        return mk("amlight-snd"), mk("amlight-rcv")
+
+    def path(self, name: str) -> NetworkPath:
+        """One of 'lan', 'wan25', 'wan54', 'wan104'."""
+        dests = {
+            "lan": "dtn-miami-b",
+            "wan25": "dtn-fortaleza",
+            "wan54": "dtn-saopaulo",
+            "wan104": "dtn-santiago",
+        }
+        if name not in dests:
+            raise ConfigurationError(
+                f"unknown AmLight path {name!r}; have {sorted(dests)}"
+            )
+        background = (
+            BackgroundTraffic.amlight_production()
+            if name != "lan"
+            else BackgroundTraffic.none()
+        )
+        path = self.topology.path_between(
+            "dtn-miami-a", dests[name], name=name, background=background
+        )
+        return path
+
+    def paths(self) -> list[NetworkPath]:
+        """All four paths, LAN first."""
+        return [self.path(n) for n in ("lan", "wan25", "wan54", "wan104")]

@@ -1,0 +1,58 @@
+"""Shared tuning profiles for testbed hosts.
+
+Centralizes the paper's host configuration recipe (fasterdata.es.net
+base tuning + the Section III extras) so both testbeds build hosts the
+same way.
+"""
+
+from __future__ import annotations
+
+from repro.host.machine import Host
+from repro.host.sysctl import OPTMEM_1MB, Sysctls
+from repro.host.tuning import HostTuning
+from repro.host.vm import VmConfig
+
+__all__ = ["paper_host", "stock_host"]
+
+
+def paper_host(
+    name: str,
+    cpu: str,
+    nic: str,
+    kernel: str = "6.8",
+    optmem_max: int = OPTMEM_1MB,
+    mtu: int = 9000,
+    vm: VmConfig | None = None,
+    big_tcp_size: int | None = None,
+) -> Host:
+    """A host tuned exactly as the paper's test hosts were.
+
+    * fasterdata sysctls (2 GiB buffers, fq qdisc, no-metrics-save)
+    * optmem_max = 1 MB unless overridden (the Fig. 9 sweep varies it)
+    * IRQs pinned to cores 0-7, app to 8-15 (irqbalance off)
+    * SMT off, performance governor, iommu=pt, 8192-entry rings, 9K MTU
+    """
+    sysctls = Sysctls.fasterdata_tuned(optmem_max=optmem_max)
+    if big_tcp_size is not None:
+        sysctls = sysctls.enable_big_tcp(big_tcp_size)
+    return Host.build(
+        name=name,
+        cpu=cpu,
+        nic=nic,
+        kernel=kernel,
+        sysctls=sysctls,
+        tuning=HostTuning.paper().set(mtu=mtu),
+        vm=vm,
+    )
+
+
+def stock_host(name: str, cpu: str, nic: str, kernel: str = "5.15") -> Host:
+    """An untuned distro-default host, for ablation studies."""
+    return Host.build(
+        name=name,
+        cpu=cpu,
+        nic=nic,
+        kernel=kernel,
+        sysctls=Sysctls(),
+        tuning=HostTuning.stock(),
+    )

@@ -1,0 +1,16 @@
+"""Measurement tools: iperf3 front-end, mpstat, the test harness."""
+
+from repro.tools.harness import HarnessConfig, HarnessResult, TestHarness
+from repro.tools.iperf3 import Iperf3, Iperf3Options, Iperf3Result
+from repro.tools.mpstat import CoreSample, MpstatReport
+
+__all__ = [
+    "Iperf3",
+    "Iperf3Options",
+    "Iperf3Result",
+    "TestHarness",
+    "HarnessConfig",
+    "HarnessResult",
+    "MpstatReport",
+    "CoreSample",
+]

@@ -1,0 +1,212 @@
+"""An iperf3 front-end for the simulator.
+
+Mirrors the tool the paper used — iperf3 v3.17 with PR#1690 (the
+``--zerocopy=z`` / ``--skip-rx-copy`` options) and PR#1728 (64-bit
+``--fq-rate``) — including its version gates:
+
+* parallel streams need the multi-threaded iperf3 (>= 3.16);
+* ``--zerocopy=z`` (MSG_ZEROCOPY) needs PR#1690 *and* kernel >= 4.17;
+  plain ``--zerocopy`` (sendfile) is the long-standing ``-Z`` flag;
+* ``--skip-rx-copy`` (MSG_TRUNC) needs PR#1690;
+* ``--fq-rate`` above ~34 Gbps silently wraps without PR#1728 —
+  reproduced, since it is one of the paper's explicit pitfalls.
+
+Results come back as an :class:`Iperf3Result` that can render the same
+JSON structure real iperf3 emits (``end.sum_sent.bits_per_second``,
+``end.sum_sent.retransmits``, per-stream entries), so downstream
+parsing code written for real iperf3 works against the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import units
+from repro.core.errors import ConfigurationError, FeatureUnavailableError
+from repro.core.rng import RngFactory
+from repro.host.machine import Host
+from repro.net.path import NetworkPath
+from repro.sim.flowsim import FlowSimulator, FlowSpec, SimProfile
+from repro.sim.metrics import RunResult
+from repro.tcp.pacing import PacingConfig
+
+__all__ = ["Iperf3Options", "Iperf3Result", "Iperf3"]
+
+
+@dataclass(frozen=True)
+class Iperf3Options:
+    """Command-line options of one iperf3 client invocation."""
+
+    parallel: int = 1  # -P
+    duration: float = 60.0  # -t
+    omit: float = 3.0  # -O
+    fq_rate_gbps: float | None = None  # --fq-rate (per stream)
+    zerocopy: str | None = None  # None | 'sendfile' (-Z) | 'z' (MSG_ZEROCOPY)
+    skip_rx_copy: bool = False  # --skip-rx-copy
+    congestion: str = "cubic"  # -C
+    json_output: bool = True  # -J
+    # Tool build: version + patches.
+    version: str = "3.17"
+    has_pr1690: bool = True
+    has_pr1728: bool = True
+
+    def __post_init__(self) -> None:
+        if self.parallel < 1:
+            raise ConfigurationError("-P must be >= 1")
+        if self.zerocopy not in (None, "sendfile", "z"):
+            raise ConfigurationError("--zerocopy takes nothing, 'sendfile' or 'z'")
+
+    def validate_tool(self) -> None:
+        major, minor = (int(x) for x in self.version.split(".")[:2])
+        if self.parallel > 1 and (major, minor) < (3, 16):
+            raise FeatureUnavailableError(
+                "multi-threaded parallel streams", f"iperf3 {self.version} < 3.16"
+            )
+        if self.zerocopy == "z" and not self.has_pr1690:
+            raise FeatureUnavailableError(
+                "--zerocopy=z", "needs iperf3 PR#1690 (MSG_ZEROCOPY support)"
+            )
+        if self.skip_rx_copy and not self.has_pr1690:
+            raise FeatureUnavailableError(
+                "--skip-rx-copy", "needs iperf3 PR#1690 (MSG_TRUNC support)"
+            )
+
+    def command_line(self) -> str:
+        """The equivalent real-world command, for logs and examples."""
+        parts = ["iperf3", "-c", "<server>", "-t", str(int(self.duration))]
+        if self.omit:
+            parts += ["-O", str(int(self.omit))]
+        if self.parallel > 1:
+            parts += ["-P", str(self.parallel)]
+        if self.fq_rate_gbps is not None:
+            parts += ["--fq-rate", f"{self.fq_rate_gbps:g}G"]
+        if self.zerocopy == "z":
+            parts += ["--zerocopy=z"]
+        elif self.zerocopy == "sendfile":
+            parts += ["-Z"]
+        if self.skip_rx_copy:
+            parts += ["--skip-rx-copy"]
+        if self.congestion != "cubic":
+            parts += ["-C", self.congestion]
+        if self.json_output:
+            parts += ["-J"]
+        return " ".join(parts)
+
+    def to_flowspecs(self, qdisc: str) -> list[FlowSpec]:
+        """Expand options into per-stream simulator FlowSpecs."""
+        if self.fq_rate_gbps is None:
+            pacing = PacingConfig.unpaced(qdisc=qdisc)
+        else:
+            pacing = PacingConfig.fq_rate_gbps(
+                self.fq_rate_gbps, patched=self.has_pr1728, qdisc=qdisc
+            )
+        return [
+            FlowSpec(
+                pacing=pacing,
+                zerocopy=self.zerocopy == "z",
+                skip_rx_copy=self.skip_rx_copy,
+                cc=self.congestion,
+                label=f"stream-{i}",
+            )
+            for i in range(self.parallel)
+        ]
+
+
+@dataclass(frozen=True)
+class Iperf3Result:
+    """One finished test, wrapping the simulator's RunResult."""
+
+    options: Iperf3Options
+    run: RunResult
+
+    @property
+    def gbps(self) -> float:
+        return self.run.total_gbps
+
+    @property
+    def retransmits(self) -> int:
+        return int(round(self.run.retransmit_segments))
+
+    @property
+    def per_stream_gbps(self) -> np.ndarray:
+        return self.run.per_flow_gbps
+
+    def to_json(self) -> str:
+        """Render an iperf3-compatible ``-J`` document (the subset the
+        paper's analysis pipeline consumes)."""
+        streams = [
+            {
+                "sender": {
+                    "bits_per_second": float(g) * 1e9,
+                    "retransmits": int(
+                        round(self.run.retransmit_segments / len(self.run.per_flow_goodput))
+                    ),
+                }
+            }
+            for g in self.run.per_flow_gbps
+        ]
+        doc = {
+            "start": {
+                "version": f"iperf {self.options.version} (simulated)",
+                "test_start": {
+                    "num_streams": self.options.parallel,
+                    "duration": self.options.duration,
+                    "omit": self.options.omit,
+                },
+            },
+            "end": {
+                "streams": streams,
+                "sum_sent": {
+                    "bits_per_second": self.gbps * 1e9,
+                    "retransmits": self.retransmits,
+                },
+                "sum_received": {
+                    "bits_per_second": self.gbps * 1e9,
+                },
+                "cpu_utilization_percent": {
+                    "host_total": self.run.sender_cpu.total_pct,
+                    "remote_total": self.run.receiver_cpu.total_pct,
+                },
+            },
+        }
+        return json.dumps(doc, indent=2)
+
+    def summary_line(self) -> str:
+        """A human-readable one-liner like iperf3's closing output."""
+        return (
+            f"[SUM] {self.gbps:6.1f} Gbits/sec  retr {self.retransmits:<7d} "
+            f"snd-cpu {self.run.sender_cpu.total_pct:5.1f}%  "
+            f"rcv-cpu {self.run.receiver_cpu.total_pct:5.1f}%"
+        )
+
+
+class Iperf3:
+    """Runs simulated iperf3 tests between two hosts over a path."""
+
+    def __init__(
+        self,
+        sender: Host,
+        receiver: Host,
+        path: NetworkPath,
+        rng: RngFactory | None = None,
+        tick: float = 0.002,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.path = path
+        self.rng = rng or RngFactory(seed=7)
+        self.tick = tick
+
+    def run(self, options: Iperf3Options, rep: int = 0) -> Iperf3Result:
+        options.validate_tool()
+        flows = options.to_flowspecs(qdisc=self.sender.sysctls.default_qdisc)
+        profile = SimProfile(
+            duration=options.duration, tick=self.tick, omit=options.omit
+        )
+        sim = FlowSimulator(
+            self.sender, self.receiver, self.path, flows, profile, self.rng
+        )
+        return Iperf3Result(options=options, run=sim.run(rep=rep))

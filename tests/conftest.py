@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rng import RngFactory
+from repro.tools.harness import HarnessConfig
+
+
+@pytest.fixture()
+def rng_factory() -> RngFactory:
+    return RngFactory(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> HarnessConfig:
+    """Fast harness config for integration tests."""
+    return HarnessConfig(repetitions=2, duration=8.0, omit=2.0, tick=0.004)
+
+
+@pytest.fixture(scope="session")
+def shape_config() -> HarnessConfig:
+    """Slightly longer runs for the paper-shape assertions."""
+    return HarnessConfig(repetitions=2, duration=12.0, omit=3.0, tick=0.004)

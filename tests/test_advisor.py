@@ -1,0 +1,107 @@
+"""Tuning advisor: the paper's recommendations as API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import units
+from repro.host.advisor import advise, recommended_optmem, recommended_pacing_gbps
+from repro.host.sysctl import OPTMEM_1MB
+from repro.testbeds.amlight import AmLightTestbed
+from repro.testbeds.esnet import ESnetTestbed
+from repro.testbeds.profiles import stock_host
+
+
+class TestOptmemSizing:
+    def test_floor_is_1mb(self):
+        assert recommended_optmem(rate_gbps=10, rtt_sec=0.001) == OPTMEM_1MB
+
+    def test_104ms_at_50g_needs_over_3mb(self):
+        rec = recommended_optmem(rate_gbps=50, rtt_sec=0.104)
+        assert rec > 3.4e6  # the paper's 3.25MB plus headroom
+
+    def test_scales_with_bdp(self):
+        a = recommended_optmem(50, 0.054)
+        b = recommended_optmem(50, 0.104)
+        assert b > a
+
+    def test_recommendation_actually_works(self):
+        """Closing the loop: the recommended value reaches the pacing
+        rate in the simulator (the ext-optmem experiment's core)."""
+        from repro.core.rng import RngFactory
+        from repro.tools.iperf3 import Iperf3, Iperf3Options
+
+        rec = recommended_optmem(50, 0.104)
+        tb = AmLightTestbed(kernel="6.5", optmem_max=rec)
+        snd, rcv = tb.host_pair()
+        res = Iperf3(snd, rcv, tb.path("wan104"), rng=RngFactory(1), tick=0.004).run(
+            Iperf3Options(duration=10, omit=3, zerocopy="z", fq_rate_gbps=50,
+                          skip_rx_copy=True)
+        )
+        assert res.gbps == pytest.approx(50, rel=0.05)
+
+
+class TestPacingHeuristic:
+    def test_eight_streams_on_esnet_wan(self):
+        path = ESnetTestbed().path("wan")
+        pace = recommended_pacing_gbps(path, streams=8, nic_gbps=200)
+        assert 15 <= pace <= 25  # paper recommends 15-25 here
+
+    def test_single_stream_amlight_wan(self):
+        path = AmLightTestbed().path("wan54")
+        pace = recommended_pacing_gbps(path, streams=1, nic_gbps=100)
+        assert 45 <= pace <= 60  # paper used 50
+
+    def test_more_streams_lower_rate(self):
+        path = ESnetTestbed().path("wan")
+        assert recommended_pacing_gbps(path, 16, 200) < recommended_pacing_gbps(path, 4, 200)
+
+
+class TestAdvise:
+    def test_stock_host_gets_required_items(self):
+        host = stock_host("h", cpu="intel", nic="cx5", kernel="5.15")
+        report = advise(host, AmLightTestbed().path("wan54"))
+        required = {i.key for i in report.items if i.severity == "required"}
+        assert any("tcp_wmem" in k for k in required)
+        assert "net.core.default_qdisc" in required
+        assert "irqbalance + core pinning" in required
+        assert "kernel cmdline" in required  # iommu=pt
+        # stock 5.15 also gets the upgrade recommendation
+        assert any(i.key == "kernel upgrade" for i in report.items)
+
+    def test_tuned_host_mostly_clean(self):
+        snd, _ = AmLightTestbed(kernel="6.8").host_pair()
+        report = advise(snd, AmLightTestbed().path("wan25"))
+        required = [i for i in report.items if i.severity == "required"]
+        # only the pacing requirement remains (no flow control on path)
+        assert all("fq-rate" in i.key or "iperf3" in i.key for i in required)
+
+    def test_long_path_triggers_optmem_advice(self):
+        snd, _ = AmLightTestbed(kernel="6.8").host_pair()  # 1 MB optmem
+        report = advise(snd, AmLightTestbed().path("wan104"), target_gbps=50)
+        item = report.by_key("net.core.optmem_max")
+        assert int(item.value) > 3_000_000
+
+    def test_flow_control_path_pacing_optional(self):
+        tb = ESnetTestbed()
+        snd, _ = tb.production_host_pair()
+        report = advise(snd, tb.production_path(), streams=8)
+        item = report.by_key("--fq-rate (per stream)")
+        assert item.severity == "optional"
+
+    def test_pacing_above_34g_requires_patched_tool(self):
+        snd, _ = AmLightTestbed(kernel="6.8").host_pair()
+        report = advise(snd, AmLightTestbed().path("wan54"), target_gbps=50)
+        assert any("PR#1728" in i.value for i in report.items)
+
+    def test_bigtcp_conflict_flagged(self):
+        tb = AmLightTestbed(kernel="6.8", big_tcp_size=153600)
+        snd, _ = tb.host_pair()
+        report = advise(snd, tb.path("wan54"))
+        item = report.by_key("BIG TCP + MSG_ZEROCOPY")
+        assert item.severity == "required"
+
+    def test_render(self):
+        host = stock_host("h", cpu="amd", nic="cx7", kernel="5.15")
+        text = advise(host, ESnetTestbed().path("wan")).render()
+        assert "Tuning advice" in text and "[required" in text

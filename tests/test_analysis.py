@@ -1,0 +1,87 @@
+"""Analysis helpers: stats, paper claims, markdown rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.paper import PAPER_CLAIMS, claims_for
+from repro.analysis.report import result_to_markdown
+from repro.analysis.stats import ratio, summarize, within
+from repro.experiments.base import ExperimentResult
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3 and s.mean == 2.0
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.stdev == pytest.approx(1.0)
+
+    def test_summarize_single(self):
+        assert summarize([5.0]).stdev == 0.0
+
+    def test_summarize_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ratio_guard(self):
+        assert ratio(1.0, 0.0) == math.inf
+        assert ratio(6.0, 3.0) == 2.0
+
+    def test_within(self):
+        assert within(104, 100, 0.05)
+        assert not within(110, 100, 0.05)
+        assert within(0.01, 0, 0.05)
+
+
+class TestPaperClaims:
+    def test_registry_nonempty(self):
+        assert len(PAPER_CLAIMS) >= 15
+
+    def test_claims_for(self):
+        fig05 = claims_for("fig05")
+        assert {c.claim_id for c in fig05} >= {"zc-pace-gain", "bigtcp-gain"}
+        assert claims_for("nonexistent") == []
+
+    def test_all_kinds_valid(self):
+        assert {c.kind for c in PAPER_CLAIMS} <= {"ratio", "value", "ordering"}
+
+    def test_value_claims_have_targets(self):
+        for c in PAPER_CLAIMS:
+            if c.kind in ("ratio", "value"):
+                assert c.paper_value is not None, c.claim_id
+
+
+class TestRendering:
+    def mk_result(self):
+        r = ExperimentResult(
+            exp_id="fig05",
+            title="demo",
+            paper_ref="Figure 5",
+            columns=["path", "gbps"],
+        )
+        r.add_row(path="lan", gbps=51.3)
+        r.add_row(path="wan54", gbps=35.0)
+        return r
+
+    def test_render_text(self):
+        text = self.mk_result().render()
+        assert "Figure 5" in text
+        assert "51.3" in text
+
+    def test_markdown(self):
+        md = result_to_markdown(self.mk_result())
+        assert md.startswith("### fig05")
+        assert "| path | gbps |" in md
+        assert "zc-pace-gain" in md  # claims listed
+
+    def test_row_by(self):
+        r = self.mk_result()
+        assert r.row_by(path="wan54")["gbps"] == 35.0
+        with pytest.raises(KeyError):
+            r.row_by(path="mars")
+
+    def test_column(self):
+        assert self.mk_result().column("path") == ["lan", "wan54"]

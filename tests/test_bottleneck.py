@@ -1,0 +1,86 @@
+"""Max-min fair allocation properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.bottleneck import maxmin_allocate
+
+caps_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e10, allow_nan=False),
+    min_size=1,
+    max_size=16,
+).map(np.array)
+
+
+class TestBasics:
+    def test_unconstrained_gives_caps(self):
+        caps = np.array([1.0, 2.0, 3.0])
+        alloc = maxmin_allocate(caps, capacity=100.0)
+        assert np.allclose(alloc, caps)
+
+    def test_equal_split_when_capacity_binds(self):
+        caps = np.array([10.0, 10.0, 10.0])
+        alloc = maxmin_allocate(caps, capacity=15.0)
+        assert np.allclose(alloc, 5.0)
+
+    def test_waterfilling_redistributes(self):
+        caps = np.array([2.0, 10.0, 10.0])
+        alloc = maxmin_allocate(caps, capacity=12.0)
+        # flow 0 capped at 2, the remaining 10 split equally
+        assert np.allclose(alloc, [2.0, 5.0, 5.0])
+
+    def test_zero_capacity(self):
+        alloc = maxmin_allocate(np.array([5.0, 5.0]), capacity=0.0)
+        assert np.allclose(alloc, 0.0)
+
+    def test_empty(self):
+        assert maxmin_allocate(np.array([]), 10.0).size == 0
+
+    def test_weighted_shares(self):
+        caps = np.array([100.0, 100.0])
+        alloc = maxmin_allocate(caps, 30.0, weights=np.array([2.0, 1.0]))
+        assert np.allclose(alloc, [20.0, 10.0])
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            maxmin_allocate(np.array([1.0]), 1.0, weights=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            maxmin_allocate(np.array([1.0]), 1.0, weights=np.array([0.0]))
+
+
+class TestProperties:
+    @given(caps_strategy, st.floats(min_value=0, max_value=1e11))
+    def test_feasibility(self, caps, capacity):
+        alloc = maxmin_allocate(caps, capacity)
+        assert np.all(alloc <= caps + 1e-6)
+        assert alloc.sum() <= capacity + 1e-3
+        assert np.all(alloc >= 0)
+
+    @given(caps_strategy, st.floats(min_value=1e3, max_value=1e11))
+    def test_work_conserving(self, caps, capacity):
+        """Either the capacity is exhausted or every flow got its cap."""
+        alloc = maxmin_allocate(caps, capacity)
+        slack_capacity = capacity - alloc.sum()
+        all_capped = np.all(alloc >= caps - max(1e-6, 1e-9 * caps.max()))
+        assert all_capped or slack_capacity <= max(1e-3, capacity * 1e-9)
+
+    @given(caps_strategy, st.floats(min_value=1e3, max_value=1e11))
+    def test_maxmin_fairness(self, caps, capacity):
+        """No flow can gain without a lower-allocated flow losing: any
+        flow below its cap holds one of the maximal allocations."""
+        alloc = maxmin_allocate(caps, capacity)
+        below_cap = alloc < caps - 1e-6
+        if below_cap.any():
+            top = alloc.max()
+            assert np.all(alloc[below_cap] >= top - max(1e-6, top * 1e-9))
+
+    @given(caps_strategy, st.floats(min_value=1e3, max_value=1e11))
+    def test_symmetric_flows_equal(self, caps, capacity):
+        equal_caps = np.full_like(caps, caps.max() if caps.size else 1.0)
+        alloc = maxmin_allocate(equal_caps, capacity)
+        if alloc.size > 1:
+            assert np.allclose(alloc, alloc[0])

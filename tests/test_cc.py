@@ -1,0 +1,158 @@
+"""Congestion-control algorithms: CUBIC, Reno, BBRv1/v3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tcp.cc import Bbr1, Bbr3, Cubic, Reno, make_cc
+
+MSS = 8960.0
+RTT = 0.05
+
+
+def drive(cc, seconds, rate, rtt=RTT, dt=0.002):
+    """Feed the CC a steady delivery rate for a while."""
+    now = 0.0
+    for _ in range(int(seconds / dt)):
+        now += dt
+        cc.on_tick(now, dt, rate * dt, rtt)
+    return now
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("cubic", Cubic), ("reno", Reno), ("bbr", Bbr1),
+        ("bbr1", Bbr1), ("bbr3", Bbr3), ("CUBIC", Cubic),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_cc(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_cc("vegas")
+
+
+class TestSlowStart:
+    @pytest.mark.parametrize("cls", [Cubic, Reno])
+    def test_doubles_per_rtt(self, cls):
+        cc = cls(mss=MSS)
+        start = cc.cwnd_bytes
+        # deliver exactly one cwnd per RTT for 3 RTTs, tick = RTT
+        now = 0.0
+        for _ in range(3):
+            now += RTT
+            cc.on_tick(now, RTT, cc.cwnd_bytes, RTT)
+        assert cc.cwnd_bytes == pytest.approx(start * 8, rel=0.01)
+
+    def test_slow_start_ends_at_ssthresh(self):
+        cc = Reno(mss=MSS)
+        cc.state.ssthresh_bytes = 40 * MSS
+        drive(cc, 2.0, rate=100 * MSS / RTT)
+        assert not cc.state.in_slow_start
+
+
+class TestLossReaction:
+    def test_cubic_beta(self):
+        cc = Cubic(mss=MSS)
+        drive(cc, 1.0, rate=2000 * MSS / RTT)
+        before = cc.cwnd_bytes
+        assert cc.on_loss(10.0, RTT)
+        assert cc.cwnd_bytes == pytest.approx(before * Cubic.BETA, rel=0.01)
+
+    def test_reno_halves(self):
+        cc = Reno(mss=MSS)
+        drive(cc, 1.0, rate=2000 * MSS / RTT)
+        before = cc.cwnd_bytes
+        assert cc.on_loss(10.0, RTT)
+        assert cc.cwnd_bytes == pytest.approx(before * 0.5, rel=0.01)
+
+    def test_loss_rate_limited_to_one_per_rtt(self):
+        cc = Cubic(mss=MSS)
+        drive(cc, 1.0, rate=2000 * MSS / RTT)
+        assert cc.on_loss(10.0, RTT)
+        assert not cc.on_loss(10.0 + RTT / 4, RTT)  # too soon
+        assert cc.on_loss(10.0 + 1.5 * RTT, RTT)
+        assert cc.loss_events == 2
+
+    def test_bbr1_ignores_loss(self):
+        cc = Bbr1(mss=MSS)
+        drive(cc, 1.0, rate=2000 * MSS / RTT)
+        before = cc.cwnd_bytes
+        cc.on_loss(10.0, RTT)  # counted but no reduction
+        assert cc.cwnd_bytes == pytest.approx(before)
+        assert cc.loss_events == 1
+
+    def test_bbr3_reduces_on_loss(self):
+        cc = Bbr3(mss=MSS)
+        drive(cc, 2.0, rate=2000 * MSS / RTT)
+        before = cc.cwnd_bytes
+        cc.on_loss(10.0, RTT)
+        assert cc.cwnd_bytes < before
+
+
+class TestCubicDynamics:
+    def test_concave_recovery_toward_wmax(self):
+        """After a loss, CUBIC climbs back toward W_max and plateaus."""
+        cc = Cubic(mss=MSS)
+        drive(cc, 1.0, rate=4000 * MSS / RTT)
+        w_loss = cc.cwnd_bytes
+        cc.on_loss(1.0, RTT)
+        # long recovery drive
+        drive(cc, 30.0, rate=4000 * MSS / RTT)
+        assert cc.cwnd_bytes >= w_loss * 0.95
+
+    def test_app_limited_freezes_clock(self):
+        cc = Cubic(mss=MSS)
+        drive(cc, 1.0, rate=2000 * MSS / RTT)
+        cc.on_loss(1.0, RTT)
+        w = cc.cwnd_bytes
+        # app-limited for 10 s: the cubic clock must not advance
+        now = 1.0
+        for _ in range(1000):
+            now += 0.01
+            cc.on_app_limited(now, 0.01)
+        assert cc.cwnd_bytes == pytest.approx(w)
+        # resume: growth picks up from where it left off, not a jump
+        cc.on_tick(now + 0.002, 0.002, 2000 * MSS * 0.002 / RTT, RTT)
+        assert cc.cwnd_bytes < w * 1.05
+
+    def test_clamp(self):
+        cc = Cubic(mss=MSS)
+        drive(cc, 1.0, rate=5000 * MSS / RTT)
+        cc.clamp(50 * MSS)
+        assert cc.cwnd_bytes == 50 * MSS
+
+
+class TestBbrPhases:
+    def test_startup_then_probe(self):
+        cc = Bbr1(mss=MSS)
+        rate = 1000 * MSS / RTT
+        now = 0.0
+        for _ in range(int(5.0 / 0.01)):
+            now += 0.01
+            cc.on_tick(now, 0.01, rate * 0.01, RTT)
+        assert cc.phase == "PROBE_BW"
+        assert cc.btl_bw == pytest.approx(rate, rel=0.05)
+
+    def test_pacing_rate_above_zero(self):
+        cc = Bbr1(mss=MSS)
+        rate = 1000 * MSS / RTT
+        drive(cc, 5.0, rate, dt=0.01)
+        pr = cc.pacing_rate(RTT)
+        assert pr is not None and pr > 0
+
+    def test_bbr_needs_no_cwnd_validation(self):
+        assert Bbr1.needs_cwnd_validation is False
+        assert Cubic.needs_cwnd_validation is True
+
+    def test_rt_prop_tracks_minimum(self):
+        cc = Bbr1(mss=MSS)
+        cc.on_tick(0.01, 0.01, 1e6, 0.05)
+        cc.on_tick(0.02, 0.01, 1e6, 0.03)
+        cc.on_tick(0.03, 0.01, 1e6, 0.08)
+        assert cc.rt_prop == pytest.approx(0.03)
+
+    def test_loss_based_pacing_none(self):
+        assert Cubic(mss=MSS).pacing_rate(RTT) is None
+        assert Reno(mss=MSS).pacing_rate(RTT) is None

@@ -1,0 +1,98 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_iperf3_defaults(self):
+        args = build_parser().parse_args(["iperf3"])
+        assert args.testbed == "amlight" and args.parallel == 1
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(["experiment", "fig05", "--paper"])
+        assert args.exp_id == "fig05" and args.paper
+
+
+class TestIperf3Command:
+    def test_text_output(self, capsys):
+        rc = main([
+            "iperf3", "--path", "lan", "-t", "6",
+            "--zerocopy", "--fq-rate", "30",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Gbits/sec" in out
+        assert "--zerocopy=z" in out
+
+    def test_json_output(self, capsys):
+        rc = main(["iperf3", "--path", "lan", "-t", "6", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["end"]["sum_sent"]["bits_per_second"] > 0
+
+    def test_esnet_testbed(self, capsys):
+        rc = main(["iperf3", "--testbed", "esnet", "--path", "wan", "-t", "6"])
+        assert rc == 0
+
+    def test_unknown_path_is_clean_error(self, capsys):
+        rc = main(["iperf3", "--path", "wan999", "-t", "6"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        rc = main(["experiment"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig05" in out and "tab3" in out
+
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "fig99"])
+        assert rc == 2
+
+    def test_run_and_markdown(self, capsys, tmp_path, monkeypatch):
+        # shrink the config for test speed
+        import repro.cli as cli
+        from repro.tools.harness import HarnessConfig
+
+        monkeypatch.setattr(
+            HarnessConfig, "bench",
+            classmethod(lambda cls: HarnessConfig(
+                repetitions=2, duration=6.0, omit=1.5, tick=0.005)),
+        )
+        md = tmp_path / "out.md"
+        rc = main(["experiment", "fig12", "--markdown", str(md)])
+        assert rc == 0
+        assert "Figure 12" in capsys.readouterr().out
+        assert md.read_text().startswith("### fig12")
+
+
+class TestAdviseCommand:
+    def test_tuned_host(self, capsys):
+        rc = main(["advise", "--path", "wan104", "--target", "50"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "optmem_max" in out
+
+    def test_stock_host(self, capsys):
+        rc = main(["advise", "--stock", "--kernel", "5.15", "--path", "wan54"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[required" in out
+        assert "irqbalance" in out
+
+    def test_esnet_production_streams(self, capsys):
+        rc = main(["advise", "--testbed", "esnet", "--path", "wan",
+                   "--streams", "8"])
+        assert rc == 0

@@ -1,0 +1,112 @@
+"""CPU specs and NUMA placement model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.host.cpu import CPUS, EPYC_73F3, XEON_6346
+from repro.host.numa import CorePlacement, NumaTopology
+
+
+class TestCpuSpec:
+    def test_catalog(self):
+        assert CPUS["intel"] is XEON_6346
+        assert CPUS["amd"] is EPYC_73F3
+
+    def test_paper_hosts_are_dual_socket_32_core(self):
+        for spec in (XEON_6346, EPYC_73F3):
+            assert spec.sockets == 2
+            assert spec.total_cores == 32
+
+    def test_clocks_match_paper(self):
+        assert (XEON_6346.base_ghz, XEON_6346.max_ghz) == (3.1, 3.6)
+        assert (EPYC_73F3.base_ghz, EPYC_73F3.max_ghz) == (3.5, 4.0)
+
+    def test_avx512_only_on_intel(self):
+        assert XEON_6346.avx512 and not EPYC_73F3.avx512
+
+    def test_intel_copies_cheaper_despite_lower_clock(self):
+        """The AVX-512 copy advantage behind the 55-vs-42 Gbps gap."""
+        assert XEON_6346.copy_cyc_per_byte < EPYC_73F3.copy_cyc_per_byte
+
+    def test_cycles_per_second(self):
+        assert XEON_6346.cycles_per_second() == pytest.approx(3.6e9)
+        assert XEON_6346.cycles_per_second(turbo=False) == pytest.approx(3.1e9)
+
+    def test_with_overrides(self):
+        faster = XEON_6346.with_overrides(max_ghz=4.2)
+        assert faster.max_ghz == 4.2
+        assert XEON_6346.max_ghz == 3.6  # original untouched
+
+    def test_invalid_arch_rejected(self):
+        with pytest.raises(ValueError):
+            XEON_6346.with_overrides(arch="sparc")
+
+
+class TestNumaTopology:
+    def test_node_of_is_node_major(self):
+        topo = NumaTopology(cpu=XEON_6346)
+        assert topo.node_of(0) == 0
+        assert topo.node_of(15) == 0
+        assert topo.node_of(16) == 1
+        assert topo.node_of(31) == 1
+
+    def test_node_of_out_of_range(self):
+        topo = NumaTopology(cpu=XEON_6346)
+        with pytest.raises(ConfigurationError):
+            topo.node_of(32)
+
+    def test_cores_of_node(self):
+        topo = NumaTopology(cpu=XEON_6346)
+        assert topo.cores_of_node(0) == list(range(16))
+        assert topo.cores_of_node(1) == list(range(16, 32))
+        with pytest.raises(ConfigurationError):
+            topo.cores_of_node(2)
+
+
+class TestCorePlacement:
+    def test_paper_pinned_layout(self):
+        """set_irq_affinity_cpulist.sh 0-7; numactl -C 8-15."""
+        topo = NumaTopology(cpu=XEON_6346)
+        p = CorePlacement.paper_pinned(topo)
+        assert p.irq_cores == tuple(range(8))
+        assert p.app_cores == tuple(range(8, 16))
+        assert not p.overlap
+
+    def test_pinned_penalties_are_unity(self):
+        topo = NumaTopology(cpu=XEON_6346)
+        p = CorePlacement.paper_pinned(topo)
+        assert p.irq_penalty(topo) == pytest.approx(1.0)
+        assert p.app_penalty(topo) == pytest.approx(1.0)
+
+    def test_irqbalanced_varies_and_penalizes(self):
+        topo = NumaTopology(cpu=XEON_6346)
+        rng = np.random.default_rng(0)
+        penalties = [
+            CorePlacement.irqbalanced(topo, rng).app_penalty(topo)
+            for _ in range(50)
+        ]
+        assert max(penalties) > 1.0  # some placements land badly
+        assert min(penalties) >= 1.0
+        assert len(set(round(p, 6) for p in penalties)) > 3  # actually varies
+
+    def test_remote_node_penalty(self):
+        topo = NumaTopology(cpu=XEON_6346)
+        wrong_node = CorePlacement(
+            irq_cores=tuple(range(16, 24)), app_cores=tuple(range(24, 32))
+        )
+        assert wrong_node.irq_penalty(topo) == pytest.approx(topo.remote_memory_penalty)
+        assert wrong_node.app_penalty(topo) == pytest.approx(topo.remote_memory_penalty)
+
+    def test_shared_core_penalty_compounds(self):
+        topo = NumaTopology(cpu=XEON_6346)
+        shared = CorePlacement(irq_cores=(0,), app_cores=(0,))
+        assert shared.app_penalty(topo) == pytest.approx(topo.shared_core_penalty)
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorePlacement(irq_cores=(), app_cores=(1,))
+        with pytest.raises(ConfigurationError):
+            CorePlacement(irq_cores=(0,), app_cores=())

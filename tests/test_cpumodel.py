@@ -1,0 +1,193 @@
+"""CPU cost model: anchors, closed-form solver, aggregate ceilings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.host.machine import Host
+from repro.host.numa import CorePlacement
+from repro.host.sysctl import OPTMEM_1MB, OPTMEM_BEST_WAN, OPTMEM_DEFAULT, Sysctls
+from repro.host.tuning import HostTuning
+from repro.sim.cpumodel import CpuCostModel
+from repro.tcp.segment import SegmentGeometry
+from repro.testbeds.profiles import paper_host
+
+
+def make_model(
+    cpu="intel",
+    nic="cx5",
+    kernel="6.8",
+    zerocopy=False,
+    skip_rx_copy=False,
+    optmem=OPTMEM_1MB,
+    mtu=9000,
+    gso=65536.0,
+):
+    host = paper_host("h", cpu=cpu, nic=nic, kernel=kernel, optmem_max=optmem, mtu=mtu)
+    geom = SegmentGeometry(mtu=mtu, gso_size=gso, gro_size=gso)
+    placement = CorePlacement.paper_pinned(host.numa)
+    return CpuCostModel(
+        host, geom, placement, zerocopy=zerocopy, skip_rx_copy=skip_rx_copy
+    )
+
+
+class TestCalibrationAnchors:
+    """The single-stream anchors the whole reproduction hangs on."""
+
+    def test_intel_lan_sender_near_55g(self):
+        m = make_model()
+        limit = m.sender_cpu_rate_limit(rtt=0.0002, footprint_bytes=4e6)
+        assert units.to_gbps(limit) == pytest.approx(52, rel=0.08)
+
+    def test_amd_lan_sender_near_42g(self):
+        m = make_model(cpu="amd", nic="cx7")
+        limit = m.sender_cpu_rate_limit(rtt=0.0001, footprint_bytes=4e6)
+        assert units.to_gbps(limit) == pytest.approx(41, rel=0.08)
+
+    def test_intel_wan_default_sender_mid_30s(self):
+        m = make_model()
+        limit = m.sender_cpu_rate_limit(rtt=0.054, footprint_bytes=250e6)
+        assert 30 < units.to_gbps(limit) < 40
+
+    def test_amd_wan_default_much_slower(self):
+        """Fig 6: AMD default WAN ~40-50% below its LAN."""
+        m = make_model(cpu="amd", nic="cx7")
+        lan = m.sender_cpu_rate_limit(rtt=0.0001, footprint_bytes=4e6)
+        wan = m.sender_cpu_rate_limit(rtt=0.047, footprint_bytes=150e6)
+        assert 0.45 < wan / lan < 0.65
+
+    def test_receiver_limits(self):
+        m = make_model()
+        intel_rx = m.receiver_cpu_rate_limit(rtt=0.0002)
+        assert units.to_gbps(intel_rx) == pytest.approx(55, rel=0.10)
+        amd = make_model(cpu="amd", nic="cx7")
+        amd_rx = amd.receiver_cpu_rate_limit(rtt=0.0001)
+        assert units.to_gbps(amd_rx) == pytest.approx(44, rel=0.10)
+
+
+class TestZerocopySolver:
+    def test_closed_form_is_fixed_point(self):
+        """The closed-form saturation rate must satisfy
+        rate * cost(rate) == core budget."""
+        m = make_model(zerocopy=True)
+        for rtt in (0.0002, 0.025, 0.054, 0.104):
+            limit = m.sender_cpu_rate_limit(rtt=rtt, footprint_bytes=1.5 * limit_guess(rtt))
+            costs = m.sender_costs(limit, rtt, 1.5 * limit_guess(rtt))
+            spent = limit * costs.app_cyc_per_byte
+            assert spent == pytest.approx(m.core_budget_cyc_per_sec, rel=0.02)
+
+    def test_zerocopy_much_cheaper_when_covered(self):
+        plain = make_model()
+        zc = make_model(zerocopy=True, optmem=OPTMEM_BEST_WAN)
+        rtt, foot = 0.054, 300e6
+        assert zc.sender_cpu_rate_limit(rtt, foot) > 1.5 * plain.sender_cpu_rate_limit(rtt, foot)
+
+    def test_default_optmem_worse_than_no_zerocopy(self):
+        """Fig. 9's warning: zerocopy with 20 KB optmem burns MORE CPU."""
+        plain = make_model()
+        starved = make_model(zerocopy=True, optmem=OPTMEM_DEFAULT)
+        rtt, foot = 0.054, 300e6
+        rate = units.gbps(20)
+        assert (
+            starved.sender_costs(rate, rtt, foot).app_cyc_per_byte
+            > plain.sender_costs(rate, rtt, foot).app_cyc_per_byte
+        )
+
+    def test_more_optmem_monotone(self):
+        rtt, foot = 0.104, 400e6
+        limits = [
+            make_model(zerocopy=True, optmem=om).sender_cpu_rate_limit(rtt, foot)
+            for om in (OPTMEM_DEFAULT, OPTMEM_1MB, OPTMEM_BEST_WAN)
+        ]
+        assert limits[0] < limits[1] < limits[2]
+
+    @given(st.floats(min_value=0.0005, max_value=0.2))
+    def test_limit_positive_and_finite(self, rtt):
+        m = make_model(zerocopy=True)
+        limit = m.sender_cpu_rate_limit(rtt, footprint_bytes=1e8)
+        assert 0 < limit < 1e12
+
+
+def limit_guess(rtt: float) -> float:
+    """Rough inflight bytes for fixed-point checking."""
+    return units.gbps(45) * rtt + 8e6
+
+
+class TestCacheFactor:
+    def test_lan_footprint_near_one(self):
+        m = make_model()
+        assert m.cache_factor(2e6) == pytest.approx(1.0, abs=0.01)
+
+    def test_wan_footprint_saturates(self):
+        m = make_model()
+        assert m.cache_factor(500e6) > 1.4
+
+    def test_amd_penalty_steeper(self):
+        intel = make_model()
+        amd = make_model(cpu="amd", nic="cx7")
+        assert amd.cache_factor(300e6) > intel.cache_factor(300e6)
+
+    @given(st.floats(min_value=0, max_value=1e10))
+    def test_monotone_nondecreasing(self, foot):
+        m = make_model()
+        assert m.cache_factor(foot) <= m.cache_factor(foot * 2 + 1)
+
+
+class TestBigTcpEffect:
+    def test_bigger_gso_cheaper_sender(self):
+        small = make_model()
+        big = make_model(gso=153600.0)
+        rtt, foot = 0.054, 250e6
+        gain = big.sender_cpu_rate_limit(rtt, foot) / small.sender_cpu_rate_limit(rtt, foot)
+        assert 1.05 < gain < 1.25  # paper: up to +16%
+
+
+class TestSkipRxCopy:
+    def test_skip_rx_copy_removes_app_cost(self):
+        normal = make_model()
+        skipped = make_model(skip_rx_copy=True)
+        rate = units.gbps(40)
+        a = normal.receiver_costs(rate, 0.054).app_cyc_per_byte
+        b = skipped.receiver_costs(rate, 0.054).app_cyc_per_byte
+        assert b < a / 5
+
+
+class TestHwGro:
+    def test_hw_gro_helps_most_at_1500_mtu(self):
+        soft_9k = make_model(cpu="amd", nic="cx7", kernel="6.8", mtu=9000)
+        hard_9k = make_model(cpu="amd", nic="cx7", kernel="6.11", mtu=9000)
+        soft_15 = make_model(cpu="amd", nic="cx7", kernel="6.8", mtu=1500)
+        hard_15 = make_model(cpu="amd", nic="cx7", kernel="6.11", mtu=1500)
+        gain_9k = hard_9k.receiver_cpu_rate_limit(0.0001) / soft_9k.receiver_cpu_rate_limit(0.0001)
+        gain_15 = hard_15.receiver_cpu_rate_limit(0.0001) / soft_15.receiver_cpu_rate_limit(0.0001)
+        assert gain_15 > gain_9k >= 1.0
+        assert gain_15 > 1.8  # paper: +160% at 1500B
+
+
+class TestAggregates:
+    def test_zerocopy_raises_tx_ceiling(self):
+        plain = make_model()
+        zc = make_model(zerocopy=True)
+        assert zc.aggregate_tx_ceiling() > plain.aggregate_tx_ceiling()
+
+    def test_amd_aggregate_far_above_intel(self):
+        intel = make_model()
+        amd = make_model(cpu="amd", nic="cx7")
+        assert amd.aggregate_tx_ceiling() > 2 * intel.aggregate_tx_ceiling()
+
+    def test_esnet_lan_aggregate_anchor(self):
+        """Table I: unpaced 8-flow LAN ~166 Gbps on kernel 5.15."""
+        m = make_model(cpu="amd", nic="cx7", kernel="5.15")
+        assert units.to_gbps(m.aggregate_tx_ceiling()) == pytest.approx(166, rel=0.06)
+
+    def test_iommu_translated_halves_aggregate(self):
+        host = paper_host("h", cpu="amd", nic="cx7", kernel="5.15")
+        host_no_pt = host.set(tuning=host.tuning.set(iommu_passthrough=False))
+        geom = SegmentGeometry(mtu=9000)
+        placement = CorePlacement.paper_pinned(host.numa)
+        with_pt = CpuCostModel(host, geom, placement).aggregate_tx_ceiling()
+        without = CpuCostModel(host_no_pt, geom, placement).aggregate_tx_ceiling()
+        assert with_pt / without == pytest.approx(2.2, rel=0.05)

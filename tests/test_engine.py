@@ -1,0 +1,140 @@
+"""Discrete-event engine semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.errors import SimulationError
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        eng = Engine()
+        log = []
+        eng.schedule(2.0, lambda: log.append("b"))
+        eng.schedule(1.0, lambda: log.append("a"))
+        eng.schedule(3.0, lambda: log.append("c"))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        eng = Engine()
+        log = []
+        for name in "abc":
+            eng.schedule(1.0, lambda n=name: log.append(n))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_priority_beats_schedule_order(self):
+        eng = Engine()
+        log = []
+        eng.schedule(1.0, lambda: log.append("low"), priority=5)
+        eng.schedule(1.0, lambda: log.append("high"), priority=0)
+        eng.run()
+        assert log == ["high", "low"]
+
+    def test_call_in_relative(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(5.0, lambda: eng.call_in(2.5, lambda: seen.append(eng.now)))
+        eng.run()
+        assert seen == [7.5]
+
+    def test_cannot_schedule_in_past(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule(0.5, lambda: None)
+
+    def test_nan_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule(float("nan"), lambda: None)
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.call_in(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        log = []
+        ev = eng.schedule(1.0, lambda: log.append("x"))
+        ev.cancel()
+        eng.run()
+        assert log == []
+
+    def test_pending_excludes_cancelled(self):
+        eng = Engine()
+        ev = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.pending == 2
+        ev.cancel()
+        assert eng.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_advances_clock(self):
+        eng = Engine()
+        eng.schedule(10.0, lambda: None)
+        eng.run(until=5.0)
+        assert eng.now == 5.0
+        assert eng.pending == 1
+        eng.run()
+        assert eng.now == 10.0
+
+    def test_run_resumes_seamlessly(self):
+        eng = Engine()
+        log = []
+        eng.schedule(3.0, lambda: log.append(eng.now))
+        eng.run(until=1.0)
+        eng.run(until=4.0)
+        assert log == [3.0]
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def reschedule():
+            eng.call_in(0.1, reschedule)
+
+        eng.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            eng.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_not_reentrant(self):
+        eng = Engine()
+        errors = []
+
+        def nested():
+            try:
+                eng.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        eng.schedule(1.0, nested)
+        eng.run()
+        assert len(errors) == 1
+
+    def test_reset(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        eng.reset()
+        assert eng.now == 0.0 and eng.pending == 0
+        eng.schedule(0.5, lambda: None)  # past is legal again
+        eng.run()
+        assert eng.now == 0.5
+
+    def test_processed_counter(self):
+        eng = Engine()
+        for i in range(5):
+            eng.schedule(float(i), lambda: None)
+        eng.run()
+        assert eng.processed == 5

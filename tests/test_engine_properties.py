@@ -1,0 +1,67 @@
+"""Property-based tests of the event engine and max-min invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.engine import Engine
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=60))
+def test_events_always_fire_in_time_order(times):
+    eng = Engine()
+    fired = []
+    for t in times:
+        eng.schedule(t, lambda t=t: fired.append(t))
+    eng.run()
+    assert fired == sorted(times)
+    assert len(fired) == len(times)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1,
+                max_size=40))
+def test_clock_is_monotonic(delays):
+    eng = Engine()
+    observed = []
+
+    def chain(remaining):
+        observed.append(eng.now)
+        if remaining:
+            eng.call_in(remaining[0], lambda: chain(remaining[1:]))
+
+    eng.schedule(0.0, lambda: chain(delays))
+    eng.run()
+    assert observed == sorted(observed)
+    assert eng.now == sum(delays)  # total elapsed matches the chain
+
+
+@given(
+    st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                       st.integers(min_value=0, max_value=5)),
+             min_size=2, max_size=40)
+)
+def test_priority_within_same_time(items):
+    """At identical times, lower priority values run first."""
+    eng = Engine()
+    fired = []
+    for t, prio in items:
+        eng.schedule(t, lambda t=t, p=prio: fired.append((t, p)), priority=prio)
+    eng.run()
+    assert fired == sorted(fired, key=lambda x: (x[0], x[1]))
+
+
+@given(st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30))
+def test_cancellation_exactness(n_keep, n_cancel):
+    eng = Engine()
+    fired = []
+    keep = [eng.schedule(float(i), lambda i=i: fired.append(i)) for i in range(n_keep)]
+    cancel = [
+        eng.schedule(1000.0 + i, lambda: fired.append(-1)) for i in range(n_cancel)
+    ]
+    for ev in cancel:
+        ev.cancel()
+    eng.run()
+    assert len(fired) == n_keep
+    assert -1 not in fired

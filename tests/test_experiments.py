@@ -1,0 +1,104 @@
+"""Experiment framework: registry coverage and structural validity.
+
+Every registered experiment runs once at the quick config and must
+produce well-formed rows.  The per-artifact *shape* claims live in
+test_paper_shapes.py; these tests are about the framework contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments import REGISTRY, all_experiment_ids, run_experiment
+from repro.tools.harness import HarnessConfig
+
+QUICK = HarnessConfig(repetitions=2, duration=6.0, omit=1.5, tick=0.005)
+
+#: Paper artifacts that must all be covered by the registry.
+REQUIRED_ARTIFACTS = {
+    "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+    "fig10", "fig11", "fig12", "fig13",
+    "tab1", "tab2", "tab3",
+}
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        assert REQUIRED_ARTIFACTS <= set(REGISTRY)
+
+    def test_extras_present(self):
+        assert {"cc", "fw-hwgro", "fw-combo", "var"} <= set(REGISTRY)
+
+    def test_ids_unique_and_ordered(self):
+        ids = all_experiment_ids()
+        assert len(ids) == len(set(ids))
+        assert ids[0] == "fig04"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_metadata_complete(self):
+        for exp_id, cls in REGISTRY.items():
+            assert cls.exp_id == exp_id
+            assert cls.title and cls.paper_ref and cls.expectation, exp_id
+
+
+# Run the cheap experiments end to end; the expensive multi-config ones
+# are exercised by the benchmarks (and by test_paper_shapes for claims).
+CHEAP_EXPERIMENTS = ["fig06", "fig08", "fig12", "tab3", "var", "pit-fqrate", "pit-iommu"]
+
+
+@pytest.mark.parametrize("exp_id", CHEAP_EXPERIMENTS)
+def test_experiment_runs_and_is_well_formed(exp_id):
+    result = run_experiment(exp_id, QUICK)
+    assert result.exp_id == exp_id
+    assert result.rows, "no rows produced"
+    for row in result.rows:
+        missing = [c for c in result.columns if c not in row]
+        assert not missing, f"row missing columns {missing}"
+    text = result.render()
+    assert result.paper_ref in text
+
+
+def test_fig04_vm_equivalence_quick():
+    result = run_experiment("fig04", QUICK)
+    bare = result.row_by(path="wan54", vm_mode="baremetal", test="default")["gbps"]
+    tuned = result.row_by(path="wan54", vm_mode="tuned", test="default")["gbps"]
+    untuned = result.row_by(path="wan54", vm_mode="untuned", test="default")["gbps"]
+    assert tuned == pytest.approx(bare, rel=0.06)
+    assert untuned < 0.7 * bare
+
+
+def test_future_combo_runs():
+    result = run_experiment("fw-combo", QUICK)
+    refused = result.row_by(kernel="6.8 stock")
+    assert "refused" in refused["note"]
+    combo = result.row_by(config="bigtcp+zc+pace65")
+    base = result.row_by(config="zc+pace50")
+    assert combo["gbps"] > base["gbps"]
+
+
+def test_markdown_roundtrip():
+    from repro.analysis.report import result_to_markdown
+
+    result = run_experiment("fig12", QUICK)
+    md = result_to_markdown(result)
+    assert "fig12" in md and "| kernel |" in md.replace("  ", " ")
+
+
+def test_ablation_cache_attributes_wan_gap():
+    result = run_experiment("abl-cache", QUICK)
+    real = result.row_by(model="calibrated", path="wan54")["gbps"]
+    ablated = result.row_by(model="no-cache-penalty", path="wan54")["gbps"]
+    assert ablated > real
+
+
+def test_extension_400g_structure():
+    result = run_experiment("ext-400g", QUICK)
+    assert {row["matrix"] for row in result.rows} == {
+        "8 x 25G", "20 x 20G", "10 x 40G"
+    }
+    for row in result.rows:
+        assert 0 < row["gbps"] <= row["attempted"] * 1.02

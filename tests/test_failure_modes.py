@@ -1,0 +1,138 @@
+"""Failure injection and misconfiguration scenarios.
+
+The paper is largely a catalogue of ways to get 100G tuning wrong;
+these tests drive each failure mode end to end and assert the simulator
+degrades the way the paper says real systems do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RngFactory
+from repro.host.sysctl import Sysctls
+from repro.sim.flowsim import FlowSimulator, FlowSpec, SimProfile
+from repro.tcp.pacing import PacingConfig
+from repro.testbeds.amlight import AmLightTestbed
+from repro.tools.iperf3 import Iperf3, Iperf3Options
+
+PROFILE = SimProfile(duration=8.0, tick=0.004, omit=2.0)
+
+
+def run(snd, rcv, path, flows, seed=3):
+    return FlowSimulator(snd, rcv, path, flows, PROFILE, RngFactory(seed)).run()
+
+
+@pytest.fixture(scope="module")
+def amlight():
+    return AmLightTestbed(kernel="6.8")
+
+
+class TestMisconfigurations:
+    def test_qdisc_burstiness_ordering(self, amlight):
+        """fq pacing is perfectly smooth; fq_codel's internal pacing
+        leaves residual bursts; no pacing at all is worst.  End to end
+        on the 104 ms path the retransmit/goodput ordering must follow
+        (ties allowed: the buffer can absorb codel's residual trains)."""
+        snd, rcv = amlight.host_pair()
+        snd_codel = snd.set(sysctls=snd.sysctls.set(default_qdisc="fq_codel"))
+        path = amlight.path("wan104")
+        fq = run(snd, rcv, path, [FlowSpec(
+            pacing=PacingConfig.fq_rate_gbps(50), zerocopy=True)])
+        codel = run(snd_codel, rcv, path, [FlowSpec(
+            pacing=PacingConfig.fq_rate_gbps(50, qdisc="fq_codel"), zerocopy=True)])
+        unpaced = run(snd, rcv, path, [FlowSpec(zerocopy=True)])
+        assert fq.retransmit_segments == 0
+        assert fq.retransmit_segments <= codel.retransmit_segments
+        assert codel.retransmit_segments <= unpaced.retransmit_segments
+        assert unpaced.total_gbps <= codel.total_gbps * 1.02
+        assert codel.total_gbps <= fq.total_gbps * 1.02
+
+    def test_small_rmem_on_receiver_caps_throughput(self, amlight):
+        snd, rcv = amlight.host_pair()
+        rcv_small = rcv.set(sysctls=Sysctls())  # stock 6 MB rmem
+        res = run(snd, rcv_small, amlight.path("wan54"), [FlowSpec()])
+        assert res.total_gbps < 1.0  # ~3 MB window / 54 ms
+
+    def test_untuned_vm_loses_half(self):
+        tuned = AmLightTestbed(kernel="6.8", vm_mode="tuned")
+        untuned = AmLightTestbed(kernel="6.8", vm_mode="untuned")
+        s1, r1 = tuned.host_pair()
+        s2, r2 = untuned.host_pair()
+        good = run(s1, r1, tuned.path("wan54"), [FlowSpec()])
+        bad = run(s2, r2, untuned.path("wan54"), [FlowSpec()])
+        assert bad.total_gbps < 0.7 * good.total_gbps
+
+    def test_smt_and_governor_cost_throughput(self, amlight):
+        snd, rcv = amlight.host_pair()
+        lazy_tuning = snd.tuning.set(smt_enabled=True, governor="schedutil")
+        snd_lazy = snd.set(tuning=lazy_tuning)
+        rcv_lazy = rcv.set(tuning=lazy_tuning)
+        good = run(snd, rcv, amlight.path("lan"), [FlowSpec()])
+        lazy = run(snd_lazy, rcv_lazy, amlight.path("lan"), [FlowSpec()])
+        assert lazy.total_gbps < 0.85 * good.total_gbps
+
+    def test_wrong_numa_node_placement(self, amlight):
+        from repro.host.numa import CorePlacement
+
+        snd, rcv = amlight.host_pair()
+        wrong = CorePlacement(
+            irq_cores=tuple(range(16, 24)), app_cores=tuple(range(24, 32)),
+            label="wrong-node",
+        )
+        snd_wrong = snd.set(placement=wrong)
+        rcv_wrong = rcv.set(placement=wrong)
+        good = run(snd, rcv, amlight.path("lan"), [FlowSpec()])
+        bad = run(snd_wrong, rcv_wrong, amlight.path("lan"), [FlowSpec()])
+        assert bad.total_gbps < 0.85 * good.total_gbps
+
+    def test_unpatched_iperf3_cannot_pace_fast(self, amlight):
+        snd, rcv = amlight.host_pair()
+        tool = Iperf3(snd, rcv, amlight.path("wan54"), rng=RngFactory(1), tick=0.004)
+        res = tool.run(Iperf3Options(
+            duration=8, omit=2, zerocopy="z", fq_rate_gbps=50, has_pr1728=False,
+        ))
+        assert res.gbps < 17  # wrapped to ~15.6
+
+
+class TestDegenerateInputs:
+    def test_bad_profile(self):
+        with pytest.raises(ConfigurationError):
+            SimProfile(duration=1.0, tick=0.0, omit=0.5)
+        with pytest.raises(ConfigurationError):
+            SimProfile(duration=1.0, tick=0.01, omit=2.0)
+
+    def test_tiny_pacing_rate_still_converges(self, amlight):
+        snd, rcv = amlight.host_pair()
+        res = run(snd, rcv, amlight.path("lan"),
+                  [FlowSpec(pacing=PacingConfig.fq_rate_gbps(0.1))])
+        assert res.total_gbps == pytest.approx(0.1, rel=0.1)
+
+    def test_many_flows_share_cores(self, amlight):
+        """More flows than app cores: aggregate stays bounded, shares
+        stay roughly even (paced)."""
+        snd, rcv = amlight.host_pair()
+        flows = [FlowSpec(pacing=PacingConfig.fq_rate_gbps(2)) for _ in range(16)]
+        res = run(snd, rcv, amlight.path("lan"), flows)
+        assert res.total_gbps == pytest.approx(32.0, rel=0.06)
+
+    def test_zero_rtt_lan_is_stable(self, amlight):
+        """Sub-tick RTT must not blow up the window math."""
+        snd, rcv = amlight.host_pair()
+        import dataclasses
+
+        path = dataclasses.replace(amlight.path("lan"), rtt_sec=1e-5)
+        res = run(snd, rcv, path, [FlowSpec()])
+        assert 20 < res.total_gbps < 101
+
+    def test_mixed_flow_configs(self, amlight):
+        """Heterogeneous flows coexist: one paced zerocopy + one default."""
+        snd, rcv = amlight.host_pair()
+        flows = [
+            FlowSpec(pacing=PacingConfig.fq_rate_gbps(20), zerocopy=True),
+            FlowSpec(),
+        ]
+        res = run(snd, rcv, amlight.path("wan54"), flows)
+        assert res.per_flow_gbps[0] == pytest.approx(20, rel=0.08)
+        assert res.per_flow_gbps[1] > 5

@@ -1,0 +1,144 @@
+"""Flow simulator integration behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.core.errors import ConfigurationError, FeatureUnavailableError
+from repro.core.rng import RngFactory
+from repro.sim.flowsim import FlowSimulator, FlowSpec, SimProfile
+from repro.tcp.pacing import PacingConfig
+from repro.testbeds.amlight import AmLightTestbed
+from repro.testbeds.esnet import ESnetTestbed
+
+PROFILE = SimProfile(duration=8.0, tick=0.004, omit=2.0)
+
+
+def amlight_sim(path="wan54", flows=None, kernel="6.8", seed=5, **tb_kw):
+    tb = AmLightTestbed(kernel=kernel, **tb_kw)
+    snd, rcv = tb.host_pair()
+    return FlowSimulator(
+        snd, rcv, tb.path(path), flows or [FlowSpec()], PROFILE, RngFactory(seed)
+    )
+
+
+class TestBasicConvergence:
+    def test_paced_flow_hits_pacing_rate(self):
+        sim = amlight_sim(flows=[
+            FlowSpec(pacing=PacingConfig.fq_rate_gbps(20), zerocopy=True)
+        ])
+        res = sim.run()
+        assert res.total_gbps == pytest.approx(20.0, rel=0.03)
+
+    def test_unpaced_default_cpu_bound(self):
+        res = amlight_sim().run()
+        assert 28 < res.total_gbps < 42  # sender-CPU-bound on the WAN
+
+    def test_lan_faster_than_wan_default(self):
+        lan = amlight_sim(path="lan").run()
+        wan = amlight_sim(path="wan104").run()
+        assert lan.total_gbps > wan.total_gbps * 1.2
+
+    def test_multiple_flows_share(self):
+        flows = [FlowSpec(pacing=PacingConfig.fq_rate_gbps(5)) for _ in range(4)]
+        res = amlight_sim(flows=flows).run()
+        assert res.total_gbps == pytest.approx(20.0, rel=0.05)
+        assert np.allclose(res.per_flow_gbps, 5.0, rtol=0.05)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = amlight_sim(seed=9).run(rep=2)
+        b = amlight_sim(seed=9).run(rep=2)
+        assert a.total_goodput == b.total_goodput
+        assert a.retransmit_segments == b.retransmit_segments
+
+    def test_different_reps_differ_slightly(self):
+        sim = amlight_sim(seed=9)
+        a, b = sim.run(rep=0), sim.run(rep=1)
+        assert a.total_goodput != b.total_goodput
+        assert abs(a.total_gbps - b.total_gbps) < 0.2 * a.total_gbps
+
+
+class TestFeatureValidation:
+    def test_zerocopy_needs_recent_kernel(self):
+        tb = AmLightTestbed(kernel="5.10")
+        snd, rcv = tb.host_pair()
+        from repro.host.kernel import Kernel
+
+        snd = snd.set(kernel=Kernel.named("4.9"))
+        with pytest.raises(FeatureUnavailableError):
+            FlowSimulator(snd, rcv, tb.path("lan"), [FlowSpec(zerocopy=True)], PROFILE)
+
+    def test_bigtcp_plus_zerocopy_refused(self):
+        tb = AmLightTestbed(kernel="6.8", big_tcp_size=153600)
+        snd, rcv = tb.host_pair()
+        with pytest.raises(FeatureUnavailableError):
+            FlowSimulator(snd, rcv, tb.path("lan"), [FlowSpec(zerocopy=True)], PROFILE)
+
+    def test_empty_flows_rejected(self):
+        tb = AmLightTestbed()
+        snd, rcv = tb.host_pair()
+        with pytest.raises(ConfigurationError):
+            FlowSimulator(snd, rcv, tb.path("lan"), [], PROFILE)
+
+    def test_bad_cc_rejected_early(self):
+        tb = AmLightTestbed()
+        snd, rcv = tb.host_pair()
+        with pytest.raises(ConfigurationError):
+            FlowSimulator(snd, rcv, tb.path("lan"), [FlowSpec(cc="vegas")], PROFILE)
+
+
+class TestMechanisms:
+    def test_zerocopy_lowers_sender_cpu(self):
+        paced = [FlowSpec(pacing=PacingConfig.fq_rate_gbps(30))]
+        paced_zc = [FlowSpec(pacing=PacingConfig.fq_rate_gbps(30), zerocopy=True)]
+        plain = amlight_sim(flows=paced).run()
+        zc = amlight_sim(flows=paced_zc).run()
+        assert plain.total_gbps == pytest.approx(zc.total_gbps, rel=0.05)
+        assert zc.sender_cpu.total_pct < 0.7 * plain.sender_cpu.total_pct
+
+    def test_skip_rx_copy_lowers_receiver_cpu(self):
+        normal = amlight_sim(flows=[FlowSpec(pacing=PacingConfig.fq_rate_gbps(30))]).run()
+        skipped = amlight_sim(
+            flows=[FlowSpec(pacing=PacingConfig.fq_rate_gbps(30), skip_rx_copy=True)]
+        ).run()
+        assert skipped.receiver_cpu.app_pct < 0.3 * normal.receiver_cpu.app_pct
+
+    def test_window_limited_by_socket_buffers(self):
+        """Stock tcp_wmem caps WAN throughput (the classic tuning fail)."""
+        from repro.host.sysctl import Sysctls
+
+        tb = AmLightTestbed(kernel="6.8")
+        snd, rcv = tb.host_pair()
+        snd = snd.set(sysctls=Sysctls())  # stock buffers
+        rcv = rcv.set(sysctls=Sysctls())
+        sim = FlowSimulator(snd, rcv, tb.path("wan104"), [FlowSpec()], PROFILE, RngFactory(3))
+        res = sim.run()
+        # window-limited: ~3 MB / 104 ms ≈ 0.23 Gbps
+        assert res.total_gbps < 1.0
+
+    def test_flow_control_path_has_no_ring_drops(self):
+        es = ESnetTestbed()
+        snd, rcv = es.production_host_pair()
+        flows = [FlowSpec() for _ in range(8)]
+        sim = FlowSimulator(snd, rcv, es.production_path(), flows, PROFILE, RngFactory(3))
+        res = sim.run()
+        assert res.total_gbps > 85  # near line rate despite no pacing
+
+    def test_unpatched_fq_rate_wraps(self):
+        flows = [FlowSpec(
+            pacing=PacingConfig.fq_rate_gbps(50, patched=False), zerocopy=True
+        )]
+        res = amlight_sim(flows=flows).run()
+        assert res.total_gbps == pytest.approx(15.6, rel=0.05)
+
+    def test_bbr_flow_runs(self):
+        res = amlight_sim(flows=[FlowSpec(cc="bbr3")]).run()
+        assert res.total_gbps > 10
+
+    def test_cpu_totals_can_exceed_100pct(self):
+        res = amlight_sim(path="lan").run()
+        assert res.receiver_cpu.total_pct > 100.0

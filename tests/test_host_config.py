@@ -1,0 +1,199 @@
+"""Host aggregate, NIC, sysctls, tuning, VM layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import units
+from repro.core.errors import ConfigurationError, FeatureUnavailableError
+from repro.host import (
+    CONNECTX_5,
+    CONNECTX_7,
+    Host,
+    HostTuning,
+    Sysctls,
+    VmConfig,
+)
+from repro.host.sysctl import OPTMEM_1MB, OPTMEM_DEFAULT, TcpMem
+
+
+class TestNicSpec:
+    def test_speeds(self):
+        assert CONNECTX_5.speed_gbps == pytest.approx(100.0)
+        assert CONNECTX_7.speed_gbps == pytest.approx(200.0)
+
+    def test_ring_bytes_at_9k(self):
+        # ethtool -G rx 8192 at MTU 9000 buffers ~70 MiB of burst
+        assert CONNECTX_5.ring_bytes(8192, 9000) == pytest.approx(8192 * 9000)
+
+    def test_ring_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CONNECTX_5.ring_bytes(0, 9000)
+        with pytest.raises(ConfigurationError):
+            CONNECTX_5.ring_bytes(CONNECTX_5.max_ring_entries + 1, 9000)
+
+    def test_hw_gro_only_cx7(self):
+        assert CONNECTX_7.supports_hw_gro
+        assert not CONNECTX_5.supports_hw_gro
+
+    def test_with_speed(self):
+        cx7_400 = CONNECTX_7.with_speed_gbps(400)
+        assert cx7_400.speed_gbps == pytest.approx(400.0)
+
+
+class TestSysctls:
+    def test_stock_defaults(self):
+        s = Sysctls()
+        assert s.optmem_max == OPTMEM_DEFAULT == 20480
+        assert s.default_qdisc == "fq_codel"
+        assert s.tcp_congestion_control == "cubic"
+
+    def test_fasterdata_tuning_matches_paper(self):
+        s = Sysctls.fasterdata_tuned()
+        assert s.rmem_max == 2147483647
+        assert s.wmem_max == 2147483647
+        assert s.tcp_rmem.max == 2147483647
+        assert s.tcp_no_metrics_save is True
+        assert s.default_qdisc == "fq"
+        assert s.optmem_max == OPTMEM_1MB
+
+    def test_stock_windows_cripple_wan(self):
+        """Stock tcp_wmem caps a 104 ms path far below 100G."""
+        rate = Sysctls().max_send_window() / 0.104
+        assert units.to_gbps(rate) < 1.0
+
+    def test_tuned_windows_cover_100g_wan(self):
+        rate = Sysctls.fasterdata_tuned().max_send_window() / 0.104
+        assert units.to_gbps(rate) > 60.0
+
+    def test_tcpmem_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            TcpMem(4096, 100, 50)
+
+    def test_set_returns_copy(self):
+        s = Sysctls()
+        t = s.set(optmem_max=OPTMEM_1MB)
+        assert t.optmem_max == OPTMEM_1MB and s.optmem_max == OPTMEM_DEFAULT
+
+    def test_enable_big_tcp(self):
+        s = Sysctls().enable_big_tcp(153600)
+        assert s.gso_max_size == 153600 and s.gro_max_size == 153600
+        with pytest.raises(ConfigurationError):
+            Sysctls().enable_big_tcp(1000)
+
+    def test_describe_is_sysctl_conf(self):
+        text = Sysctls.fasterdata_tuned().describe()
+        assert "net.core.optmem_max=1048576" in text
+        assert "net.core.default_qdisc=fq" in text
+
+
+class TestHostTuning:
+    def test_paper_tuning(self):
+        t = HostTuning.paper()
+        assert t.mtu == 9000 and not t.smt_enabled
+        assert t.governor == "performance" and t.iommu_passthrough
+        assert not t.irqbalance
+
+    def test_stock_is_untouched(self):
+        t = HostTuning.stock()
+        assert t.irqbalance and t.smt_enabled and not t.iommu_passthrough
+
+    def test_factors(self):
+        assert HostTuning.paper().clock_factor == 1.0
+        assert HostTuning.stock().clock_factor < 1.0
+        assert HostTuning.paper().smt_factor == 1.0
+        assert HostTuning.stock().smt_factor < 1.0
+        assert HostTuning.paper().iommu_byte_cost_factor == 1.0
+        assert HostTuning.stock().iommu_byte_cost_factor > 1.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HostTuning(mtu=100)
+        with pytest.raises(ConfigurationError):
+            HostTuning(governor="warp-speed")
+
+
+class TestVmConfig:
+    def test_tuned_vm_nearly_free(self):
+        vm = VmConfig.paper_tuned()
+        assert vm.batch_cost_factor < 1.05
+        assert vm.byte_cost_factor == 1.0
+        assert vm.jitter < 0.01
+
+    def test_untuned_vm_expensive(self):
+        vm = VmConfig.untuned()
+        assert vm.batch_cost_factor > 2.0
+        assert vm.byte_cost_factor > 1.5
+
+    def test_baremetal_exactly_free(self):
+        vm = VmConfig.baremetal()
+        assert vm.batch_cost_factor == 1.0
+        assert vm.byte_cost_factor == 1.0
+        assert vm.jitter == 0.0
+
+
+class TestHostAggregate:
+    def test_build_from_catalog_names(self):
+        host = Host.build(cpu="intel", nic="cx5", kernel="6.8")
+        assert host.cpu.arch == "intel"
+        assert host.kernel.version.major == 6
+
+    def test_ring_validation(self):
+        with pytest.raises(ConfigurationError):
+            Host.build(tuning=HostTuning(ring_entries=100000))
+
+    def test_big_tcp_needs_new_kernel(self):
+        with pytest.raises(FeatureUnavailableError):
+            Host.build(kernel="5.15", sysctls=Sysctls().enable_big_tcp(153600))
+        Host.build(kernel="6.8", sysctls=Sysctls().enable_big_tcp(153600))
+
+    def test_zerocopy_gate(self):
+        old = Host.build(kernel="5.10")
+        old.require_zerocopy()  # 5.10 >= 4.17: fine
+        ancient = Host.build(
+            kernel=__import__("repro.host.kernel", fromlist=["Kernel"]).Kernel.named("4.9")
+        )
+        with pytest.raises(FeatureUnavailableError):
+            ancient.require_zerocopy()
+
+    def test_bigtcp_zerocopy_combo_refused_on_stock(self):
+        host = Host.build(kernel="6.8", sysctls=Sysctls().enable_big_tcp(153600))
+        with pytest.raises(FeatureUnavailableError):
+            host.check_zerocopy_bigtcp_combo()
+
+    def test_bigtcp_zerocopy_combo_allowed_on_custom(self):
+        host = Host.build(kernel="6.8", sysctls=Sysctls().enable_big_tcp(153600))
+        host = host.set(kernel=host.kernel.with_custom_skb_frags())
+        host.check_zerocopy_bigtcp_combo()  # no raise
+
+    def test_effective_gso_capped_by_kernel(self):
+        host = Host.build(kernel="6.8", sysctls=Sysctls().enable_big_tcp(400000))
+        assert host.effective_gso_size() == 400000
+        legacy = Host.build(kernel="6.8")
+        assert legacy.effective_gso_size() == 65536
+
+    def test_hw_gro_needs_both_nic_and_kernel(self):
+        assert Host.build(nic="cx7", kernel="6.11").hw_gro_active()
+        assert not Host.build(nic="cx7", kernel="6.8").hw_gro_active()
+        assert not Host.build(nic="cx5", kernel="6.11").hw_gro_active()
+
+    def test_core_budget_reflects_tuning(self):
+        tuned = Host.build(tuning=HostTuning.paper())
+        stock = Host.build(tuning=HostTuning.stock())
+        assert tuned.core_cycles_per_sec() > stock.core_cycles_per_sec()
+
+    def test_placement_resolution(self):
+        import numpy as np
+
+        tuned = Host.build(tuning=HostTuning.paper())
+        p = tuned.resolved_placement()
+        assert p.label == "pinned"
+        stock = Host.build(tuning=HostTuning.stock())
+        with pytest.raises(ConfigurationError):
+            stock.resolved_placement()  # random placement needs an rng
+        p2 = stock.resolved_placement(np.random.default_rng(0))
+        assert p2.label == "irqbalance"
+
+    def test_describe_mentions_key_facts(self):
+        text = Host.build(cpu="amd", nic="cx7", kernel="6.8").describe()
+        assert "EPYC" in text and "ConnectX-7" in text and "Linux 6.8" in text

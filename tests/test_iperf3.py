@@ -1,0 +1,96 @@
+"""iperf3 front-end: options, version gates, JSON output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError, FeatureUnavailableError
+from repro.core.rng import RngFactory
+from repro.tools.iperf3 import Iperf3, Iperf3Options
+from repro.testbeds.amlight import AmLightTestbed
+
+
+def run_quick(opts: Iperf3Options, path="lan"):
+    tb = AmLightTestbed(kernel="6.8")
+    snd, rcv = tb.host_pair()
+    tool = Iperf3(snd, rcv, tb.path(path), rng=RngFactory(2), tick=0.004)
+    return tool.run(opts)
+
+
+class TestOptions:
+    def test_defaults(self):
+        o = Iperf3Options()
+        assert o.parallel == 1 and o.congestion == "cubic"
+
+    def test_invalid_parallel(self):
+        with pytest.raises(ConfigurationError):
+            Iperf3Options(parallel=0)
+
+    def test_invalid_zerocopy_mode(self):
+        with pytest.raises(ConfigurationError):
+            Iperf3Options(zerocopy="yes-please")
+
+    def test_parallel_needs_316(self):
+        old = Iperf3Options(parallel=8, version="3.12")
+        with pytest.raises(FeatureUnavailableError):
+            old.validate_tool()
+        Iperf3Options(parallel=8, version="3.17").validate_tool()
+
+    def test_zerocopy_z_needs_pr1690(self):
+        with pytest.raises(FeatureUnavailableError):
+            Iperf3Options(zerocopy="z", has_pr1690=False).validate_tool()
+        Iperf3Options(zerocopy="z").validate_tool()
+
+    def test_skip_rx_copy_needs_pr1690(self):
+        with pytest.raises(FeatureUnavailableError):
+            Iperf3Options(skip_rx_copy=True, has_pr1690=False).validate_tool()
+
+    def test_command_line_rendering(self):
+        o = Iperf3Options(
+            parallel=8, duration=60, fq_rate_gbps=15, zerocopy="z",
+            skip_rx_copy=True, congestion="bbr3",
+        )
+        cmd = o.command_line()
+        assert "-P 8" in cmd
+        assert "--fq-rate 15G" in cmd
+        assert "--zerocopy=z" in cmd
+        assert "--skip-rx-copy" in cmd
+        assert "-C bbr3" in cmd
+        assert "-J" in cmd
+
+    def test_sendfile_renders_dash_z(self):
+        assert "-Z" in Iperf3Options(zerocopy="sendfile").command_line()
+
+    def test_to_flowspecs(self):
+        o = Iperf3Options(parallel=3, fq_rate_gbps=10, zerocopy="z")
+        specs = o.to_flowspecs(qdisc="fq")
+        assert len(specs) == 3
+        assert all(s.zerocopy for s in specs)
+        assert all(s.pacing.enabled for s in specs)
+
+    def test_to_flowspecs_unpaced(self):
+        specs = Iperf3Options().to_flowspecs(qdisc="fq_codel")
+        assert not specs[0].pacing.enabled
+        assert specs[0].pacing.qdisc == "fq_codel"
+
+
+class TestResults:
+    def test_json_document_schema(self):
+        res = run_quick(Iperf3Options(duration=6, omit=1.5, parallel=2))
+        doc = json.loads(res.to_json())
+        assert doc["start"]["test_start"]["num_streams"] == 2
+        assert doc["end"]["sum_sent"]["bits_per_second"] > 1e9
+        assert "retransmits" in doc["end"]["sum_sent"]
+        assert len(doc["end"]["streams"]) == 2
+        assert "cpu_utilization_percent" in doc["end"]
+
+    def test_summary_line(self):
+        res = run_quick(Iperf3Options(duration=6, omit=1.5))
+        line = res.summary_line()
+        assert "Gbits/sec" in line and "retr" in line
+
+    def test_gbps_consistent_with_streams(self):
+        res = run_quick(Iperf3Options(duration=6, omit=1.5, parallel=4))
+        assert res.gbps == pytest.approx(res.per_stream_gbps.sum(), rel=1e-6)

@@ -1,0 +1,117 @@
+"""Kernel version model: parsing, feature gates, efficiency scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.host.kernel import (
+    CUSTOM_MAX_SKB_FRAGS,
+    KERNELS,
+    Kernel,
+    KernelVersion,
+)
+
+
+class TestVersionParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("5.15", (5, 15, 0)),
+            ("6.8", (6, 8, 0)),
+            ("6.5.0", (6, 5, 0)),
+            ("5.10.0-21-amd64", (5, 10, 0)),
+            ("4.17.3", (4, 17, 3)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        v = KernelVersion.parse(text)
+        assert (v.major, v.minor, v.patch) == expected
+
+    def test_parse_garbage(self):
+        with pytest.raises(ConfigurationError):
+            KernelVersion.parse("not-a-kernel")
+
+    def test_ordering(self):
+        assert KernelVersion.parse("5.15") < KernelVersion.parse("6.5")
+        assert KernelVersion.parse("6.8") > KernelVersion.parse("6.5")
+        assert KernelVersion.parse("5.9") < KernelVersion.parse("5.15")
+
+    def test_str(self):
+        assert str(KernelVersion.parse("6.8")) == "6.8"
+        assert str(KernelVersion.parse("6.5.3")) == "6.5.3"
+
+
+class TestFeatureGates:
+    def test_msg_zerocopy_since_4_17(self):
+        assert not Kernel.named("4.16").supports_msg_zerocopy
+        assert Kernel.named("4.17").supports_msg_zerocopy
+        assert Kernel.named("6.8").supports_msg_zerocopy
+
+    def test_big_tcp_ipv6_since_5_19(self):
+        assert not Kernel.named("5.15").supports_big_tcp_ipv6
+        assert Kernel.named("5.19").supports_big_tcp_ipv6
+
+    def test_big_tcp_ipv4_since_6_3(self):
+        assert not Kernel.named("5.19").supports_big_tcp_ipv4
+        assert Kernel.named("6.3").supports_big_tcp_ipv4
+        assert Kernel.named("6.8").supports_big_tcp_ipv4
+
+    def test_hw_gro_since_6_11(self):
+        assert not KERNELS["6.8"].supports_hw_gro
+        assert KERNELS["6.11"].supports_hw_gro
+
+    def test_unknown_feature(self):
+        with pytest.raises(ConfigurationError):
+            KERNELS["6.8"].supports("quantum_tcp")
+
+    def test_big_tcp_limits(self):
+        assert KERNELS["5.15"].big_tcp_limit() == 65536
+        assert KERNELS["6.8"].big_tcp_limit() > 65536
+        assert KERNELS["6.8"].big_tcp_limit(ipv6=True) >= KERNELS["6.8"].big_tcp_limit()
+
+    def test_bigtcp_zerocopy_combo_needs_custom_frags(self):
+        stock = KERNELS["6.8"]
+        assert not stock.allows_bigtcp_with_zerocopy
+        custom = stock.with_custom_skb_frags()
+        assert custom.allows_bigtcp_with_zerocopy
+        assert custom.max_skb_frags == CUSTOM_MAX_SKB_FRAGS
+
+
+class TestCostScale:
+    def test_baseline_is_6_8(self):
+        for arch in ("intel", "amd"):
+            assert KERNELS["6.8"].stack_cost_scale(arch) == pytest.approx(1.0)
+
+    def test_amd_paper_ratios(self):
+        """Fig. 12: 5.15 -> 6.5 ~= +12%, 6.5 -> 6.8 ~= +17%."""
+        s515 = KERNELS["5.15"].stack_cost_scale("amd")
+        s65 = KERNELS["6.5"].stack_cost_scale("amd")
+        s68 = KERNELS["6.8"].stack_cost_scale("amd")
+        assert s515 / s65 == pytest.approx(1.12, abs=0.02)
+        assert s65 / s68 == pytest.approx(1.17, abs=0.02)
+
+    def test_intel_paper_ratio(self):
+        """Fig. 13: 5.15 -> 6.8 ~= +27% on Intel."""
+        s515 = KERNELS["5.15"].stack_cost_scale("intel")
+        assert s515 == pytest.approx(1.28, abs=0.03)
+
+    def test_interpolation_between_anchors(self):
+        s62 = Kernel.named("6.2").stack_cost_scale("amd")
+        s515 = KERNELS["5.15"].stack_cost_scale("amd")
+        s65 = KERNELS["6.5"].stack_cost_scale("amd")
+        assert s65 < s62 < s515
+
+    def test_clamped_outside_anchors(self):
+        ancient = Kernel.named("4.4").stack_cost_scale("intel")
+        future = Kernel.named("7.0").stack_cost_scale("intel")
+        assert ancient == KERNELS["5.10"].stack_cost_scale("intel")
+        assert future == pytest.approx(1.0)
+
+    def test_unknown_arch(self):
+        with pytest.raises(ConfigurationError):
+            KERNELS["6.8"].stack_cost_scale("sparc")
+
+    def test_str_mentions_custom_frags(self):
+        assert "MAX_SKB_FRAGS=45" in str(KERNELS["6.8"].with_custom_skb_frags())
+        assert "MAX_SKB_FRAGS" not in str(KERNELS["6.8"])

@@ -1,0 +1,77 @@
+"""Metrics accumulator and RunResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import units
+from repro.sim.metrics import CpuUtil, MetricsAccumulator
+
+
+def feed(acc: MetricsAccumulator, seconds: float, rate_per_flow: float,
+         dt: float = 0.01, retr: float = 0.0, cpu=(0.5, 0.1, 0.8, 0.2)):
+    n = acc.n_flows
+    for _ in range(int(round(seconds / dt))):
+        acc.record_tick(
+            dt,
+            np.full(n, rate_per_flow * dt),
+            retr,
+            0,
+            cpu,
+            zc_fraction=0.5,
+        )
+
+
+class TestOmit:
+    def test_omit_window_excluded(self):
+        acc = MetricsAccumulator(n_flows=1, duration=10.0, omit=2.0)
+        # 2 s at high rate inside the omit window, then 8 s at low rate
+        feed(acc, 2.0, rate_per_flow=1e9)
+        feed(acc, 8.0, rate_per_flow=1e6)
+        res = acc.finalize()
+        assert res.per_flow_goodput[0] == pytest.approx(1e6, rel=0.02)
+
+    def test_retransmits_in_omit_not_counted(self):
+        acc = MetricsAccumulator(1, 10.0, 2.0)
+        feed(acc, 2.0, 1e6, retr=100.0)
+        feed(acc, 8.0, 1e6, retr=1.0)
+        res = acc.finalize()
+        assert res.retransmit_segments == pytest.approx(8.0 / 0.01 * 1.0)
+
+
+class TestAggregation:
+    def test_total_and_per_flow(self):
+        acc = MetricsAccumulator(4, 5.0, 1.0)
+        feed(acc, 5.0, 2e8)
+        res = acc.finalize()
+        assert res.total_goodput == pytest.approx(8e8, rel=0.01)
+        assert res.total_gbps == pytest.approx(units.to_gbps(8e8), rel=0.01)
+        lo, hi = res.flow_range_gbps
+        assert lo == pytest.approx(hi)
+
+    def test_cpu_util_time_average(self):
+        acc = MetricsAccumulator(1, 5.0, 1.0)
+        feed(acc, 5.0, 1e6, cpu=(0.5, 0.25, 0.0, 0.0))
+        res = acc.finalize()
+        assert res.sender_cpu.app_pct == pytest.approx(50.0, rel=0.01)
+        assert res.sender_cpu.irq_pct == pytest.approx(25.0, rel=0.01)
+        assert res.sender_cpu.total_pct == pytest.approx(75.0, rel=0.01)
+
+    def test_interval_samples_roughly_per_second(self):
+        acc = MetricsAccumulator(1, 10.0, 2.0)
+        feed(acc, 10.0, 1e8)
+        res = acc.finalize()
+        assert 6 <= res.interval_goodput.size <= 9
+        assert np.allclose(res.interval_goodput, 1e8, rtol=0.05)
+
+    def test_zc_fraction_mean(self):
+        acc = MetricsAccumulator(1, 4.0, 1.0)
+        feed(acc, 4.0, 1e6)
+        assert acc.finalize().zc_fraction_mean == pytest.approx(0.5, rel=0.01)
+
+
+class TestCpuUtil:
+    def test_total_can_exceed_100(self):
+        u = CpuUtil(app_pct=95.0, irq_pct=40.0)
+        assert u.total_pct == pytest.approx(135.0)

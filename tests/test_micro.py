@@ -1,0 +1,171 @@
+"""Packet-level micro simulator: unit behaviour + TCP correctness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import units
+from repro.core.engine import Engine
+from repro.micro import LinkQueue, MicroReceiver, MicroSimulation
+from repro.micro.packets import Ack, Segment
+
+
+class TestLinkQueue:
+    def test_serialization_and_delay(self):
+        eng = Engine()
+        arrivals = []
+        q = LinkQueue(engine=eng, rate=1e6, delay=0.5,
+                      deliver=lambda p: arrivals.append(eng.now))
+        q.send(Segment(seq=0, length=1000, sent_at=0.0))
+        eng.run()
+        # 1000 B at 1 MB/s = 1 ms serialization + 500 ms propagation
+        assert arrivals == [pytest.approx(0.501)]
+
+    def test_fifo_order(self):
+        eng = Engine()
+        got = []
+        q = LinkQueue(engine=eng, rate=1e6, delay=0.0,
+                      deliver=lambda p: got.append(p.seq))
+        for seq in (0, 1000, 2000):
+            q.send(Segment(seq=seq, length=1000, sent_at=0.0))
+        eng.run()
+        assert got == [0, 1000, 2000]
+
+    def test_tail_drop(self):
+        eng = Engine()
+        q = LinkQueue(engine=eng, rate=1e3, delay=0.0, buffer_bytes=1500)
+        assert q.send(Segment(seq=0, length=1000, sent_at=0.0))
+        assert not q.send(Segment(seq=1000, length=1000, sent_at=0.0))
+        assert q.dropped_packets == 1
+
+    def test_backlog_conservation(self):
+        eng = Engine()
+        q = LinkQueue(engine=eng, rate=1e6, delay=0.0, buffer_bytes=1e9)
+        for i in range(10):
+            q.send(Segment(seq=i * 1000, length=1000, sent_at=0.0))
+        eng.run()
+        assert q.backlog == 0
+        assert q.delivered_bytes == 10_000
+
+
+class TestReceiver:
+    def mk(self):
+        eng = Engine()
+        acks = []
+        ack_path = LinkQueue(engine=eng, rate=1e9, delay=0.0,
+                             deliver=lambda a: acks.append(a),
+                             size_of=lambda p: 60.0)
+        return eng, acks, MicroReceiver(engine=eng, ack_path=ack_path)
+
+    def test_in_order_delivery(self):
+        eng, acks, rcv = self.mk()
+        rcv.on_segment(Segment(seq=0, length=100, sent_at=0.0))
+        rcv.on_segment(Segment(seq=100, length=100, sent_at=0.0))
+        eng.run()
+        assert rcv.rcv_next == 200
+        assert acks[-1].cum_ack == 200
+
+    def test_out_of_order_buffered_and_drained(self):
+        eng, acks, rcv = self.mk()
+        rcv.on_segment(Segment(seq=100, length=100, sent_at=0.0))  # gap!
+        eng.run()
+        assert acks[-1].cum_ack == 0 and acks[-1].dup_hint == 1
+        rcv.on_segment(Segment(seq=0, length=100, sent_at=0.0))  # fills
+        eng.run()
+        assert rcv.rcv_next == 200
+        assert rcv.delivered_bytes == 200
+
+    def test_sack_holes_reported(self):
+        eng, acks, rcv = self.mk()
+        # deliver 0, then 200 and 400 (holes at 100 and 300)
+        for seq in (0, 200, 400):
+            rcv.on_segment(Segment(seq=seq, length=100, sent_at=0.0))
+        eng.run()
+        assert acks[-1].sack_holes == (100, 300)
+
+
+class TestEndToEnd:
+    def test_window_limited_throughput_matches_theory(self):
+        res = MicroSimulation(
+            rate_gbps=10, rtt_ms=20, max_window_bytes=2_500_000
+        ).run(4.0)
+        theory = units.to_gbps(2_500_000 / 0.02)
+        assert res.goodput_gbps == pytest.approx(theory, rel=0.06)
+        assert res.drops == 0
+
+    def test_paced_flow_tracks_pacing_rate(self):
+        res = MicroSimulation(rate_gbps=10, rtt_ms=20, pacing_gbps=6).run(4.0)
+        assert res.goodput_gbps == pytest.approx(6.0, rel=0.06)
+        assert res.retransmissions == 0
+
+    def test_app_limited_flow(self):
+        res = MicroSimulation(rate_gbps=10, rtt_ms=20, app_limit_gbps=5).run(4.0)
+        assert res.goodput_gbps == pytest.approx(5.0, rel=0.06)
+
+    def test_unpaced_overshoot_into_small_buffer_loses(self):
+        res = MicroSimulation(rate_gbps=10, rtt_ms=20, buffer_mb=1).run(5.0)
+        assert res.drops > 0
+        assert res.retransmissions > 0
+        assert res.loss_events >= 1
+        assert res.goodput_gbps > 1.0  # recovers, not stalled
+
+    def test_bigger_buffer_more_throughput_unpaced(self):
+        small = MicroSimulation(rate_gbps=10, rtt_ms=20, buffer_mb=1).run(6.0)
+        big = MicroSimulation(rate_gbps=10, rtt_ms=20, buffer_mb=25).run(6.0)
+        assert big.goodput_gbps > small.goodput_gbps
+
+    def test_pacing_eliminates_losses_that_unpaced_takes(self):
+        """The paper's central mechanism at packet scale."""
+        unpaced = MicroSimulation(rate_gbps=10, rtt_ms=20, buffer_mb=2).run(5.0)
+        paced = MicroSimulation(
+            rate_gbps=10, rtt_ms=20, buffer_mb=2, pacing_gbps=9
+        ).run(5.0)
+        assert unpaced.drops > 0
+        assert paced.drops == 0
+        assert paced.goodput_gbps > unpaced.goodput_gbps
+
+    def test_bbr_self_paces(self):
+        res = MicroSimulation(rate_gbps=5, rtt_ms=20, buffer_mb=12, cc="bbr3").run(3.0)
+        assert res.goodput_gbps > 3.0
+
+    def test_deterministic(self):
+        a = MicroSimulation(rate_gbps=10, rtt_ms=20, buffer_mb=1).run(3.0)
+        b = MicroSimulation(rate_gbps=10, rtt_ms=20, buffer_mb=1).run(3.0)
+        assert a.delivered_bytes == b.delivered_bytes
+        assert a.retransmissions == b.retransmissions
+
+
+class TestCrossValidation:
+    """The micro (packet) and fluid (tick) models must agree where
+    their assumptions overlap — steady, clean flows."""
+
+    def fluid_run(self, pacing_gbps, rtt_ms, rate_gbps=10.0):
+        from repro.core.rng import RngFactory
+        from repro.net.path import NetworkPath
+        from repro.net.switch import SwitchModel
+        from repro.sim.flowsim import FlowSimulator, FlowSpec, SimProfile
+        from repro.tcp.pacing import PacingConfig
+        from repro.testbeds.profiles import paper_host
+
+        # an over-provisioned host so the network is the only constraint
+        snd = paper_host("s", cpu="intel", nic="cx5", kernel="6.8")
+        rcv = paper_host("r", cpu="intel", nic="cx5", kernel="6.8")
+        path = NetworkPath(
+            name="xval",
+            bottleneck=__import__("repro.net.link", fromlist=["Link"]).Link.of_gbps(
+                "l", rate_gbps, delay_ms=rtt_ms / 2
+            ),
+            rtt_sec=rtt_ms / 1e3,
+            switch=SwitchModel("big", 1e9),
+        )
+        flows = [FlowSpec(pacing=PacingConfig.fq_rate_gbps(pacing_gbps))]
+        sim = FlowSimulator(snd, rcv, path, flows,
+                            SimProfile(duration=8, tick=0.004, omit=2),
+                            RngFactory(5))
+        return sim.run().total_gbps
+
+    @pytest.mark.parametrize("pace", [4.0, 6.0, 8.0])
+    def test_paced_flow_agreement(self, pace):
+        micro = MicroSimulation(rate_gbps=10, rtt_ms=20, pacing_gbps=pace).run(4.0)
+        fluid = self.fluid_run(pacing_gbps=pace, rtt_ms=20)
+        assert micro.goodput_gbps == pytest.approx(fluid, rel=0.08)

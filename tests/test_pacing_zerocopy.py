@@ -1,0 +1,116 @@
+"""Pacing config (incl. the uint32 overflow) and the zerocopy model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.host.sysctl import OPTMEM_1MB, OPTMEM_BEST_WAN, OPTMEM_DEFAULT
+from repro.tcp.pacing import UINT32_MAX_BYTES, PacingConfig
+from repro.tcp.zerocopy import DEFAULT_SEND_BLOCK, NOTIF_BYTES, ZerocopyModel
+
+
+class TestPacing:
+    def test_unpaced(self):
+        p = PacingConfig.unpaced()
+        assert not p.enabled and p.effective_rate() is None
+        assert p.burst_slack == 1.0
+
+    def test_patched_rate_exact(self):
+        p = PacingConfig.fq_rate_gbps(50)
+        assert p.effective_rate() == pytest.approx(units.gbps(50))
+        assert p.burst_slack == 0.0
+
+    def test_unpatched_wraps_above_34g(self):
+        """SO_MAX_PACING_RATE is bytes/s; uint32 caps at ~34.4 Gbps."""
+        p = PacingConfig.fq_rate_gbps(50, patched=False)
+        eff = p.effective_rate()
+        assert eff == pytest.approx(units.gbps(50) - UINT32_MAX_BYTES)
+        assert units.to_gbps(eff) == pytest.approx(15.6, abs=0.2)
+
+    def test_unpatched_below_threshold_fine(self):
+        p = PacingConfig.fq_rate_gbps(30, patched=False)
+        assert p.effective_rate() == pytest.approx(units.gbps(30))
+
+    @given(st.floats(min_value=0.1, max_value=400.0))
+    def test_effective_never_exceeds_requested(self, gbps_value):
+        for patched in (True, False):
+            p = PacingConfig.fq_rate_gbps(gbps_value, patched=patched)
+            assert p.effective_rate() <= units.gbps(gbps_value) + 1e-6
+
+    def test_fq_codel_coarse_pacing(self):
+        p = PacingConfig.fq_rate_gbps(10, qdisc="fq_codel")
+        assert not p.smooths_bursts
+        assert 0 < p.burst_slack < 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PacingConfig(requested_bytes_per_sec=-1)
+        with pytest.raises(ConfigurationError):
+            PacingConfig(qdisc="htb")
+
+    def test_describe_flags_the_wrap(self):
+        text = PacingConfig.fq_rate_gbps(50, patched=False).describe()
+        assert "WRAPPED" in text
+        assert "WRAPPED" not in PacingConfig.fq_rate_gbps(50).describe()
+
+
+class TestZerocopyModel:
+    def test_paper_back_solve(self):
+        """3.25 MB optmem covers 104 ms x ~47 Gbps with 128 KB sends —
+        the paper's empirically-best value."""
+        zc = ZerocopyModel(optmem_max=OPTMEM_BEST_WAN)
+        need = zc.required_optmem(rate=units.gbps(50), rtt=0.104)
+        assert need == pytest.approx(OPTMEM_BEST_WAN, rel=0.03)
+
+    def test_default_optmem_covers_almost_nothing(self):
+        zc = ZerocopyModel(optmem_max=OPTMEM_DEFAULT)
+        # ~30 pending sends -> under 4 MB coverable
+        assert zc.max_inflight_bytes < 4.2e6
+
+    def test_zc_fraction_lan_is_one(self):
+        zc = ZerocopyModel(optmem_max=OPTMEM_1MB)
+        assert zc.zc_fraction(rate=units.gbps(50), rtt=0.0002) == 1.0
+
+    def test_zc_fraction_long_wan_partial(self):
+        zc = ZerocopyModel(optmem_max=OPTMEM_1MB)
+        frac = zc.zc_fraction(rate=units.gbps(50), rtt=0.104)
+        assert 0.1 < frac < 0.6
+
+    @given(
+        st.floats(min_value=1e5, max_value=5e10),
+        st.floats(min_value=1e-4, max_value=0.3),
+    )
+    def test_fraction_bounds(self, rate, rtt):
+        zc = ZerocopyModel(optmem_max=OPTMEM_1MB)
+        assert 0.0 <= zc.zc_fraction(rate, rtt) <= 1.0
+
+    @given(st.floats(min_value=1e6, max_value=5e10))
+    def test_fraction_monotone_in_rtt(self, rate):
+        zc = ZerocopyModel(optmem_max=OPTMEM_1MB)
+        assert zc.zc_fraction(rate, 0.025) >= zc.zc_fraction(rate, 0.104)
+
+    @given(st.integers(min_value=1024, max_value=2**25))
+    def test_more_optmem_never_hurts(self, optmem):
+        small = ZerocopyModel(optmem_max=optmem)
+        big = ZerocopyModel(optmem_max=optmem * 2)
+        rate, rtt = units.gbps(40), 0.054
+        assert big.zc_fraction(rate, rtt) >= small.zc_fraction(rate, rtt)
+
+    def test_custom_notif_bytes(self):
+        cheap = ZerocopyModel(optmem_max=OPTMEM_1MB, notif_bytes=350.0)
+        dear = ZerocopyModel(optmem_max=OPTMEM_1MB, notif_bytes=NOTIF_BYTES)
+        assert cheap.max_pending_sends > dear.max_pending_sends
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZerocopyModel(optmem_max=0)
+        with pytest.raises(ConfigurationError):
+            ZerocopyModel(optmem_max=1, send_block_bytes=0)
+
+    def test_describe(self):
+        text = ZerocopyModel(optmem_max=OPTMEM_1MB).describe(units.gbps(40), 0.054)
+        assert "pending sends" in text

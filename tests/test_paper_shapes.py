@@ -1,0 +1,257 @@
+"""Paper-shape assertions: the qualitative claims of every artifact.
+
+These are integration tests over the full simulator.  Each test states
+one claim from the paper and asserts our reproduction preserves it —
+with generous tolerances, because the substrate is a simulator, not the
+authors' testbed.  Runs use short durations (see ``shape_config``);
+the benchmarks regenerate the full tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rng import RngFactory
+from repro.host.sysctl import OPTMEM_1MB, OPTMEM_BEST_WAN, OPTMEM_DEFAULT
+from repro.testbeds.amlight import AmLightTestbed
+from repro.testbeds.esnet import ESnetTestbed
+from repro.tools.harness import TestHarness
+from repro.tools.iperf3 import Iperf3, Iperf3Options
+
+
+def single(tb, path, opts, seed=11, duration=12.0):
+    snd, rcv = tb.host_pair()
+    tool = Iperf3(snd, rcv, tb.path(path), rng=RngFactory(seed), tick=0.004)
+    o = Iperf3Options(
+        duration=duration, omit=3.0, **{
+            k: getattr(opts, k)
+            for k in ("parallel", "fq_rate_gbps", "zerocopy", "skip_rx_copy",
+                      "congestion")
+        }
+    )
+    return tool.run(o)
+
+
+@pytest.fixture(scope="module")
+def amlight68():
+    return AmLightTestbed(kernel="6.8")
+
+
+@pytest.fixture(scope="module")
+def esnet68():
+    return ESnetTestbed(kernel="6.8")
+
+
+class TestFig5Claims:
+    """Single stream, AmLight Intel, kernel 6.8."""
+
+    def test_lan_default_near_55(self, amlight68):
+        res = single(amlight68, "lan", Iperf3Options())
+        assert 46 < res.gbps < 58
+
+    def test_zc_pace_hits_50_on_wan(self, amlight68):
+        for path in ("wan25", "wan54"):
+            res = single(amlight68, path, Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+            assert res.gbps == pytest.approx(50, rel=0.04), path
+
+    def test_zc_pace_beats_default_by_25_to_50pct(self, amlight68):
+        d = single(amlight68, "wan54", Iperf3Options())
+        z = single(amlight68, "wan54", Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+        assert 1.25 < z.gbps / d.gbps < 1.55  # paper: "up to 35%"
+
+    def test_default_wan_rtt_flat(self, amlight68):
+        """Default WAN throughput is sender-bound, nearly RTT-independent."""
+        r25 = single(amlight68, "wan25", Iperf3Options()).gbps
+        r104 = single(amlight68, "wan104", Iperf3Options()).gbps
+        assert abs(r25 - r104) / r25 < 0.15
+
+    def test_zerocopy_alone_not_the_win(self, amlight68):
+        """Paper: 'MSG_ZEROCOPY by itself does not improve throughput,
+        but combined with pacing provides up to 35%.'  Across the WAN
+        paths, zc-unpaced is on average below the zc+pacing combo and
+        visibly unstable (burst losses), while the combo is clean."""
+        z_means, zp_means, z_retr, zp_retr = [], [], 0, 0
+        for path in ("wan25", "wan54", "wan104"):
+            z = single(amlight68, path, Iperf3Options(zerocopy="z"))
+            zp = single(amlight68, path, Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+            z_means.append(z.gbps)
+            zp_means.append(zp.gbps)
+            z_retr += z.retransmits
+            zp_retr += zp.retransmits
+        assert sum(z_means) < sum(zp_means)
+        assert z_retr > zp_retr  # unpaced zerocopy churns, the combo is clean
+        # and at the longest path the unpaced flow is clearly worse
+        assert z_means[2] < 0.75 * zp_means[2]
+
+    def test_bigtcp_modest_gain(self):
+        plain = AmLightTestbed(kernel="6.8")
+        big = AmLightTestbed(kernel="6.8", big_tcp_size=153600)
+        d = single(plain, "wan54", Iperf3Options()).gbps
+        b = single(big, "wan54", Iperf3Options()).gbps
+        assert 1.03 < b / d < 1.25  # paper: up to +16%
+
+
+class TestFig6Claims:
+    """Single stream, ESnet AMD."""
+
+    def test_amd_lan_slower_than_intel(self, amlight68, esnet68):
+        intel = single(amlight68, "lan", Iperf3Options()).gbps
+        amd = single(esnet68, "lan", Iperf3Options()).gbps
+        assert amd < intel * 0.9
+        assert 36 < amd < 46  # paper: ~42
+
+    def test_amd_wan_gap_and_zc_recovery(self, esnet68):
+        lan = single(esnet68, "lan", Iperf3Options()).gbps
+        wan = single(esnet68, "wan", Iperf3Options()).gbps
+        zc = single(esnet68, "wan", Iperf3Options(zerocopy="z", fq_rate_gbps=40)).gbps
+        assert wan < lan * 0.65  # "about 40% slower" (we allow 35-55%)
+        assert zc == pytest.approx(40, rel=0.04)  # matches pacing = LAN level
+        assert zc / wan > 1.5  # paper: +85%
+
+
+class TestFig7Fig8Claims:
+    """CPU utilization patterns."""
+
+    def test_intel_bottleneck_handoff(self):
+        tb = AmLightTestbed(kernel="6.5")
+        lan_d = single(tb, "lan", Iperf3Options())
+        wan_d = single(tb, "wan54", Iperf3Options())
+        # default: receiver busy on LAN, sender saturated on WAN
+        assert lan_d.run.receiver_cpu.total_pct > 90
+        assert wan_d.run.sender_cpu.app_pct > 95
+        # zerocopy+pacing: sender CPU collapses
+        wan_z = single(tb, "wan25", Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+        assert wan_z.run.sender_cpu.total_pct < 0.7 * wan_d.run.sender_cpu.total_pct
+
+    def test_amd_wan_sender_cpu_higher_than_intel(self):
+        intel = single(AmLightTestbed(kernel="6.5"), "wan54", Iperf3Options())
+        amd = single(ESnetTestbed(kernel="6.5"), "wan", Iperf3Options())
+        # per gigabit shipped, the AMD sender burns more CPU
+        intel_eff = intel.run.sender_cpu.total_pct / intel.gbps
+        amd_eff = amd.run.sender_cpu.total_pct / amd.gbps
+        assert amd_eff > 1.3 * intel_eff
+
+
+class TestFig9Claims:
+    """optmem_max sweep (kernel 6.5)."""
+
+    def mk(self, optmem):
+        return AmLightTestbed(kernel="6.5", optmem_max=optmem)
+
+    def test_default_optmem_cripples_wan(self):
+        res = single(self.mk(OPTMEM_DEFAULT), "wan54",
+                     Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+        assert res.gbps < 30
+        assert res.run.sender_cpu.app_pct > 95
+
+    def test_1mb_fine_short_wan_weak_104ms(self):
+        ok = single(self.mk(OPTMEM_1MB), "wan25",
+                    Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+        weak = single(self.mk(OPTMEM_1MB), "wan104",
+                      Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+        assert ok.gbps > 43
+        assert weak.gbps == pytest.approx(35, rel=0.25)  # paper: ~40
+
+    def test_best_value_restores_104ms(self):
+        res = single(self.mk(OPTMEM_BEST_WAN), "wan104",
+                     Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+        assert res.gbps > 43
+        # and the CPU drops vs the 1MB case
+        weak = single(self.mk(OPTMEM_1MB), "wan104",
+                      Iperf3Options(zerocopy="z", fq_rate_gbps=50))
+        assert res.run.sender_cpu.total_pct < weak.run.sender_cpu.total_pct
+
+
+class TestKernelClaims:
+    """Figures 12/13."""
+
+    def test_amd_kernel_ladder(self):
+        gbps = {}
+        for k in ("5.15", "6.5", "6.8"):
+            gbps[k] = single(ESnetTestbed(kernel=k), "lan", Iperf3Options()).gbps
+        assert gbps["6.5"] / gbps["5.15"] == pytest.approx(1.12, abs=0.05)
+        assert gbps["6.8"] / gbps["6.5"] == pytest.approx(1.17, abs=0.05)
+
+    def test_intel_lan_ladder(self):
+        g515 = single(AmLightTestbed(kernel="5.15"), "lan", Iperf3Options()).gbps
+        g68 = single(AmLightTestbed(kernel="6.8"), "lan", Iperf3Options()).gbps
+        assert g68 / g515 == pytest.approx(1.28, abs=0.07)
+
+    def test_intel_wan_flat_at_pacing_cap(self):
+        """Tuned WAN flows pin at the 50G pacing cap on every kernel."""
+        opts = Iperf3Options(zerocopy="z", fq_rate_gbps=50, skip_rx_copy=True)
+        values = [
+            single(AmLightTestbed(kernel=k, optmem_max=OPTMEM_BEST_WAN), "wan54", opts).gbps
+            for k in ("5.15", "6.5", "6.8")
+        ]
+        assert max(values) - min(values) < 1.5
+        assert values[0] == pytest.approx(50, rel=0.04)
+
+
+class TestTableClaims:
+    def test_table1_lan_shape(self, esnet68):
+        tb = ESnetTestbed(kernel="5.15")
+        unpaced = single(tb, "lan", Iperf3Options(parallel=8), duration=12)
+        paced15 = single(tb, "lan", Iperf3Options(parallel=8, fq_rate_gbps=15), duration=12)
+        assert unpaced.gbps == pytest.approx(166, rel=0.08)
+        assert paced15.gbps == pytest.approx(120, rel=0.03)
+
+    def test_table2_wan_ceiling(self):
+        tb = ESnetTestbed(kernel="5.15")
+        unpaced = single(tb, "wan", Iperf3Options(parallel=8), duration=14)
+        paced15 = single(tb, "wan", Iperf3Options(parallel=8, fq_rate_gbps=15), duration=14)
+        assert 105 < unpaced.gbps < 135  # paper: 127, interference ceiling
+        assert paced15.gbps == pytest.approx(120, rel=0.04)
+        assert unpaced.retransmits > paced15.retransmits
+
+    def test_table3_flow_control(self):
+        tb = ESnetTestbed()
+        snd, rcv = tb.production_host_pair()
+        tool = Iperf3(snd, rcv, tb.production_path(), rng=RngFactory(4), tick=0.004)
+        unpaced = tool.run(Iperf3Options(duration=12, omit=3, parallel=8))
+        paced10 = tool.run(Iperf3Options(duration=12, omit=3, parallel=8, fq_rate_gbps=10))
+        assert unpaced.gbps == pytest.approx(97, rel=0.08)  # paper: 98
+        assert paced10.gbps == pytest.approx(80, rel=0.03)  # paper: 79
+        lo_u, hi_u = unpaced.run.flow_range_gbps
+        lo_p, hi_p = paced10.run.flow_range_gbps
+        assert hi_u - lo_u > 2.0  # unpaced spread (paper: 9-16)
+        assert hi_p - lo_p < 0.5  # paced: all exactly 10
+
+
+class TestFutureWorkClaims:
+    @staticmethod
+    def _intel_cx7(kernel, mtu):
+        """The paper's HW-GRO preview host: Intel with a ConnectX-7."""
+        from repro.testbeds.profiles import paper_host
+
+        snd = paper_host("snd", cpu="intel", nic="cx7", kernel=kernel, mtu=mtu)
+        rcv = paper_host("rcv", cpu="intel", nic="cx7", kernel=kernel, mtu=mtu)
+        tool = Iperf3(snd, rcv, ESnetTestbed(kernel=kernel).path("lan"),
+                      rng=RngFactory(11), tick=0.004)
+        return tool.run(Iperf3Options(duration=12, omit=3)).gbps
+
+    def test_hw_gro_1500_mtu_dramatic(self):
+        soft = self._intel_cx7("6.8", 1500)
+        hard = self._intel_cx7("6.11", 1500)
+        assert soft == pytest.approx(24, rel=0.2)  # paper: 24 Gbps
+        assert hard / soft > 1.8  # paper: +160% (24 -> 62)
+
+    def test_hw_gro_9k_modest(self):
+        soft = self._intel_cx7("6.8", 9000)
+        hard = self._intel_cx7("6.11", 9000)
+        assert 1.0 <= hard / soft < 1.4
+
+
+class TestAffinityClaims:
+    def test_irqbalance_variability(self):
+        from repro.tools.harness import HarnessConfig
+
+        tb = AmLightTestbed(kernel="6.8")
+        snd, rcv = tb.host_pair()
+        cfg = HarnessConfig(repetitions=8, duration=6.0, omit=1.5, tick=0.004)
+        pinned = TestHarness(snd, rcv, tb.path("lan"), cfg).run(Iperf3Options())
+        snd_b = snd.set(tuning=snd.tuning.set(irqbalance=True))
+        rcv_b = rcv.set(tuning=rcv.tuning.set(irqbalance=True))
+        balanced = TestHarness(snd_b, rcv_b, tb.path("lan"), cfg).run(Iperf3Options())
+        assert balanced.stdev_gbps > 3 * max(pinned.stdev_gbps, 0.1)
+        assert balanced.min_gbps < 0.75 * pinned.min_gbps

@@ -1,0 +1,140 @@
+"""Generator-based process layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.errors import SimulationError
+from repro.core.process import Process, Signal
+
+
+class TestProcess:
+    def test_sleep_sequence(self):
+        eng = Engine()
+        ticks = []
+
+        def proc():
+            for _ in range(3):
+                yield 0.5
+                ticks.append(eng.now)
+
+        Process(eng, proc())
+        eng.run()
+        assert ticks == [0.5, 1.0, 1.5]
+
+    def test_return_value_captured(self):
+        eng = Engine()
+
+        def proc():
+            yield 1.0
+            return 42
+
+        p = Process(eng, proc())
+        eng.run()
+        assert p.finished and p.result == 42
+
+    def test_zero_delay_continues_same_time(self):
+        eng = Engine()
+        times = []
+
+        def proc():
+            yield 0.0
+            times.append(eng.now)
+
+        Process(eng, proc())
+        eng.run()
+        assert times == [0.0]
+
+    def test_negative_delay_raises(self):
+        eng = Engine()
+
+        def proc():
+            yield -1.0
+
+        Process(eng, proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_bad_yield_type_raises(self):
+        eng = Engine()
+
+        def proc():
+            yield "nonsense"
+
+        Process(eng, proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_interrupt_stops_process(self):
+        eng = Engine()
+        ran = []
+
+        def proc():
+            yield 5.0
+            ran.append(True)
+
+        p = Process(eng, proc())
+        eng.schedule(1.0, p.interrupt)
+        eng.run()
+        assert ran == [] and p.finished
+
+
+class TestSignal:
+    def test_signal_wakes_waiters_with_payload(self):
+        eng = Engine()
+        sig = Signal(eng, "data-ready")
+        got = []
+
+        def waiter():
+            payload = yield sig
+            got.append((eng.now, payload))
+
+        Process(eng, waiter())
+        eng.schedule(2.0, lambda: sig.fire("hello"))
+        eng.run()
+        assert got == [(2.0, "hello")]
+
+    def test_signal_broadcasts(self):
+        eng = Engine()
+        sig = Signal(eng)
+        woken = []
+
+        def waiter(name):
+            yield sig
+            woken.append(name)
+
+        for n in ("a", "b", "c"):
+            Process(eng, waiter(n))
+        eng.schedule(1.0, sig.fire)
+        eng.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+    def test_fire_count(self):
+        eng = Engine()
+        sig = Signal(eng)
+        eng.schedule(1.0, sig.fire)
+        eng.schedule(2.0, sig.fire)
+        eng.run()
+        assert sig.fire_count == 2
+
+    def test_producer_consumer(self):
+        """A small end-to-end scenario: token-bucket style release."""
+        eng = Engine()
+        sig = Signal(eng, "token")
+        consumed = []
+
+        def producer():
+            for _ in range(3):
+                yield 1.0
+                sig.fire()
+
+        def consumer():
+            while True:
+                yield sig
+                consumed.append(eng.now)
+
+        Process(eng, producer())
+        Process(eng, consumer())
+        eng.run()
+        assert consumed == [1.0, 2.0, 3.0]

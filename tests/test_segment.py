@@ -1,0 +1,88 @@
+"""Segment geometry: MSS, wire efficiency, GSO/GRO batch sizing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.tcp.segment import SegmentGeometry
+
+
+class TestMss:
+    def test_mss_9000(self):
+        assert SegmentGeometry(mtu=9000).mss == 8960
+
+    def test_mss_1500(self):
+        assert SegmentGeometry(mtu=1500).mss == 1460
+
+    def test_ipv6_headers_larger(self):
+        v4 = SegmentGeometry(mtu=9000)
+        v6 = SegmentGeometry(mtu=9000, ipv6=True)
+        assert v6.mss == v4.mss - 20
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentGeometry(mtu=40)
+
+
+class TestWireEfficiency:
+    def test_9k_mtu_efficiency(self):
+        eff = SegmentGeometry(mtu=9000).wire_efficiency
+        assert 0.985 < eff < 0.995
+
+    def test_1500_mtu_efficiency(self):
+        eff = SegmentGeometry(mtu=1500).wire_efficiency
+        assert 0.94 < eff < 0.96
+
+    def test_goodput_wire_roundtrip(self):
+        g = SegmentGeometry(mtu=9000)
+        rate = 6.25e9
+        assert g.wire_to_goodput(g.goodput_to_wire(rate)) == pytest.approx(rate)
+
+    @given(st.integers(min_value=576, max_value=9216))
+    def test_efficiency_below_one(self, mtu):
+        g = SegmentGeometry(mtu=mtu)
+        assert 0 < g.wire_efficiency < 1
+
+    @given(st.integers(min_value=576, max_value=9216))
+    def test_bigger_mtu_more_efficient(self, mtu):
+        if mtu < 9216:
+            a = SegmentGeometry(mtu=mtu).wire_efficiency
+            b = SegmentGeometry(mtu=mtu + 1).wire_efficiency
+            assert b > a
+
+
+class TestGsoGro:
+    def test_segments_per_batch(self):
+        g = SegmentGeometry(mtu=9000, gso_size=65536)
+        assert g.segments_per_gso_batch == pytest.approx(65536 / 8960)
+
+    def test_big_tcp_batch(self):
+        g = SegmentGeometry(mtu=9000, gso_size=153600)
+        assert g.segments_per_gso_batch > 17
+
+    def test_gso_below_mss_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentGeometry(mtu=9000, gso_size=1000)
+
+    def test_effective_gro_capped_by_arrival_rate(self):
+        g = SegmentGeometry(mtu=9000, gro_size=65536)
+        slow = g.effective_gro_batch(arrival_rate=1e6, rtt=0.05)
+        fast = g.effective_gro_batch(arrival_rate=6e9, rtt=0.05)
+        assert slow < fast == 65536
+
+    def test_effective_gro_floor_is_one_mss(self):
+        g = SegmentGeometry(mtu=9000)
+        assert g.effective_gro_batch(arrival_rate=0.0, rtt=0.05) == g.mss
+
+    @given(st.floats(min_value=0, max_value=25e9))
+    def test_effective_gro_bounded(self, rate):
+        g = SegmentGeometry(mtu=9000, gro_size=153600)
+        got = g.effective_gro_batch(rate, 0.05)
+        assert g.mss <= got <= 153600
+
+    def test_packets_for(self):
+        g = SegmentGeometry(mtu=9000)
+        assert g.packets_for(8960 * 10) == pytest.approx(10)

@@ -1,0 +1,102 @@
+"""Property-based invariants of the flow simulator.
+
+Hypothesis generates flow configurations; the simulator must uphold
+physical invariants regardless: conservation (goodput never exceeds
+capacity or NIC rates), non-negativity, pacing respected, determinism.
+Short/coarse runs keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import units
+from repro.core.rng import RngFactory
+from repro.sim.flowsim import FlowSimulator, FlowSpec, SimProfile
+from repro.tcp.pacing import PacingConfig
+from repro.testbeds.amlight import AmLightTestbed
+from repro.testbeds.esnet import ESnetTestbed
+
+PROFILE = SimProfile(duration=4.0, tick=0.008, omit=1.0)
+
+flow_strategy = st.builds(
+    FlowSpec,
+    pacing=st.one_of(
+        st.just(PacingConfig.unpaced()),
+        st.floats(min_value=0.5, max_value=60.0).map(PacingConfig.fq_rate_gbps),
+    ),
+    zerocopy=st.booleans(),
+    skip_rx_copy=st.booleans(),
+    cc=st.sampled_from(["cubic", "reno", "bbr1", "bbr3"]),
+)
+
+flows_strategy = st.lists(flow_strategy, min_size=1, max_size=6)
+
+
+def run_amlight(flows, path="wan54", seed=3):
+    tb = AmLightTestbed(kernel="6.8")
+    snd, rcv = tb.host_pair()
+    sim = FlowSimulator(snd, rcv, tb.path(path), flows, PROFILE, RngFactory(seed))
+    return sim.run(), tb.path(path)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(flows=flows_strategy)
+def test_conservation_and_nonnegativity(flows):
+    res, path = run_amlight(flows)
+    assert np.all(res.per_flow_goodput >= 0)
+    # goodput can never exceed the path's usable wire capacity
+    assert res.total_goodput <= path.capacity * 1.01
+    # nor the 100G NIC
+    assert res.total_gbps <= 101.0
+    assert res.retransmit_segments >= 0
+    assert res.sender_cpu.total_pct >= 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(flows=flows_strategy)
+def test_pacing_respected(flows):
+    res, _ = run_amlight(flows)
+    for spec, gbps in zip(flows, res.per_flow_gbps):
+        eff = spec.pacing.effective_rate()
+        if eff is not None:
+            assert gbps <= units.to_gbps(eff) * 1.02
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(flows=flows_strategy, seed=st.integers(min_value=0, max_value=10_000))
+def test_determinism(flows, seed):
+    a, _ = run_amlight(flows, seed=seed)
+    b, _ = run_amlight(flows, seed=seed)
+    assert np.array_equal(a.per_flow_goodput, b.per_flow_goodput)
+    assert a.retransmit_segments == b.retransmit_segments
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pace=st.floats(min_value=1.0, max_value=20.0),
+    n=st.integers(min_value=1, max_value=8),
+)
+def test_paced_underload_is_clean(pace, n):
+    """Flows paced well under every limit deliver exactly their rate
+    with no retransmits (ESnet LAN: 200G path, big switch buffer)."""
+    if pace * n > 100:
+        pace = 100.0 / n
+    tb = ESnetTestbed(kernel="6.8")
+    snd, rcv = tb.host_pair()
+    flows = [
+        FlowSpec(pacing=PacingConfig.fq_rate_gbps(pace), zerocopy=True,
+                 skip_rx_copy=True)
+        for _ in range(n)
+    ]
+    sim = FlowSimulator(snd, rcv, tb.path("lan"), flows, PROFILE, RngFactory(1))
+    res = sim.run()
+    assert res.total_gbps == pytest.approx(pace * n, rel=0.04)
+    assert res.retransmit_segments == 0

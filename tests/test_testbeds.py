@@ -1,0 +1,84 @@
+"""Testbed factories: AmLight, ESnet, production DTNs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.testbeds.amlight import AMLIGHT_RTTS_MS, AmLightTestbed
+from repro.testbeds.esnet import ESNET_WAN_RTT_MS, ESnetTestbed
+
+
+class TestAmLight:
+    def test_paths_match_paper_rtts(self):
+        tb = AmLightTestbed()
+        for name, rtt_ms in AMLIGHT_RTTS_MS.items():
+            assert tb.path(name).rtt_ms == pytest.approx(rtt_ms, abs=0.5)
+
+    def test_wan_paths_admin_capped_at_80g(self):
+        tb = AmLightTestbed()
+        for name in ("wan25", "wan54", "wan104"):
+            assert tb.path(name).capacity == pytest.approx(units.gbps(80))
+        assert tb.path("lan").capacity == pytest.approx(units.gbps(100))
+
+    def test_wan_background_16g(self):
+        tb = AmLightTestbed()
+        assert units.to_gbps(tb.path("wan54").background.mean_bytes_per_sec) == pytest.approx(16)
+        assert not tb.path("lan").background.active
+
+    def test_hosts_are_intel_cx5(self):
+        snd, rcv = AmLightTestbed().host_pair()
+        assert snd.cpu.arch == "intel"
+        assert "ConnectX-5" in snd.nic.model
+        assert snd.tuning.mtu == 9000
+
+    def test_vm_modes(self):
+        assert AmLightTestbed(vm_mode="baremetal").host_pair()[0].vm.enabled is False
+        assert AmLightTestbed(vm_mode="tuned").host_pair()[0].vm.pci_passthrough
+        assert AmLightTestbed(vm_mode="untuned").host_pair()[0].vm.enabled
+        with pytest.raises(ConfigurationError):
+            AmLightTestbed(vm_mode="container").host_pair()
+
+    def test_unknown_path(self):
+        with pytest.raises(ConfigurationError):
+            AmLightTestbed().path("wan999")
+
+    def test_no_flow_control_anywhere(self):
+        tb = AmLightTestbed()
+        assert all(not p.flow_control for p in tb.paths())
+
+    def test_big_tcp_size_propagates(self):
+        tb = AmLightTestbed(big_tcp_size=153600)
+        snd, _ = tb.host_pair()
+        assert snd.effective_gso_size() == 153600
+
+
+class TestESnet:
+    def test_paths(self):
+        tb = ESnetTestbed()
+        assert tb.path("lan").capacity == pytest.approx(units.gbps(200))
+        assert tb.path("wan").rtt_ms == pytest.approx(ESNET_WAN_RTT_MS, abs=0.5)
+
+    def test_hosts_are_amd_cx7(self):
+        snd, _ = ESnetTestbed().host_pair()
+        assert snd.cpu.arch == "amd"
+        assert "ConnectX-7" in snd.nic.model
+
+    def test_switch_is_64mb_edgecore(self):
+        tb = ESnetTestbed()
+        assert tb.path("lan").switch.shared_buffer_bytes == pytest.approx(64 * units.MB)
+        assert not tb.path("lan").switch.supports_flow_control
+
+    def test_production_pair_100g_with_fc(self):
+        tb = ESnetTestbed()
+        snd, rcv = tb.production_host_pair()
+        assert snd.nic.speed_gbps == pytest.approx(100.0)
+        path = tb.production_path()
+        assert path.flow_control
+        assert path.rtt_ms == pytest.approx(63.0, abs=0.5)
+        assert path.background.active
+
+    def test_unknown_path(self):
+        with pytest.raises(ConfigurationError):
+            ESnetTestbed().path("metro")

@@ -1,0 +1,83 @@
+"""Unit conversion helpers — the factor-of-8 bug firewall."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import units
+
+
+class TestRates:
+    def test_gbps_roundtrip(self):
+        assert units.to_gbps(units.gbps(100.0)) == pytest.approx(100.0)
+
+    def test_gbps_is_decimal_bits(self):
+        # 1 Gbps = 1e9 bits/s = 125e6 bytes/s
+        assert units.gbps(1.0) == pytest.approx(125e6)
+
+    def test_mbps(self):
+        assert units.mbps(1000.0) == pytest.approx(units.gbps(1.0))
+        assert units.to_mbps(units.gbps(1.0)) == pytest.approx(1000.0)
+
+    @given(st.floats(min_value=1e-3, max_value=1e6, allow_nan=False))
+    def test_roundtrip_property(self, value):
+        assert units.to_gbps(units.gbps(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestSizes:
+    def test_binary_sizes(self):
+        assert units.kib(1) == 1024
+        assert units.mib(1) == 1024**2
+        assert units.to_mib(units.mib(3.25)) == pytest.approx(3.25)
+
+    def test_optmem_paper_value_is_about_3_25_mib(self):
+        # the paper's empirically best optmem_max
+        assert units.to_mib(3405376) == pytest.approx(3.25, abs=0.01)
+
+
+class TestTime:
+    def test_ms_us(self):
+        assert units.ms(104) == pytest.approx(0.104)
+        assert units.us(100) == pytest.approx(1e-4)
+        assert units.seconds_to_ms(0.054) == pytest.approx(54.0)
+
+
+class TestBdp:
+    def test_bdp_100g_104ms(self):
+        # 100 Gbps over 104 ms holds 1.3 GB in flight
+        bdp = units.bdp_bytes(units.gbps(100), units.ms(104))
+        assert bdp == pytest.approx(1.3e9, rel=0.01)
+
+    @given(
+        st.floats(min_value=1.0, max_value=400.0),
+        st.floats(min_value=0.0001, max_value=0.5),
+    )
+    def test_bdp_scales_linearly(self, gbps_value, rtt):
+        one = units.bdp_bytes(units.gbps(gbps_value), rtt)
+        two = units.bdp_bytes(units.gbps(2 * gbps_value), rtt)
+        assert two == pytest.approx(2 * one, rel=1e-9)
+
+
+class TestFormatting:
+    def test_fmt_gbps(self):
+        assert units.fmt_gbps(units.gbps(49.94)) == "49.9 Gbps"
+        assert units.fmt_gbps(units.gbps(49.9412), digits=2) == "49.94 Gbps"
+
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(512) == "512 B"
+        assert units.fmt_bytes(2048) == "2.0 KiB"
+        assert units.fmt_bytes(3405376) == "3.2 MiB"
+        assert units.fmt_bytes(2**31) == "2.0 GiB"
+
+    @given(st.floats(min_value=0, max_value=1e15))
+    def test_fmt_bytes_never_crashes(self, value):
+        assert isinstance(units.fmt_bytes(value), str)
+
+
+class TestGhz:
+    def test_ghz(self):
+        assert units.ghz(3.6) == pytest.approx(3.6e9)
