@@ -1,12 +1,16 @@
 """Command-line interface.
 
-Three subcommands mirror the three ways people use this package::
+Four subcommands mirror the ways people use this package::
 
     repro iperf3    --testbed amlight --path wan54 --zerocopy --fq-rate 50
     repro experiment fig09 [--paper] [--markdown out.md]
     repro advise    --testbed esnet --path wan --streams 8
+    repro lint      src/ [--format json] [--select DET001,UNIT001]
 
-Each prints to stdout; exit status is 0 on success.  The module is
+Each prints to stdout; exit status is 0 on success (``lint`` exits 1
+when it finds violations, 2 on usage errors).  ``iperf3`` and
+``experiment`` accept ``--sanitize`` to enable the runtime simulation
+sanitizer (equivalent to ``REPRO_SANITIZE=1``).  The module is
 import-safe (``main`` takes argv) so tests drive it directly.
 """
 
@@ -60,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_iperf.add_argument("--optmem", type=int, default=OPTMEM_1MB)
     p_iperf.add_argument("--json", action="store_true", help="emit iperf3 -J JSON")
     p_iperf.add_argument("--seed", type=int, default=7)
+    p_iperf.add_argument("--sanitize", action="store_true",
+                         help="enable runtime invariant checks "
+                         "(= REPRO_SANITIZE=1)")
 
     # -- repro experiment -------------------------------------------------
     p_exp = sub.add_parser("experiment", help="reproduce a paper artifact")
@@ -68,6 +75,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--paper", action="store_true",
                        help="full 60s x 10-rep fidelity")
     p_exp.add_argument("--markdown", metavar="FILE")
+    p_exp.add_argument("--sanitize", action="store_true",
+                       help="enable runtime invariant checks "
+                       "(= REPRO_SANITIZE=1)")
+
+    # -- repro lint -------------------------------------------------------
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism & unit-correctness static checks",
+        description="AST-based checks of the repo's reproducibility "
+        "invariants; see README 'Invariants & linting' for the rule table.",
+    )
+    p_lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                        help="files or directories (default: src)")
+    p_lint.add_argument("--format", dest="fmt", choices=["text", "json"],
+                        default="text")
+    p_lint.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                        "(default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
 
     # -- repro advise -------------------------------------------------------
     p_adv = sub.add_parser("advise", help="tuning advice for a host/path")
@@ -82,7 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_sanitize_flag(args) -> None:
+    if getattr(args, "sanitize", False):
+        from repro.sim.sanitizer import enable
+
+        enable()
+
+
 def _cmd_iperf3(args) -> int:
+    _apply_sanitize_flag(args)
     tb = _make_testbed(args.testbed, args.kernel, args.optmem)
     snd, rcv = tb.host_pair()
     tool = Iperf3(snd, rcv, tb.path(args.path), rng=RngFactory(args.seed))
@@ -104,6 +139,7 @@ def _cmd_iperf3(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    _apply_sanitize_flag(args)
     if args.exp_id is None:
         print("available experiments:")
         for exp_id in all_experiment_ids():
@@ -116,6 +152,23 @@ def _cmd_experiment(args) -> int:
         with open(args.markdown, "w") as fh:
             fh.write(result_to_markdown(result))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"    {rule.description}")
+        return 0
+    select = None
+    if args.select:
+        select = [c.strip() for c in args.select.split(",") if c.strip()]
+    violations = lint_paths(args.paths or ["src"], select=select)
+    render = render_json if args.fmt == "json" else render_text
+    print(render(violations))
+    return 1 if violations else 0
 
 
 def _cmd_advise(args) -> int:
@@ -141,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_iperf3(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "advise":
             return _cmd_advise(args)
         raise AssertionError("unreachable")

@@ -63,12 +63,23 @@ class Engine:
     [1.5]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: bool | None = None) -> None:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._processed = 0
+        # Imported at construction time, not module time: repro.sim
+        # depends on repro.core, so the reverse import must stay lazy.
+        from repro.sim.sanitizer import SimSanitizer, enabled
+
+        want = enabled() if sanitize is None else sanitize
+        self._sanitizer = SimSanitizer(context="engine") if want else None
+
+    @property
+    def sanitizer(self):
+        """The attached :class:`~repro.sim.sanitizer.SimSanitizer`, or None."""
+        return self._sanitizer
 
     # -- introspection ----------------------------------------------------
 
@@ -129,6 +140,8 @@ class Engine:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if self._sanitizer is not None:
+                self._sanitizer.check_time(event.time)
             self._now = event.time
             self._processed += 1
             event.callback()
@@ -172,3 +185,5 @@ class Engine:
         """Drop all pending events and rewind the clock to zero."""
         self._heap.clear()
         self._now = 0.0
+        if self._sanitizer is not None:
+            self._sanitizer.reset_clock()

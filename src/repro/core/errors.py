@@ -30,6 +30,27 @@ class SimulationError(ReproError):
     """
 
 
+class SanitizerViolation(SimulationError):
+    """A runtime-sanitizer invariant failed (see :mod:`repro.sim.sanitizer`).
+
+    Raised only when the sanitizer is enabled (``REPRO_SANITIZE=1`` or
+    ``--sanitize``); it means the simulation produced a state that the
+    package's documented invariants forbid: time moved backwards, a queue
+    or rate went negative, or bytes were created/destroyed on a link.
+    """
+
+
+class RngStreamCollisionError(ConfigurationError):
+    """Two distinct RNG stream labels hashed to the same entropy.
+
+    ``RngFactory`` keys child seeds by ``crc32(label)``, so two different
+    labels can (rarely) collide and silently produce *identical* random
+    streams — correlated noise that would invert variance-sensitive
+    experimental conclusions.  The factory raises this instead; the fix
+    is to rename one of the labels.
+    """
+
+
 class FeatureUnavailableError(ConfigurationError):
     """A kernel/NIC feature was requested but is not available.
 

@@ -17,6 +17,13 @@ Usage::
 Two factories built with the same seed produce identical streams for
 identical labels, which is what lets ``pytest`` runs and benchmark runs
 agree bit-for-bit.
+
+Because labels enter the seed derivation through ``crc32``, two distinct
+labels can in principle collide and silently share a stream.  The
+factory tracks every entropy value it has handed out and raises
+:class:`~repro.core.errors.RngStreamCollisionError` the moment a second
+label maps onto one — correlated "independent" streams are exactly the
+kind of bug that corrupts variance estimates without changing means.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.core.errors import RngStreamCollisionError
 
 __all__ = ["RngFactory", "label_entropy"]
 
@@ -44,6 +53,20 @@ class RngFactory:
 
     seed: int = 0
     _cache: dict = field(default_factory=dict, repr=False)
+    _stream_owner: dict = field(default_factory=dict, repr=False)
+    _fork_owner: dict = field(default_factory=dict, repr=False)
+
+    def _claim(self, owners: dict, label: str, kind: str) -> int:
+        """Register ``label``'s entropy, raising on a crc32 collision."""
+        entropy = label_entropy(label)
+        owner = owners.setdefault(entropy, label)
+        if owner != label:
+            raise RngStreamCollisionError(
+                f"{kind} labels {owner!r} and {label!r} both map to crc32 "
+                f"entropy {entropy}; their random streams would be "
+                f"identical — rename one of the labels"
+            )
+        return entropy
 
     def stream(self, label: str, rep: int = 0) -> np.random.Generator:
         """Return the generator for ``(label, rep)``.
@@ -52,12 +75,16 @@ class RngFactory:
         producing the same sequence.  Generators are cached, so repeated
         calls return the *same object* — callers that need a fresh replay
         should build a new factory.
+
+        Raises :class:`~repro.core.errors.RngStreamCollisionError` if
+        ``label`` collides with a previously issued, different label.
         """
         key = (label, rep)
         if key not in self._cache:
+            entropy = self._claim(self._stream_owner, label, "RNG stream")
             ss = np.random.SeedSequence(
                 entropy=self.seed,
-                spawn_key=(label_entropy(label), rep),
+                spawn_key=(entropy, rep),
             )
             self._cache[key] = np.random.Generator(np.random.PCG64(ss))
         return self._cache[key]
@@ -66,6 +93,9 @@ class RngFactory:
         """Return a new factory whose streams are disjoint from this one.
 
         Used to hand an entire subsystem (e.g. one simulated host) its own
-        namespace of streams.
+        namespace of streams.  Fork labels are collision-checked the same
+        way stream labels are: two different labels colliding would hand
+        two subsystems the *same* child namespace.
         """
-        return RngFactory(seed=(self.seed * 1_000_003 + label_entropy(label)) % (2**63))
+        entropy = self._claim(self._fork_owner, label, "RNG fork")
+        return RngFactory(seed=(self.seed * 1_000_003 + entropy) % (2**63))

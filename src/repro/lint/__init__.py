@@ -1,0 +1,51 @@
+"""``repro lint`` — determinism & unit-correctness static analysis.
+
+The simulator's correctness rests on invariants the code *states* but
+cannot enforce by construction:
+
+* all randomness flows through :meth:`repro.core.rng.RngFactory.stream`;
+* all internal quantities are SI base units, converted only at the
+  boundary via :mod:`repro.core.units`;
+* the event engine and fluid simulator stay deterministic.
+
+This package is an AST-based checker that enforces them on every commit.
+Rules are small classes registered by code (``DET001``, ``UNIT001``, …);
+the runner walks files, applies the rules, honours per-line
+``# repro: noqa-<CODE>`` suppressions, and renders text or JSON.  The
+``repro lint`` CLI subcommand (see :mod:`repro.cli`) is a thin wrapper
+around :func:`repro.lint.runner.lint_paths`.
+
+The companion *runtime* checks live in :mod:`repro.sim.sanitizer`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+    register,
+)
+
+# Importing the rule modules registers their rules.
+from repro.lint import rules_determinism  # noqa: F401  (registration side effect)
+from repro.lint import rules_experiments  # noqa: F401
+from repro.lint import rules_float  # noqa: F401
+from repro.lint import rules_units  # noqa: F401
+from repro.lint.runner import lint_paths, render_json, render_text
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "ProjectRule",
+    "FileContext",
+    "register",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "render_text",
+    "render_json",
+]

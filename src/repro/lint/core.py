@@ -1,0 +1,211 @@
+"""Checker framework: rule registry, file context, suppressions.
+
+A *rule* owns one code (``DET001``) and yields :class:`Violation`
+objects.  Most rules are per-file AST visitors; rules that need the
+whole file set at once (registry/benchmark cross-checks) subclass
+:class:`ProjectRule`.
+
+Suppression: appending ``# repro: noqa-DET001`` (comma-separated codes
+allowed) to the flagged line silences exactly those codes on that line.
+There is deliberately no blanket ``noqa`` — every suppression names
+what it suppresses, so greps for a code find its waivers too.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "SIM_SUBSYSTEMS",
+    "Violation",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "dotted_name",
+    "suppressed",
+]
+
+#: Subsystems that hold simulation math, where unit/float rules apply.
+SIM_SUBSYSTEMS = frozenset({"sim", "tcp", "net", "micro"})
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa-([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: file position, rule code, human message."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """One source file under analysis: path, text, lazily parsed AST."""
+
+    path: Path
+    source: str
+    _tree: ast.Module | None = field(default=None, repr=False)
+    _lines: list[str] | None = field(default=None, repr=False)
+
+    @classmethod
+    def load(cls, path: Path) -> "FileContext":
+        return cls(path=path, source=path.read_text(encoding="utf-8"))
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=str(self.path))
+        return self._tree
+
+    @property
+    def lines(self) -> list[str]:
+        if self._lines is None:
+            self._lines = self.source.splitlines()
+        return self._lines
+
+    @property
+    def repro_parts(self) -> tuple[str, ...] | None:
+        """Path segments below the last ``repro`` package directory.
+
+        ``src/repro/sim/flowsim.py`` → ``('sim', 'flowsim.py')``;
+        returns None for files outside any ``repro`` package (the lint
+        self-test fixtures), which rules treat as *unscoped*: every rule
+        applies, so a fixture exercises its rule without needing to live
+        inside the package tree.
+        """
+        parts = self.path.parts
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == "repro":
+                return parts[i + 1 :]
+        return None
+
+    @property
+    def subsystem(self) -> str | None:
+        """First directory below ``repro`` ('sim', 'core', …).
+
+        Top-level modules (``cli.py``) map to ``""``; files outside the
+        package map to None.
+        """
+        rp = self.repro_parts
+        if rp is None:
+            return None
+        return rp[0] if len(rp) > 1 else ""
+
+    def in_sim_code(self) -> bool:
+        """Does this file hold simulation math (or is it unscoped)?"""
+        return self.subsystem is None or self.subsystem in SIM_SUBSYSTEMS
+
+    def is_module(self, *tail: str) -> bool:
+        """Is this file exactly ``repro/<tail...>`` (e.g. 'core', 'rng.py')?"""
+        return self.repro_parts == tail
+
+    def violation(self, node: ast.AST, code: str, message: str) -> Violation:
+        return Violation(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: one code, one ``check`` over a file's AST."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.code} {self.name}>"
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the whole linted file set at once."""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(
+        self, ctxs: Iterable[FileContext]
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by instance) to the registry."""
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {code!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def suppressed(ctx: FileContext, violation: Violation) -> bool:
+    """Does the flagged line carry ``# repro: noqa-<CODE>`` for this code?"""
+    if not 1 <= violation.line <= len(ctx.lines):
+        return False
+    match = _NOQA_RE.search(ctx.lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = {c.strip() for c in match.group(1).split(",")}
+    return violation.code in codes

@@ -1,0 +1,199 @@
+"""Determinism rules: DET001 (entropy sources), DET002 (unstable order).
+
+The whole experiment pipeline promises bit-for-bit replays from one
+seed.  Two things silently break that promise:
+
+* drawing entropy from outside :class:`repro.core.rng.RngFactory` —
+  wall-clock reads, the ``random`` module's process-global state, or
+  fresh/global numpy generators (DET001);
+* ordering work by quantities that differ between processes — ``hash()``
+  (salted per process for strings), ``id()`` (allocator-dependent), or
+  iteration over a bare ``set`` (insertion/hash dependent) (DET002).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    FileContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+__all__ = ["WallClockAndGlobalRandomRule", "UnstableOrderingRule"]
+
+#: Dotted-name suffixes that read the wall clock.
+_WALL_CLOCK = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: ``random``-module functions (process-global Mersenne Twister state).
+_GLOBAL_RANDOM = (
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.expovariate",
+    "random.betavariate",
+    "random.getrandbits",
+    "random.seed",
+    "random.Random",
+)
+
+#: Any call into numpy's module-level random namespace.
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+
+def _matches(name: str, entry: str) -> bool:
+    return name == entry or name.endswith("." + entry)
+
+
+@register
+class WallClockAndGlobalRandomRule(Rule):
+    code = "DET001"
+    name = "no-wall-clock-or-global-randomness"
+    description = (
+        "Wall-clock reads (time.time, datetime.now, ...) and global "
+        "randomness (random.*, np.random.default_rng/seed) are forbidden "
+        "in repro code; route all randomness through RngFactory.stream "
+        "(repro.core.rng) and all time through the simulation clock."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.is_module("core", "rng.py"):
+            return  # the one module allowed to touch seed machinery
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if any(
+                name == pref.rstrip(".") or pref in name or name.startswith(pref)
+                for pref in _NP_RANDOM_PREFIXES
+            ):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"call to {name}() uses numpy's global/unseeded RNG; "
+                    f"draw from RngFactory.stream() instead",
+                )
+                continue
+            for entry in _WALL_CLOCK:
+                if _matches(name, entry):
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        f"call to {name}() reads the wall clock; simulations "
+                        f"must use the engine's simulated time",
+                    )
+                    break
+            else:
+                for entry in _GLOBAL_RANDOM:
+                    if _matches(name, entry):
+                        yield ctx.violation(
+                            node,
+                            self.code,
+                            f"call to {name}() uses the process-global "
+                            f"random module; draw from RngFactory.stream() "
+                            f"instead",
+                        )
+                        break
+
+
+def _is_hash_or_id(node: ast.expr | None) -> str | None:
+    """Return 'hash'/'id' if the expression orders by hash() or id()."""
+    if isinstance(node, ast.Name) and node.id in ("hash", "id"):
+        return node.id
+    if isinstance(node, ast.Lambda):
+        body = node.body
+        if (
+            isinstance(body, ast.Call)
+            and isinstance(body.func, ast.Name)
+            and body.func.id in ("hash", "id")
+        ):
+            return body.func.id
+    return None
+
+
+def _is_bare_set(node: ast.expr) -> bool:
+    """A set display, set comprehension, or direct set(...) call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class UnstableOrderingRule(Rule):
+    code = "DET002"
+    name = "no-hash-id-or-set-ordering"
+    description = (
+        "Ordering by hash() (salted per process) or id() (allocator-"
+        "dependent), and iterating a bare set, give a different order "
+        "every process — poison for a deterministic scheduler.  Sort by "
+        "a stable key, or sort the set before iterating."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                is_order_call = (
+                    isinstance(func, ast.Name)
+                    and func.id in ("sorted", "min", "max")
+                ) or (
+                    isinstance(func, ast.Attribute) and func.attr == "sort"
+                )
+                if is_order_call:
+                    for kw in node.keywords:
+                        if kw.arg != "key":
+                            continue
+                        which = _is_hash_or_id(kw.value)
+                        if which is not None:
+                            yield ctx.violation(
+                                node,
+                                self.code,
+                                f"ordering by {which}() is not stable "
+                                f"across processes; use an explicit, "
+                                f"deterministic sort key",
+                            )
+            elif isinstance(node, ast.For) and _is_bare_set(node.iter):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    "iterating a bare set: the order is hash/insertion "
+                    "dependent; wrap it in sorted(...)",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if _is_bare_set(gen.iter):
+                        yield ctx.violation(
+                            node,
+                            self.code,
+                            "comprehension over a bare set: the order is "
+                            "hash/insertion dependent; wrap it in "
+                            "sorted(...)",
+                        )

@@ -1,0 +1,91 @@
+"""Experiment-coverage rule: EXP001 (registry & benchmark wiring).
+
+Every ``experiments/fig*.py`` module must be (a) imported by
+``experiments/registry.py`` — otherwise ``repro experiment`` cannot run
+it and EXPERIMENTS.md silently omits it — and (b) covered by a
+``benchmarks/test_bench_<figNN>*.py`` file, so the artifact keeps being
+exercised.  Modules reproducing several figures (``fig12_fig13_*``)
+need a benchmark per ``figNN`` token in their name.
+
+This is a :class:`~repro.lint.core.ProjectRule`: it looks at the file
+set as a whole rather than any single AST, and anchors its violations
+on line 1 of the offending fig module.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.core import FileContext, ProjectRule, Violation, register
+
+__all__ = ["ExperimentCoverageRule"]
+
+_FIG_TOKEN = re.compile(r"fig\d+")
+
+
+def _find_repo_root(experiments_dir: Path) -> Path | None:
+    """Nearest ancestor that has a ``benchmarks`` directory."""
+    probe = experiments_dir
+    for _ in range(6):
+        probe = probe.parent
+        if (probe / "benchmarks").is_dir():
+            return probe
+    return None
+
+
+@register
+class ExperimentCoverageRule(ProjectRule):
+    code = "EXP001"
+    name = "experiment-registry-and-benchmark-coverage"
+    description = (
+        "Every experiments/fig*.py module must be imported by "
+        "experiments/registry.py and have a matching "
+        "benchmarks/test_bench_<figNN> file."
+    )
+
+    def check_project(
+        self, ctxs: Iterable[FileContext]
+    ) -> Iterator[Violation]:
+        for ctx in ctxs:
+            path = ctx.path
+            if (
+                path.parent.name != "experiments"
+                or not path.name.startswith("fig")
+                or path.suffix != ".py"
+            ):
+                continue
+            anchor = Violation(
+                path=str(path), line=1, col=1, code=self.code, message=""
+            )
+            registry = path.parent / "registry.py"
+            if not registry.is_file():
+                yield Violation(
+                    **{**anchor.to_dict(), "message": (
+                        "no registry.py beside this fig module; every "
+                        "experiment must be registered"
+                    )}
+                )
+                continue
+            if path.stem not in registry.read_text(encoding="utf-8"):
+                yield Violation(
+                    **{**anchor.to_dict(), "message": (
+                        f"experiments/{path.name} is not referenced by "
+                        f"experiments/registry.py; register it so "
+                        f"`repro experiment` can run it"
+                    )}
+                )
+            root = _find_repo_root(path.parent)
+            bench_dir = root / "benchmarks" if root is not None else None
+            for token in _FIG_TOKEN.findall(path.stem):
+                covered = bench_dir is not None and any(
+                    bench_dir.glob(f"test_bench_{token}*.py")
+                )
+                if not covered:
+                    yield Violation(
+                        **{**anchor.to_dict(), "message": (
+                            f"no benchmarks/test_bench_{token}*.py "
+                            f"covering experiments/{path.name}"
+                        )}
+                    )

@@ -1,0 +1,72 @@
+"""Float-comparison rule: FLOAT001 (``==``/``!=`` on float expressions).
+
+Simulation state — times, rates, queue occupancies — is float
+arithmetic; exact equality against a float literal is either dead code
+(the accumulation never lands exactly on the value) or a latent
+Heisenbug (it lands there on one platform's FMA contraction and not
+another's).  Compare against a tolerance, or use integers for exact
+quantities.
+
+Detection is deliberately conservative to stay false-positive-free: a
+comparison is flagged when ``==``/``!=`` has a float *literal* on either
+side, or when both sides are arithmetic expressions (BinOp) — the two
+shapes that are unambiguously float comparisons without type inference.
+Scope: the simulation subsystems (``sim``, ``tcp``, ``net``,
+``micro``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, Rule, Violation, register
+
+__all__ = ["FloatEqualityRule"]
+
+_ARITH = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_arithmetic(node: ast.expr) -> bool:
+    return isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH)
+
+
+@register
+class FloatEqualityRule(Rule):
+    code = "FLOAT001"
+    name = "no-float-equality"
+    description = (
+        "==/!= between float expressions in simulation code is either "
+        "dead or platform-dependent; compare with a tolerance "
+        "(abs(a - b) < eps) or restructure to integers."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_sim_code():
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                lhs, rhs = operands[i], operands[i + 1]
+                floaty = (
+                    _is_float_literal(lhs)
+                    or _is_float_literal(rhs)
+                    or (_is_arithmetic(lhs) and _is_arithmetic(rhs))
+                )
+                if floaty:
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        "exact ==/!= on a float expression; compare with "
+                        "a tolerance instead",
+                    )

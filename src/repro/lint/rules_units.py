@@ -1,0 +1,92 @@
+"""Unit-correctness rule: UNIT001 (magic unit constants).
+
+The simulator's internal quantities are SI base units; conversions live
+in :mod:`repro.core.units` and nowhere else.  A bare ``1e9`` or ``* 8``
+in simulation math is exactly how the classic factor-of-8 and
+1000-vs-1024 bugs re-enter a networking codebase — the reader cannot
+tell a gigabit from a gigabyte from a GiB, and neither can a reviewer.
+
+The rule fires on numeric literals that are unit-conversion constants
+(1e3/1e6/1e9, 1024 and its powers) and on multiplying/dividing a
+non-literal expression by 8 (bits↔bytes), inside the simulation
+subsystems (``sim``, ``tcp``, ``net``, ``micro``).  Use ``units.G``,
+``units.KB``, ``units.BITS_PER_BYTE`` & friends, or suppress a genuine
+non-unit use with ``# repro: noqa-UNIT001`` and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import FileContext, Rule, Violation, register
+
+__all__ = ["MagicUnitConstantRule"]
+
+#: Literal value → the units helper that should replace it.
+_MAGIC = {
+    1e3: "units.K",
+    1e6: "units.M",
+    1e9: "units.G",
+    1024.0: "units.KB",
+    float(1024**2): "units.MB",
+    float(1024**3): "units.GB",
+}
+
+
+def _is_number(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+    )
+
+
+@register
+class MagicUnitConstantRule(Rule):
+    code = "UNIT001"
+    name = "no-magic-unit-constants"
+    description = (
+        "Magic unit constants (1e9, 1e6, 1024, '* 8') in simulation code "
+        "hide unit conversions; use the repro.core.units helpers "
+        "(units.G, units.KB, units.BITS_PER_BYTE, gbps(), ...) so every "
+        "conversion happens at one audited boundary."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_sim_code():
+            return
+        for node in ast.walk(ctx.tree):
+            if _is_number(node):
+                suggestion = _MAGIC.get(float(node.value))
+                if suggestion is not None:
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        f"magic unit constant {node.value!r}; use "
+                        f"{suggestion} (repro.core.units)",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Mult, ast.Div)
+            ):
+                left, right = node.left, node.right
+                # x * 8 / 8 * x: a bits-per-byte conversion in disguise.
+                # Pure-literal arithmetic (8 * 1024) is caught via the
+                # literal table when it involves a unit constant.
+                candidates = [(left, right), (right, left)]
+                if isinstance(node.op, ast.Div):
+                    candidates = [(right, left)]  # only `x / 8`
+                for lit, other in candidates:
+                    if (
+                        _is_number(lit)
+                        and float(lit.value) == 8.0
+                        and not _is_number(other)
+                    ):
+                        yield ctx.violation(
+                            node,
+                            self.code,
+                            "multiplying/dividing by bare 8 looks like a "
+                            "bits<->bytes conversion; use "
+                            "units.BITS_PER_BYTE or gbps()/to_gbps()",
+                        )
+                        break

@@ -1,0 +1,120 @@
+"""Lint driver: file discovery, rule application, output rendering.
+
+:func:`lint_paths` is the programmatic entry point (the CLI and tests
+both use it): collect ``.py`` files, run every registered per-file rule
+and then every project rule, drop ``# repro: noqa-<CODE>``-suppressed
+findings, and return the survivors sorted by position.
+
+Files that fail to parse yield a single ``PARSE001`` violation rather
+than aborting the run — a broken file should show up in the report next
+to everything else.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.errors import ReproError
+from repro.lint.core import (
+    FileContext,
+    ProjectRule,
+    Violation,
+    all_rules,
+    suppressed,
+)
+
+__all__ = ["iter_python_files", "lint_paths", "render_text", "render_json"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    found.add(sub)
+        else:
+            raise ReproError(f"lint path does not exist: {path}")
+    return sorted(found)
+
+
+def lint_paths(
+    paths: Sequence[str | Path], select: Iterable[str] | None = None
+) -> list[Violation]:
+    """Lint ``paths`` with all (or ``select``-ed) rules; return violations."""
+    wanted = set(select) if select is not None else None
+    rules = [
+        r for r in all_rules() if wanted is None or r.code in wanted
+    ]
+    if wanted is not None:
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise ReproError(
+                f"unknown lint rule code(s): {sorted(unknown)}; "
+                f"have {[r.code for r in all_rules()]}"
+            )
+
+    ctxs: list[FileContext] = []
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        try:
+            ctx = FileContext.load(path)
+            ctx.tree  # parse eagerly so syntax errors surface here
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    code="PARSE001",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        ctxs.append(ctx)
+
+    by_path = {str(c.path): c for c in ctxs}
+    for ctx in ctxs:
+        for rule in rules:
+            violations.extend(rule.check(ctx))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            violations.extend(rule.check_project(ctxs))
+
+    kept = [
+        v
+        for v in violations
+        if str(v.path) not in by_path or not suppressed(by_path[str(v.path)], v)
+    ]
+    return sorted(kept)
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """flake8-style ``path:line:col: CODE message`` lines + summary."""
+    lines = [v.render() for v in violations]
+    if violations:
+        lines.append(f"found {len(violations)} violation(s)")
+    else:
+        lines.append("clean: no violations")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    return json.dumps(
+        {
+            "violations": [v.to_dict() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -5,8 +5,14 @@ from repro.sim.cpumodel import CpuCostModel, RecvCosts, SendCosts
 from repro.sim.flowsim import FlowSimulator, FlowSpec, SimProfile
 from repro.sim.lossmodel import BurstModel, distribute_drops
 from repro.sim.metrics import CpuUtil, MetricsAccumulator, RunResult
+from repro.sim.sanitizer import SanitizerViolation, SimSanitizer, sanitized
+from repro.sim.sanitizer import enabled as sanitizer_enabled
 
 __all__ = [
+    "SimSanitizer",
+    "SanitizerViolation",
+    "sanitized",
+    "sanitizer_enabled",
     "FlowSimulator",
     "FlowSpec",
     "SimProfile",

@@ -40,6 +40,8 @@ from repro.sim.bottleneck import maxmin_allocate
 from repro.sim.cpumodel import CpuCostModel
 from repro.sim.lossmodel import BurstModel, concentrate_drops
 from repro.sim.metrics import MetricsAccumulator, RunResult
+from repro.sim.sanitizer import SimSanitizer
+from repro.sim.sanitizer import enabled as sanitizer_enabled
 from repro.tcp.cc import make_cc
 from repro.tcp.pacing import PacingConfig
 from repro.tcp.segment import SegmentGeometry
@@ -143,10 +145,18 @@ class FlowSimulator:
         n = len(self.flows)
         dt = prof.tick
 
+        san = (
+            SimSanitizer(context=f"flowsim rep={rep}")
+            if sanitizer_enabled()
+            else None
+        )
+
         jitter_rng = self.rng.stream("hostjitter", rep)
         burst_rng = self.rng.stream("burst", rep)
         bg_rng = self.rng.stream("background", rep)
         place_rng = self.rng.stream("placement", rep)
+        if san is not None:
+            san.check_stream_registry(self.rng)
 
         snd_place = self.sender.resolved_placement(place_rng)
         rcv_place = self.receiver.resolved_placement(place_rng)
@@ -240,6 +250,8 @@ class FlowSimulator:
         rtt = base_rtt
         for step in range(n_ticks):
             now += dt
+            if san is not None:
+                san.check_time(now)
             if step % steps_per_bg == 0 and self.path.background.active:
                 bg_sample = float(self.path.background.sample(bg_rng, 1)[0])
 
@@ -270,7 +282,7 @@ class FlowSimulator:
                 # Receiver limit: pb falls as the GRO batch fills, then
                 # is rate-independent; one damped step per tick converges.
                 rm = recv_models[i]
-                rcosts = rm.receiver_costs(max(rcv_limit[i], 1e6), rtt)
+                rcosts = rm.receiver_costs(max(rcv_limit[i], units.M), rtt)
                 app_lim = (
                     budget_rx * rcv_app_share / max(rcosts.app_cyc_per_byte, 1e-9)
                 )
@@ -336,7 +348,17 @@ class FlowSimulator:
             tick_per_rtt = dt / max(rtt, dt)
 
             q_switch.drain_rate = cap_net
-            _, dropped_std1 = q_switch.offer(float(sent.sum()), dt)
+            occ1_before = q_switch.occupancy
+            delivered1, dropped_std1 = q_switch.offer(float(sent.sum()), dt)
+            if san is not None:
+                san.account_link(
+                    "switch-buffer",
+                    offered=float(sent.sum()),
+                    delivered=delivered1,
+                    dropped=dropped_std1,
+                    queue_before=occ1_before,
+                    queue_after=q_switch.occupancy,
+                )
             line1 = min(
                 self.sender.nic.speed_bytes_per_sec, self.path.bottleneck.rate_bytes_per_sec
             ) * eff
@@ -353,7 +375,18 @@ class FlowSimulator:
             rcv_drain = min(agg_rx, float(rcv_limit.sum()))
             after1 = np.maximum(0.0, sent - drops1)
             q_ring.drain_rate = rcv_drain
-            _, dropped_std2 = q_ring.offer(float(after1.sum()), dt)
+            occ2_before = q_ring.occupancy
+            delivered2, dropped_std2 = q_ring.offer(float(after1.sum()), dt)
+            if san is not None:
+                san.account_link(
+                    "rx-ring",
+                    offered=float(after1.sum()),
+                    delivered=delivered2,
+                    dropped=dropped_std2,
+                    queue_before=occ2_before,
+                    queue_after=q_ring.occupancy,
+                    flow_control=self.path.flow_control,
+                )
             if self.path.flow_control:
                 # 802.3x pause frames: the overflow is held upstream,
                 # nothing is dropped at the ring.
@@ -371,6 +404,16 @@ class FlowSimulator:
 
             drops = drops1 + drops2
             delivered = np.maximum(0.0, sent - drops)
+            if san is not None:
+                san.check_non_negative("alloc", alloc)
+                san.check_non_negative("sent", sent)
+                san.check_non_negative("drops", drops)
+                san.check_non_negative("delivered", delivered)
+                san.check_non_negative(
+                    "queue occupancy", (q_switch.occupancy, q_ring.occupancy)
+                )
+                san.check_positive("rtt", rtt)
+                san.check_positive("cwnd", cwnd)
 
             # --- congestion feedback ------------------------------------
             loss_events = 0

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import units
 from repro.core.errors import ConfigurationError
 
 __all__ = ["ZerocopyModel", "NOTIF_BYTES", "NOTIF_BYTES_COALESCED", "DEFAULT_SEND_BLOCK"]
@@ -117,6 +118,6 @@ class ZerocopyModel:
         return (
             f"optmem_max={self.optmem_max:.0f}B -> "
             f"{self.max_pending_sends:.0f} pending sends "
-            f"({self.max_inflight_bytes / 1e6:.0f} MB coverable); "
+            f"({self.max_inflight_bytes / units.M:.0f} MB coverable); "
             f"zerocopy fraction at load: {frac:.0%}"
         )

@@ -1,0 +1,12 @@
+"""Fixture: DET001 — wall-clock time and process-global randomness.
+
+Each line below must be flagged by DET001 and by no other rule.
+"""
+
+import random
+import time
+
+
+def nondeterministic_jitter() -> float:
+    started = time.time()
+    return started + random.random()

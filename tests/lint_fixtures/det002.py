@@ -1,0 +1,11 @@
+"""Fixture: DET002 — ordering derived from hash() and bare-set iteration.
+
+Each construct below must be flagged by DET002 and by no other rule.
+"""
+
+
+def unstable_schedule(flows: list) -> list:
+    order = sorted(flows, key=hash)
+    for flow in set(flows):
+        order.append(flow)
+    return order

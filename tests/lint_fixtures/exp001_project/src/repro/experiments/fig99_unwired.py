@@ -1,0 +1,12 @@
+"""Fixture: EXP001 — a fig module missing registry and benchmark wiring.
+
+This module is deliberately absent from the sibling registry.py and has
+no benchmarks/test_bench_fig99*.py in the fixture project root, so
+EXP001 must emit two violations anchored here — and no other rule may
+fire anywhere in this fixture project.
+"""
+
+
+class Fig99Unwired:
+    exp_id = "fig99"
+    title = "an experiment nobody can run"

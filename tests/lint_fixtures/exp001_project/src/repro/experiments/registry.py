@@ -1,0 +1,3 @@
+"""Fixture registry that (deliberately) imports no fig modules at all."""
+
+_CLASSES: list = []

@@ -1,0 +1,8 @@
+"""Fixture: FLOAT001 — exact equality between float expressions.
+
+The comparison below must be flagged by FLOAT001 and by no other rule.
+"""
+
+
+def link_is_idle(rate_bytes_per_sec: float) -> bool:
+    return rate_bytes_per_sec == 0.0

@@ -1,0 +1,9 @@
+"""Fixture: UNIT001 — magic unit constants instead of repro.core.units.
+
+Both the bare 1e9 and the `* 8` bits<->bytes factor must be flagged by
+UNIT001 and by no other rule.
+"""
+
+
+def gbytes_to_bits_per_sec(gbytes_per_sec: float) -> float:
+    return gbytes_per_sec * 1e9 * 8

@@ -78,6 +78,31 @@ class TestExperimentCommand:
         assert md.read_text().startswith("### fig12")
 
 
+class TestSanitizeFlag:
+    @pytest.fixture(autouse=True)
+    def _restore(self):
+        from repro.sim import sanitizer
+
+        yield
+        sanitizer.reset()
+
+    def test_iperf3_sanitize_enables_and_runs(self, capsys):
+        from repro.sim import sanitizer
+
+        rc = main(["iperf3", "--path", "lan", "-t", "6", "--sanitize"])
+        assert rc == 0
+        assert sanitizer.enabled()
+        assert "Gbits/sec" in capsys.readouterr().out
+
+    def test_experiment_parser_accepts_sanitize(self):
+        args = build_parser().parse_args(["experiment", "fig05", "--sanitize"])
+        assert args.sanitize
+
+    def test_lint_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.fmt == "text" and not args.list_rules
+
+
 class TestAdviseCommand:
     def test_tuned_host(self, capsys):
         rc = main(["advise", "--path", "wan104", "--target", "50"])

@@ -1,0 +1,196 @@
+"""The ``repro lint`` static-analysis subsystem.
+
+The contract under test, from the invariants documented in README:
+
+* every rule fires on its minimal fixture in ``tests/lint_fixtures/``
+  — and *only* its rule fires there;
+* the shipped ``src/repro`` tree is clean (violations are either fixed
+  or carry a justified ``# repro: noqa-<CODE>``);
+* suppressions silence exactly the named code on the named line;
+* the CLI wrapper exits 0/1 and renders text and JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ReproError
+from repro.lint import all_rules, get_rule, lint_paths, render_json, render_text
+from repro.lint.core import FileContext, Violation
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "lint_fixtures"
+SRC = REPO / "src" / "repro"
+
+#: rule code -> the fixture path where it (and only it) must fire.
+RULE_FIXTURES = {
+    "DET001": FIXTURES / "det001.py",
+    "DET002": FIXTURES / "det002.py",
+    "UNIT001": FIXTURES / "unit001.py",
+    "FLOAT001": FIXTURES / "float001.py",
+    "EXP001": FIXTURES / "exp001_project",
+}
+
+#: violations each fixture must produce (constructs in the file).
+EXPECTED_COUNTS = {
+    "DET001": 2,  # time.time() + random.random()
+    "DET002": 2,  # sorted(key=hash) + bare-set for loop
+    "UNIT001": 2,  # 1e9 literal + `* 8`
+    "FLOAT001": 1,
+    "EXP001": 2,  # unregistered + unbenchmarked
+}
+
+
+def fired(path: Path) -> list[Violation]:
+    return lint_paths([str(path)])
+
+
+class TestRegistry:
+    def test_all_documented_rules_registered(self):
+        codes = {r.code for r in all_rules()}
+        assert set(RULE_FIXTURES) <= codes
+
+    def test_rules_have_descriptions(self):
+        for rule in all_rules():
+            assert rule.code and rule.name and rule.description
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError):
+            get_rule("NOPE999")
+
+
+class TestFixturesFire:
+    @pytest.mark.parametrize("code", sorted(RULE_FIXTURES))
+    def test_rule_fires_on_its_fixture_and_nothing_else_does(self, code):
+        violations = fired(RULE_FIXTURES[code])
+        assert {v.code for v in violations} == {code}
+        assert len(violations) == EXPECTED_COUNTS[code]
+
+    def test_exp001_names_both_failures(self):
+        messages = " ".join(v.message for v in fired(RULE_FIXTURES["EXP001"]))
+        assert "registry.py" in messages
+        assert "test_bench_fig99" in messages
+
+
+class TestSrcTreeClean:
+    def test_src_repro_is_clean(self):
+        violations = lint_paths([str(SRC)])
+        assert violations == [], render_text(violations)
+
+    def test_experiment_coverage_holds_on_real_tree(self):
+        # EXP001 alone over the real experiments package: every fig
+        # module registered and benchmarked (fig12_fig13 needs both).
+        assert lint_paths([str(SRC / "experiments")], select=["EXP001"]) == []
+
+
+class TestSuppression:
+    def test_noqa_silences_named_code(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import time\n"
+            "t = time.time()  # repro: noqa-DET001\n"
+        )
+        assert lint_paths([str(f)]) == []
+
+    def test_noqa_for_other_code_does_not_silence(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import time\n"
+            "t = time.time()  # repro: noqa-UNIT001\n"
+        )
+        assert [v.code for v in lint_paths([str(f)])] == ["DET001"]
+
+    def test_noqa_comma_list(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import time\n"
+            "t = time.time() * 8  # repro: noqa-DET001,UNIT001\n"
+        )
+        assert lint_paths([str(f)]) == []
+
+    def test_noqa_only_applies_to_its_line(self, tmp_path):
+        f = tmp_path / "m.py"
+        f.write_text(
+            "import time\n"
+            "# repro: noqa-DET001\n"
+            "t = time.time()\n"
+        )
+        assert [v.code for v in lint_paths([str(f)])] == ["DET001"]
+
+
+class TestRunner:
+    def test_select_unknown_code_raises(self):
+        with pytest.raises(ReproError):
+            lint_paths([str(FIXTURES / "det001.py")], select=["NOPE001"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(ReproError):
+            lint_paths([str(FIXTURES / "does_not_exist.py")])
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        f = tmp_path / "broken.py"
+        f.write_text("def f(:\n")
+        violations = lint_paths([str(f)])
+        assert [v.code for v in violations] == ["PARSE001"]
+
+    def test_render_json_round_trips(self):
+        violations = fired(RULE_FIXTURES["DET001"])
+        doc = json.loads(render_json(violations))
+        assert doc["count"] == len(violations) == 2
+        assert {v["code"] for v in doc["violations"]} == {"DET001"}
+
+    def test_render_text_clean_message(self):
+        assert "clean" in render_text([])
+
+
+class TestCli:
+    def test_lint_src_exits_zero(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_fixture_exits_one(self, capsys):
+        assert main(["lint", str(RULE_FIXTURES["DET001"])]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_lint_json_format(self, capsys):
+        assert main(["lint", str(RULE_FIXTURES["FLOAT001"]),
+                     "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+
+    def test_lint_select(self, capsys):
+        rc = main(["lint", str(RULE_FIXTURES["DET001"]),
+                   "--select", "UNIT001"])
+        assert rc == 0  # only UNIT001 requested; det001.py has none
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULE_FIXTURES:
+            assert code in out
+
+    def test_unknown_select_is_clean_error(self, capsys):
+        assert main(["lint", str(SRC), "--select", "NOPE1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFileContextScoping:
+    def test_repro_parts_inside_package(self):
+        ctx = FileContext(path=Path("src/repro/sim/flowsim.py"), source="")
+        assert ctx.repro_parts == ("sim", "flowsim.py")
+        assert ctx.subsystem == "sim"
+        assert ctx.in_sim_code()
+
+    def test_core_not_sim_scoped(self):
+        ctx = FileContext(path=Path("src/repro/core/units.py"), source="")
+        assert ctx.subsystem == "core"
+        assert not ctx.in_sim_code()
+
+    def test_outside_package_is_unscoped(self):
+        ctx = FileContext(path=Path("tests/lint_fixtures/x.py"), source="")
+        assert ctx.repro_parts is None
+        assert ctx.in_sim_code()

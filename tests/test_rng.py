@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.errors import ConfigurationError, RngStreamCollisionError
 from repro.core.rng import RngFactory, label_entropy
+
+#: A known crc32 collision: both strings hash to 1306201125.
+COLLIDING = ("plumless", "buckeroo")
 
 
 class TestLabelEntropy:
@@ -63,3 +67,45 @@ class TestRngFactory:
         r = RngFactory(seed=0).stream("uniform")
         sample = r.random(10000)
         assert 0.48 < sample.mean() < 0.52
+
+
+class TestCollisionDetection:
+    """crc32 label collisions must raise, never silently share a stream."""
+
+    def test_colliding_pair_really_collides(self):
+        a, b = COLLIDING
+        assert a != b
+        assert label_entropy(a) == label_entropy(b)
+
+    def test_stream_collision_raises(self):
+        f = RngFactory(seed=1)
+        f.stream(COLLIDING[0])
+        with pytest.raises(RngStreamCollisionError) as exc:
+            f.stream(COLLIDING[1])
+        assert COLLIDING[0] in str(exc.value)
+        assert COLLIDING[1] in str(exc.value)
+
+    def test_same_label_never_collides_with_itself(self):
+        f = RngFactory(seed=1)
+        f.stream("burst", rep=0)
+        f.stream("burst", rep=7)
+        f.stream("burst", rep=0)  # cached path, still fine
+
+    def test_fork_collision_raises(self):
+        f = RngFactory(seed=1)
+        f.fork(COLLIDING[0])
+        with pytest.raises(RngStreamCollisionError):
+            f.fork(COLLIDING[1])
+
+    def test_fork_and_stream_namespaces_are_independent(self):
+        # The same label used for a fork and a stream is not a collision.
+        f = RngFactory(seed=1)
+        f.stream(COLLIDING[0])
+        f.fork(COLLIDING[0])
+
+    def test_collision_is_configuration_error(self):
+        assert issubclass(RngStreamCollisionError, ConfigurationError)
+
+    def test_fresh_factories_do_not_share_state(self):
+        RngFactory(seed=1).stream(COLLIDING[0])
+        RngFactory(seed=1).stream(COLLIDING[1])  # different factory: fine
