@@ -16,7 +16,7 @@ import os
 
 import pytest
 
-from repro.experiments import REGISTRY
+from repro.experiments import run_experiments
 from repro.experiments.base import ExperimentResult
 from repro.tools.harness import HarnessConfig
 
@@ -30,12 +30,20 @@ def bench_config() -> HarnessConfig:
 
 @pytest.fixture()
 def run_artifact(benchmark, bench_config):
-    """Benchmark one experiment and return its result."""
+    """Benchmark one experiment and return its result.
+
+    Routes through the parallel runner's campaign API with caching off
+    — the runner is the production entry point, and a cache hit would
+    make the timing meaningless.
+    """
 
     def runner(exp_id: str) -> ExperimentResult:
-        exp = REGISTRY[exp_id]()
         result = benchmark.pedantic(
-            lambda: exp.run(bench_config), rounds=1, iterations=1
+            lambda: run_experiments(
+                [exp_id], config=bench_config, use_cache=False
+            ).results[0],
+            rounds=1,
+            iterations=1,
         )
         print()
         print(result.render())

@@ -1,26 +1,49 @@
 #!/usr/bin/env python3
 """Reproduce every table and figure of the paper in one run.
 
-Runs all registered experiments and prints each reproduced artifact.
-By default uses the fast 'bench' fidelity; pass ``--paper`` for the
-full 60-second x 10-repetition protocol (slow), or experiment ids to
-run a subset::
+Runs all registered experiments through the parallel runner and prints
+each reproduced artifact.  By default uses the fast 'bench' fidelity;
+pass ``--paper`` for the full 60-second x 10-repetition protocol
+(slow), or experiment ids to run a subset::
 
-    python examples/reproduce_paper.py            # everything, fast
-    python examples/reproduce_paper.py fig05 tab2 # a subset
-    python examples/reproduce_paper.py --paper    # full fidelity
-    python examples/reproduce_paper.py --markdown out.md
+    python examples/reproduce_paper.py                # everything, fast
+    python examples/reproduce_paper.py fig05 tab2     # a subset
+    python examples/reproduce_paper.py --jobs 4       # 4 worker processes
+    python examples/reproduce_paper.py --paper        # full fidelity
+    python examples/reproduce_paper.py --markdown EXPERIMENTS.md
+
+Results are cached content-addressed (see README "Running experiments
+in parallel"); re-running with unchanged code and config is instant.
+When ``--markdown`` targets an existing file, everything above its
+first ``### `` section (the hand-written preamble) is preserved and
+only the generated sections are replaced.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.analysis.report import result_to_markdown
-from repro.experiments import all_experiment_ids, run_experiment
+from repro.experiments import all_experiment_ids, run_experiments
 from repro.tools.harness import HarnessConfig
+
+
+def write_markdown(path: str, sections: list[str]) -> None:
+    """Write sections to ``path``, keeping an existing file's preamble."""
+    preamble = ""
+    try:
+        with open(path) as fh:
+            text = fh.read()
+        cut = text.find("### ")
+        if cut > 0:
+            preamble = text[:cut]
+    except OSError:
+        pass
+    with open(path, "w") as fh:
+        if preamble:
+            fh.write(preamble)
+        fh.write("\n".join(sections))
 
 
 def main(argv: list[str]) -> int:
@@ -28,6 +51,13 @@ def main(argv: list[str]) -> int:
     parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--paper", action="store_true",
                         help="full paper-fidelity runs (60s x 10 reps)")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="cache location (default $REPRO_CACHE_DIR "
+                        "or .repro_cache)")
     parser.add_argument("--markdown", metavar="FILE",
                         help="also write results as markdown")
     args = parser.parse_args(argv)
@@ -35,18 +65,20 @@ def main(argv: list[str]) -> int:
     config = HarnessConfig.paper() if args.paper else HarnessConfig.bench()
     ids = args.ids or all_experiment_ids()
 
+    report = run_experiments(
+        ids, config=config, jobs=args.jobs,
+        use_cache=not args.no_cache, cache_dir=args.cache_dir,
+    )
     sections = []
-    for exp_id in ids:
-        t0 = time.time()
-        result = run_experiment(exp_id, config)
-        elapsed = time.time() - t0
-        print(result.render())
-        print(f"[{exp_id} done in {elapsed:.1f}s]\n")
-        sections.append(result_to_markdown(result))
+    for task in report.tasks:
+        print(task.result.render())
+        origin = "cached" if task.cached else f"done in {task.elapsed:.1f}s"
+        print(f"[{task.spec.exp_id} {origin}]\n")
+        sections.append(result_to_markdown(task.result))
+    print(report.summary())
 
     if args.markdown:
-        with open(args.markdown, "w") as fh:
-            fh.write("\n".join(sections))
+        write_markdown(args.markdown, sections)
         print(f"wrote {args.markdown}")
     return 0
 

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.analysis.paper import claims_for
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import REGISTRY, all_experiment_ids
+from repro.experiments.registry import all_experiment_ids
 from repro.tools.harness import HarnessConfig
 
 __all__ = ["result_to_markdown", "build_experiments_md"]
@@ -47,11 +47,26 @@ def build_experiments_md(
     config: HarnessConfig | None = None,
     exp_ids: list[str] | None = None,
     preamble: str = "",
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
 ) -> str:
-    """Run experiments and assemble the full markdown document."""
+    """Run experiments and assemble the full markdown document.
+
+    Routes through the parallel runner, so regeneration can fan out
+    across ``jobs`` workers and reuse cached results — section order
+    stays the registry (paper) order regardless.
+    """
+    from repro.experiments.registry import run_experiments
+
     config = config or HarnessConfig.bench()
+    report = run_experiments(
+        exp_ids or all_experiment_ids(),
+        config=config,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+    )
     parts = [preamble] if preamble else []
-    for exp_id in exp_ids or all_experiment_ids():
-        result = REGISTRY[exp_id]().run(config)
-        parts.append(result_to_markdown(result))
+    parts += [result_to_markdown(result) for result in report.results]
     return "\n".join(parts)

@@ -5,11 +5,18 @@ or two parameters and collect a metric" — the optmem sweep, pacing
 sweeps, kernel ladders, and user what-ifs.  :func:`sweep1d` and
 :func:`sweep2d` capture that pattern once, returning labelled records
 that render as tables or feed further analysis.
+
+Both take an optional ``executor`` (anything with an order-preserving
+``map(fn, items) -> list`` method, e.g.
+:class:`~repro.runner.executors.ProcessExecutor`) so independent grid
+points can run on worker processes; the default is an inline serial
+loop.  Point order in the result is the grid order either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterable
 
 __all__ = ["SweepPoint", "SweepResult", "sweep1d", "sweep2d"]
@@ -47,13 +54,26 @@ class SweepResult:
     def render(self) -> str:
         if not self.points:
             return f"{self.name}: (empty sweep)"
-        param_keys = list(self.points[0].params)
-        metric_keys = list(self.points[0].metrics)
+        # Points may carry heterogeneous key sets (a measure that only
+        # reports some metrics at some grid points); headers are the
+        # first-seen union, missing cells render empty.
+        param_keys: list[str] = []
+        metric_keys: list[str] = []
+        for p in self.points:
+            param_keys += [k for k in p.params if k not in param_keys]
+            metric_keys += [k for k in p.metrics if k not in metric_keys]
+
+        def cell(value) -> str:
+            if value is None:
+                return ""
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
         headers = param_keys + metric_keys
         rows = [
-            [str(p.params[k]) for k in param_keys]
-            + [f"{p.metrics[k]:.2f}" if isinstance(p.metrics[k], float) else str(p.metrics[k])
-               for k in metric_keys]
+            [cell(p.params.get(k)) for k in param_keys]
+            + [cell(p.metrics.get(k)) for k in metric_keys]
             for p in self.points
         ]
         widths = [
@@ -68,21 +88,45 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _measure_point(measure: Callable[..., dict], params: dict) -> dict:
+    """Top-level (picklable) trampoline for executor-driven sweeps."""
+    return measure(**params)
+
+
+def _run_grid(
+    name: str,
+    measure: Callable[..., dict],
+    grid: list[dict],
+    executor,
+) -> SweepResult:
+    if executor is None:
+        metrics_list = [measure(**params) for params in grid]
+    else:
+        metrics_list = executor.map(partial(_measure_point, measure), grid)
+    return SweepResult(
+        name=name,
+        points=[
+            SweepPoint(params=params, metrics=metrics)
+            for params, metrics in zip(grid, metrics_list)
+        ],
+    )
+
+
 def sweep1d(
     name: str,
     param: str,
     values: Iterable,
     measure: Callable[..., dict],
+    executor=None,
 ) -> SweepResult:
     """Run ``measure(param=value)`` over the grid.
 
-    ``measure`` returns a dict of metrics for each point.
+    ``measure`` returns a dict of metrics for each point.  With an
+    ``executor``, points run through it (``measure`` and the values
+    must then be picklable); results keep grid order regardless.
     """
-    result = SweepResult(name=name)
-    for value in values:
-        metrics = measure(**{param: value})
-        result.points.append(SweepPoint(params={param: value}, metrics=metrics))
-    return result
+    grid = [{param: value} for value in values]
+    return _run_grid(name, measure, grid, executor)
 
 
 def sweep2d(
@@ -92,14 +136,11 @@ def sweep2d(
     param_b: str,
     values_b: Iterable,
     measure: Callable[..., dict],
+    executor=None,
 ) -> SweepResult:
     """Run ``measure`` over the cross product of two parameter grids."""
-    result = SweepResult(name=name)
     values_b = list(values_b)
-    for a in values_a:
-        for b in values_b:
-            metrics = measure(**{param_a: a, param_b: b})
-            result.points.append(
-                SweepPoint(params={param_a: a, param_b: b}, metrics=metrics)
-            )
-    return result
+    grid = [
+        {param_a: a, param_b: b} for a in values_a for b in values_b
+    ]
+    return _run_grid(name, measure, grid, executor)

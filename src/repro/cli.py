@@ -1,17 +1,20 @@
 """Command-line interface.
 
-Four subcommands mirror the ways people use this package::
+Five subcommands mirror the ways people use this package::
 
     repro iperf3    --testbed amlight --path wan54 --zerocopy --fq-rate 50
     repro experiment fig09 [--paper] [--markdown out.md]
+    repro run       [exp_id ...|--all] --jobs 4 [--no-cache] [--cache-dir D]
     repro advise    --testbed esnet --path wan --streams 8
     repro lint      src/ [--format json] [--select DET001,UNIT001]
 
 Each prints to stdout; exit status is 0 on success (``lint`` exits 1
-when it finds violations, 2 on usage errors).  ``iperf3`` and
-``experiment`` accept ``--sanitize`` to enable the runtime simulation
-sanitizer (equivalent to ``REPRO_SANITIZE=1``).  The module is
-import-safe (``main`` takes argv) so tests drive it directly.
+when it finds violations, ``run --expect-cached`` exits 1 when any
+experiment had to execute, 2 on usage errors).  ``iperf3``,
+``experiment``, and ``run`` accept ``--sanitize`` to enable the
+runtime simulation sanitizer (equivalent to ``REPRO_SANITIZE=1``).
+The module is import-safe (``main`` takes argv) so tests drive it
+directly.
 """
 
 from __future__ import annotations
@@ -76,6 +79,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="full 60s x 10-rep fidelity")
     p_exp.add_argument("--markdown", metavar="FILE")
     p_exp.add_argument("--sanitize", action="store_true",
+                       help="enable runtime invariant checks "
+                       "(= REPRO_SANITIZE=1)")
+
+    # -- repro run --------------------------------------------------------
+    p_run = sub.add_parser(
+        "run",
+        help="run experiments in parallel with result caching",
+        description="Process-pool campaign runner: fans experiments out "
+        "across --jobs workers and serves unchanged (code, config) pairs "
+        "from a content-addressed on-disk cache.  Parallelism and caching "
+        "never change a number — see tests/test_runner_golden.py.",
+    )
+    p_run.add_argument("exp_ids", nargs="*", metavar="EXP_ID",
+                       help="experiment ids (omit with no --all to list)")
+    p_run.add_argument("--all", action="store_true",
+                       help="run every registered experiment")
+    p_run.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes (default 1 = in-process)")
+    p_run.add_argument("--profile", choices=["quick", "bench", "paper"],
+                       default="bench",
+                       help="harness fidelity (default bench)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache entirely")
+    p_run.add_argument("--cache-dir", metavar="DIR",
+                       help="cache location (default $REPRO_CACHE_DIR "
+                       "or .repro_cache)")
+    p_run.add_argument("--expect-cached", action="store_true",
+                       help="exit 1 unless every result came from cache")
+    p_run.add_argument("--markdown", metavar="FILE",
+                       help="write all results as markdown sections")
+    p_run.add_argument("--sanitize", action="store_true",
                        help="enable runtime invariant checks "
                        "(= REPRO_SANITIZE=1)")
 
@@ -154,6 +188,52 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    _apply_sanitize_flag(args)
+    if not args.exp_ids and not args.all:
+        print("available experiments:")
+        for exp_id in all_experiment_ids():
+            print(f"  {exp_id}")
+        print("\nrun them with: repro run --all --jobs 4")
+        return 0
+    from pathlib import Path
+
+    from repro.runner import RunnerConfig, run_experiments
+
+    config = {
+        "quick": HarnessConfig.quick,
+        "bench": HarnessConfig.bench,
+        "paper": HarnessConfig.paper,
+    }[args.profile]()
+    runner = RunnerConfig(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+    )
+    report = run_experiments(
+        args.exp_ids or None, config=config, runner=runner
+    )
+    for task in report.tasks:
+        print(task.result.render())
+        origin = "cached" if task.cached else f"ran in {task.elapsed:.1f}s"
+        print(f"[{task.spec.exp_id}: {origin}, "
+              f"digest {task.result.digest()[:12]}]\n")
+    print(report.summary())
+    if args.markdown:
+        sections = [result_to_markdown(r) for r in report.results]
+        with open(args.markdown, "w") as fh:
+            fh.write("\n".join(sections))
+        print(f"wrote {args.markdown}")
+    if args.expect_cached and not report.all_cached:
+        print(
+            f"error: expected a fully warm cache but {report.executed} "
+            f"experiment(s) executed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import all_rules, lint_paths, render_json, render_text
 
@@ -194,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_iperf3(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "run":
+            return _cmd_run(args)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "advise":

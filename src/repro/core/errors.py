@@ -66,3 +66,14 @@ class FeatureUnavailableError(ConfigurationError):
 
 class HarnessError(ReproError):
     """The test harness was asked to run an impossible test matrix."""
+
+
+class RunnerError(ReproError):
+    """The parallel experiment runner could not complete a campaign.
+
+    Raised when a worker process keeps dying after the configured number
+    of retry attempts, or when the runner is asked to schedule an
+    experiment id the registry does not know.  Deterministic experiment
+    errors (bad configuration, simulation bugs) are *not* wrapped — they
+    propagate unchanged, exactly as a serial run would raise them.
+    """

@@ -1,12 +1,18 @@
 """Reproductions of every table and figure in the paper's evaluation."""
 
 from repro.experiments.base import Experiment, ExperimentResult
-from repro.experiments.registry import REGISTRY, all_experiment_ids, run_experiment
+from repro.experiments.registry import (
+    REGISTRY,
+    all_experiment_ids,
+    run_experiment,
+    run_experiments,
+)
 
 __all__ = [
     "Experiment",
     "ExperimentResult",
     "REGISTRY",
     "run_experiment",
+    "run_experiments",
     "all_experiment_ids",
 ]

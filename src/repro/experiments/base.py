@@ -18,11 +18,32 @@ full paper-fidelity runs (paper).
 from __future__ import annotations
 
 import abc
+import hashlib
+import json
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.tools.harness import HarnessConfig
 
 __all__ = ["Experiment", "ExperimentResult"]
+
+
+def _jsonify(value):
+    """Recursively convert a row value to plain JSON-serializable types.
+
+    Experiment rows routinely carry numpy scalars (``np.float64`` means,
+    ``np.int64`` counts); JSON round-trips must yield the *same* numbers
+    a fresh in-process run produces, so numpy scalars collapse to their
+    exact Python equivalents and containers are walked recursively.
+    """
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
 
 
 @dataclass
@@ -49,6 +70,47 @@ class ExperimentResult:
             if all(row.get(k) == v for k, v in match.items()):
                 return row
         raise KeyError(f"no row matching {match} in {self.exp_id}")
+
+    # -- serialization (result cache, golden tests, worker transport) -------
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation; inverse of :meth:`from_dict`.
+
+        Row values pass through :func:`_jsonify` so numpy scalars become
+        exact Python numbers — a result that went through JSON compares
+        equal, value for value, to one that never left the process.
+        """
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "paper_ref": self.paper_ref,
+            "columns": list(self.columns),
+            "rows": [_jsonify(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ExperimentResult":
+        return cls(
+            exp_id=doc["exp_id"],
+            title=doc["title"],
+            paper_ref=doc["paper_ref"],
+            columns=list(doc["columns"]),
+            rows=[dict(row) for row in doc["rows"]],
+            notes=doc.get("notes", ""),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form of this result.
+
+        The characterization tests commit these digests under
+        ``tests/golden/``; serial, parallel, and cache-hit runs must all
+        reproduce them bit for bit.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def render(self) -> str:
         """Text table in the style of the paper's tables."""

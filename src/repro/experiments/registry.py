@@ -1,7 +1,12 @@
-"""Registry mapping experiment ids to classes, plus the run helper.
+"""Registry mapping experiment ids to classes, plus the run helpers.
 
-``run_experiment("fig05")`` is the single entry point the benchmarks,
-examples, and EXPERIMENTS.md generator all share.
+``run_experiment("fig05")`` runs one experiment in-process — the unit
+the parallel runner's workers execute.  ``run_experiments`` is the
+campaign entry point the CLI (``repro run``), the benchmarks, and the
+EXPERIMENTS.md generator share: it routes through
+:mod:`repro.runner`, which fans tasks out across worker processes and
+serves unchanged (code, config) pairs from the content-addressed
+result cache.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from repro.experiments.pitfalls import IommuPitfall, PacingOverflowPitfall
 from repro.experiments.tables import Table1ESnetLan, Table2ESnetWan, Table3FlowControl
 from repro.tools.harness import HarnessConfig
 
-__all__ = ["REGISTRY", "run_experiment", "all_experiment_ids"]
+__all__ = ["REGISTRY", "run_experiment", "run_experiments", "all_experiment_ids"]
 
 _CLASSES: list[type[Experiment]] = [
     Fig04VmValidation,
@@ -74,3 +79,28 @@ def run_experiment(
             f"unknown experiment {exp_id!r}; have {all_experiment_ids()}"
         ) from None
     return cls().run(config)
+
+
+def run_experiments(
+    exp_ids: list[str] | None = None,
+    config: HarnessConfig | None = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+):
+    """Run a campaign of experiments through the parallel runner.
+
+    Returns a :class:`~repro.runner.tasks.RunReport` whose ``results``
+    are in registry (paper) order for ``exp_ids=None``, else in the
+    given order.  Caching is opt-in here because library callers (tests,
+    benchmarks) usually want fresh numbers; the CLI flips it on.
+    """
+    # Lazy import: repro.runner's workers import this module back.
+    from repro.runner import RunnerConfig
+    from repro.runner import run_experiments as _run
+
+    return _run(
+        exp_ids,
+        config=config,
+        runner=RunnerConfig(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir),
+    )

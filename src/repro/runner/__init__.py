@@ -1,0 +1,46 @@
+"""Parallel experiment runner with a content-addressed result cache.
+
+The paper's evaluation is a grid of independent, deterministic runs;
+this package schedules them across worker processes and memoizes their
+results on disk, keyed by (experiment id, canonical harness config,
+source digest of ``src/repro``).  Entry points:
+
+* :func:`run_experiments` / :func:`run_tasks` — campaign API used by
+  ``repro run``, the EXPERIMENTS.md generator, and the benchmarks;
+* :class:`SerialExecutor` / :class:`ProcessExecutor` — order-preserving
+  point executors pluggable into ``sweep1d``/``sweep2d`` and
+  ``TestHarness.run_matrix``;
+* :mod:`repro.runner.cache` — the content-addressed store itself.
+
+Parallelism is an implementation detail: the characterization tests in
+``tests/test_runner_golden.py`` pin serial, parallel, and cache-hit
+campaigns to identical per-experiment row digests.
+"""
+
+from repro.runner.cache import (
+    ResultCache,
+    cache_key,
+    canonical_json,
+    default_cache_dir,
+    source_digest,
+)
+from repro.runner.executors import ProcessExecutor, SerialExecutor
+from repro.runner.scheduler import RunnerConfig, run_experiments, run_tasks
+from repro.runner.tasks import RunReport, TaskResult, TaskSpec, task_seed
+
+__all__ = [
+    "ProcessExecutor",
+    "ResultCache",
+    "RunReport",
+    "RunnerConfig",
+    "SerialExecutor",
+    "TaskResult",
+    "TaskSpec",
+    "cache_key",
+    "canonical_json",
+    "default_cache_dir",
+    "run_experiments",
+    "run_tasks",
+    "source_digest",
+    "task_seed",
+]

@@ -1,0 +1,157 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry's key hashes everything that can change an experiment's
+rows:
+
+* the ``exp_id`` (which experiment class runs);
+* the canonicalized :class:`~repro.tools.harness.HarnessConfig`
+  (repetitions, duration, omit, tick, seed — the full fidelity knob);
+* a digest of every ``*.py`` file under ``src/repro/`` (any code change
+  anywhere in the package invalidates everything — coarse, but the only
+  sound choice for a simulator whose layers all feed every number).
+
+Because experiments are deterministic functions of (code, config), a
+key hit can return the stored rows without running anything, and the
+golden characterization tests verify the returned rows are bit-identical
+to a fresh run.  Entries are JSON files sharded by key prefix; writes
+are atomic (tmp file + rename) so concurrent campaigns can share a
+directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.tools.harness import HarnessConfig
+
+__all__ = [
+    "CACHE_FORMAT",
+    "ResultCache",
+    "cache_key",
+    "canonical_json",
+    "default_cache_dir",
+    "source_digest",
+]
+
+#: Bump when the entry layout changes; old entries then read as misses.
+CACHE_FORMAT = 1
+
+#: Environment override for the cache location (CLI ``--cache-dir`` wins).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def canonical_json(doc: dict) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else Path(".repro_cache")
+
+
+_digest_memo: dict[Path, str] = {}
+
+
+def source_digest(root: Path | None = None, *, refresh: bool = False) -> str:
+    """SHA-256 over (relative path, content hash) of ``root``'s ``*.py``.
+
+    ``root`` defaults to the installed ``repro`` package directory, so
+    editing any module in the simulator changes the digest and thereby
+    every cache key.  The walk is sorted for platform independence and
+    memoized per process (a campaign computes it once, not per task).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    root = Path(root).resolve()
+    if not refresh and root in _digest_memo:
+        return _digest_memo[root]
+    outer = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        outer.update(rel.encode("utf-8"))
+        outer.update(b"\0")
+        outer.update(hashlib.sha256(path.read_bytes()).digest())
+        outer.update(b"\0")
+    digest = outer.hexdigest()
+    _digest_memo[root] = digest
+    return digest
+
+
+def cache_key(exp_id: str, config: HarnessConfig, src_digest: str) -> str:
+    """The content address of one (experiment, config, code) triple."""
+    doc = {
+        "format": CACHE_FORMAT,
+        "exp_id": exp_id,
+        "config": config.to_dict(),
+        "source": src_digest,
+    }
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ResultCache:
+    """JSON-file store mapping cache keys to experiment-result payloads."""
+
+    root: Path
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    _memo: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        Unreadable or wrong-format entries count as misses — a corrupted
+        file must never poison a campaign, only cost a re-run.
+        """
+        if key in self._memo:
+            self.hits += 1
+            return self._memo[key]
+        path = self._path(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if doc.get("format") != CACHE_FORMAT or "result" not in doc:
+            self.misses += 1
+            return None
+        self._memo[key] = doc
+        self.hits += 1
+        return doc
+
+    def put(self, key: str, payload: dict) -> None:
+        """Atomically store ``payload`` (a dict with a ``result`` entry)."""
+        payload = {"format": CACHE_FORMAT, "key": key, **payload}
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(canonical_json(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._memo[key] = payload
+        self.stores += 1

@@ -1,0 +1,61 @@
+"""Pluggable point executors for sweeps and harness matrices.
+
+:func:`~repro.analysis.sweep.sweep1d`/``sweep2d`` and
+:meth:`~repro.tools.harness.TestHarness.run_matrix` accept any object
+with an order-preserving ``map(fn, items) -> list`` method.  These two
+implementations cover the serial default and a process pool; both
+return results in submission order, so swapping one for the other can
+never reorder a sweep's points.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["SerialExecutor", "ProcessExecutor", "pool_context"]
+
+
+def pool_context():
+    """The multiprocessing context the runner uses for worker pools.
+
+    ``fork`` where available (Linux): workers inherit the parent's
+    modules and ``sys.path``, so even closures over picklable objects
+    defined in scripts resolve.  Elsewhere, the platform default.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class SerialExecutor:
+    """In-process, in-order execution — the behavioural baseline."""
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+
+class ProcessExecutor:
+    """Order-preserving ``map`` over a pool of worker processes.
+
+    ``fn`` and every item must be picklable.  Results come back in the
+    submission order of ``items`` regardless of completion order, which
+    is what lets the determinism tests assert sweeps are executor-
+    invariant.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError("ProcessExecutor needs jobs >= 1")
+        self.jobs = jobs
+
+    def map(self, fn, items) -> list:
+        items = list(items)
+        if not items or self.jobs == 1:
+            return SerialExecutor().map(fn, items)
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=pool_context()
+        ) as pool:
+            return list(pool.map(fn, items))

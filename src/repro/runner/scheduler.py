@@ -1,0 +1,212 @@
+"""The process-pool experiment scheduler.
+
+``run_tasks`` fans :class:`~repro.runner.tasks.TaskSpec`\\ s out across
+worker processes and returns a :class:`~repro.runner.tasks.RunReport`
+in submission order.  Three properties the test net locks down:
+
+* **Determinism** — a task's rows depend only on (code, exp_id,
+  config); worker count, submission order, and completion order cannot
+  change a single number.  Results are slotted back by submission
+  index, never by completion order.
+* **Cache transparency** — with the content-addressed cache enabled,
+  hits skip execution entirely and return rows bit-identical to a
+  fresh run (golden tests compare digests across serial, parallel, and
+  cache-hit campaigns).
+* **Crash containment** — a dying worker (OOM-killed, segfaulting
+  native code) breaks a :mod:`concurrent.futures` pool; the scheduler
+  collects the casualties, rebuilds the pool, and retries them with
+  exponential backoff and RngFactory-derived jitter.  Deterministic
+  experiment *exceptions* are never retried — they propagate exactly
+  as a serial run would raise them.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.errors import ConfigurationError, RunnerError
+from repro.core.rng import RngFactory
+from repro.experiments.base import ExperimentResult
+from repro.runner.cache import ResultCache, cache_key, default_cache_dir, source_digest
+from repro.runner.executors import pool_context
+from repro.runner.tasks import RunReport, TaskResult, TaskSpec
+from repro.runner.worker import execute_task
+from repro.tools.harness import HarnessConfig
+
+__all__ = ["RunnerConfig", "run_tasks", "run_experiments"]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Scheduling policy for one campaign."""
+
+    #: Worker processes; 1 runs everything in-process (no pool at all).
+    jobs: int = 1
+    #: Cache location; ``None`` means :func:`default_cache_dir`.
+    cache_dir: Path | None = None
+    #: ``False`` disables both lookups and stores (``--no-cache``).
+    use_cache: bool = True
+    #: Total tries per task before the campaign fails (1 = no retry).
+    max_attempts: int = 3
+    #: Base backoff before a retry round; doubles each round.
+    retry_backoff: float = 0.25
+    #: Seed for scheduling-level randomness (backoff jitter) only —
+    #: experiment rows draw from ``HarnessConfig.seed``, never this.
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise RunnerError("need jobs >= 1")
+        if self.max_attempts < 1:
+            raise RunnerError("need max_attempts >= 1")
+
+
+def _result_from_payload(payload: dict) -> ExperimentResult:
+    return ExperimentResult.from_dict(payload["result"])
+
+
+def _run_pool(pending: list, runner: RunnerConfig, slots: list) -> None:
+    """Execute ``(index, spec, key)`` triples on a worker pool.
+
+    Fills ``slots[index]`` with a :class:`TaskResult` for each triple.
+    Rebuilds the pool and retries crashed tasks until they succeed or
+    exhaust ``runner.max_attempts``.
+    """
+    attempts = {index: 0 for index, _, _ in pending}
+    jitter_rng = RngFactory(seed=runner.seed).stream("runner:retry-jitter")
+    retry_round = 0
+    while pending:
+        for index, _, _ in pending:
+            attempts[index] += 1
+        crashed = []
+        workers = min(runner.jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(execute_task, spec): (index, spec, key)
+                for index, spec, key in pending
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index, spec, key = futures[fut]
+                    try:
+                        payload = fut.result()
+                    except BrokenProcessPool:
+                        crashed.append((index, spec, key))
+                        continue
+                    slots[index] = TaskResult(
+                        spec=spec,
+                        result=_result_from_payload(payload),
+                        cached=False,
+                        attempts=attempts[index],
+                        elapsed=payload["elapsed"],
+                    )
+        if not crashed:
+            return
+        dead = [
+            spec.exp_id
+            for index, spec, _ in crashed
+            if attempts[index] >= runner.max_attempts
+        ]
+        if dead:
+            raise RunnerError(
+                f"worker crashed {runner.max_attempts} times running "
+                f"{', '.join(sorted(set(dead)))}; giving up"
+            )
+        retry_round += 1
+        delay = runner.retry_backoff * 2 ** (retry_round - 1)
+        delay *= 1.0 + 0.25 * float(jitter_rng.random())
+        time.sleep(delay)
+        pending = crashed
+
+
+def run_tasks(specs: list[TaskSpec], runner: RunnerConfig | None = None) -> RunReport:
+    """Run a campaign of tasks; results come back in submission order."""
+    runner = runner or RunnerConfig()
+    # wall-clock here times the campaign for the report, never a
+    # simulated quantity
+    start = time.perf_counter()  # repro: noqa-DET001
+    slots: list[TaskResult | None] = [None] * len(specs)
+
+    cache = None
+    src_digest = ""
+    if runner.use_cache:
+        cache = ResultCache(runner.cache_dir or default_cache_dir())
+        src_digest = source_digest()
+
+    pending: list[tuple[int, TaskSpec, str]] = []
+    for index, spec in enumerate(specs):
+        key = ""
+        if cache is not None:
+            key = cache_key(spec.exp_id, spec.config, src_digest)
+            doc = cache.get(key)
+            if doc is not None:
+                slots[index] = TaskResult(
+                    spec=spec,
+                    result=_result_from_payload(doc),
+                    cached=True,
+                    attempts=0,
+                    elapsed=0.0,
+                )
+                continue
+        pending.append((index, spec, key))
+
+    if pending:
+        if runner.jobs == 1:
+            for index, spec, key in pending:
+                payload = execute_task(spec)
+                slots[index] = TaskResult(
+                    spec=spec,
+                    result=_result_from_payload(payload),
+                    cached=False,
+                    attempts=1,
+                    elapsed=payload["elapsed"],
+                )
+        else:
+            _run_pool(pending, runner, slots)
+
+    if cache is not None:
+        for index, spec, key in pending:
+            task = slots[index]
+            cache.put(
+                key,
+                {
+                    "exp_id": spec.exp_id,
+                    "config": spec.config.to_dict(),
+                    "source": src_digest,
+                    "elapsed": task.elapsed,
+                    "result": task.result.to_dict(),
+                },
+            )
+
+    return RunReport(
+        tasks=list(slots),
+        jobs=runner.jobs,
+        wall_time=time.perf_counter() - start,  # repro: noqa-DET001
+    )
+
+
+def run_experiments(
+    exp_ids: list[str] | None = None,
+    config: HarnessConfig | None = None,
+    runner: RunnerConfig | None = None,
+) -> RunReport:
+    """Run registered experiments (all of them by default) as one campaign."""
+    from repro.experiments.registry import REGISTRY, all_experiment_ids
+
+    ids = list(exp_ids) if exp_ids else all_experiment_ids()
+    unknown = [i for i in ids if i not in REGISTRY]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment ids {unknown}; have {all_experiment_ids()}"
+        )
+    config = config or HarnessConfig.bench()
+    specs = [TaskSpec(exp_id=exp_id, config=config) for exp_id in ids]
+    return run_tasks(specs, runner)

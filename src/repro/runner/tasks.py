@@ -1,0 +1,96 @@
+"""Task and report types for the parallel experiment runner.
+
+A :class:`TaskSpec` is the unit of scheduling: one experiment id plus
+the :class:`~repro.tools.harness.HarnessConfig` it runs under.  Specs
+are small frozen dataclasses so they pickle cheaply to worker
+processes, and their labels feed the deterministic per-task seed
+derivation (see :func:`task_seed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rng import RngFactory
+from repro.experiments.base import ExperimentResult
+from repro.tools.harness import HarnessConfig
+
+__all__ = ["TaskSpec", "TaskResult", "RunReport", "task_seed"]
+
+
+def task_seed(root_seed: int, label: str) -> int:
+    """Deterministic seed for one task, derived via :class:`RngFactory`.
+
+    Forking the factory keyed by the task label gives every task its own
+    collision-checked namespace — the same derivation the simulator uses
+    for per-subsystem streams, so scheduling-level randomness (retry
+    backoff jitter, point-level executors) stays reproducible however
+    tasks are ordered or distributed across workers.
+    """
+    return RngFactory(seed=root_seed).fork(f"task:{label}").seed
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit: an experiment id under a harness config."""
+
+    exp_id: str
+    config: HarnessConfig
+
+    @property
+    def label(self) -> str:
+        cfg = self.config
+        return (
+            f"{self.exp_id}@r{cfg.repetitions}d{cfg.duration:g}"
+            f"o{cfg.omit:g}t{cfg.tick:g}s{cfg.seed}"
+        )
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task, with provenance for the cache tests."""
+
+    spec: TaskSpec
+    result: ExperimentResult
+    cached: bool = False
+    attempts: int = 1
+    elapsed: float = 0.0
+
+
+@dataclass
+class RunReport:
+    """All task results of one campaign, in submission order."""
+
+    tasks: list[TaskResult] = field(default_factory=list)
+    jobs: int = 1
+    wall_time: float = 0.0
+
+    @property
+    def results(self) -> list[ExperimentResult]:
+        return [t.result for t in self.tasks]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for t in self.tasks if t.cached)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for t in self.tasks if not t.cached)
+
+    @property
+    def all_cached(self) -> bool:
+        return bool(self.tasks) and self.executed == 0
+
+    def by_id(self, exp_id: str) -> TaskResult:
+        for t in self.tasks:
+            if t.spec.exp_id == exp_id:
+                return t
+        raise KeyError(f"no task for experiment {exp_id!r} in this report")
+
+    def summary(self) -> str:
+        n = len(self.tasks)
+        return (
+            f"runner: {n} task{'s' if n != 1 else ''} | jobs={self.jobs} | "
+            f"{self.executed} executed, {self.cache_hits} cached | "
+            f"{self.wall_time:.1f}s"
+        )

@@ -1,0 +1,58 @@
+"""Worker-side task execution.
+
+``execute_task`` is the function worker processes run; it must stay a
+top-level importable so :mod:`concurrent.futures` can pickle it by
+reference.  It returns a plain dict (the experiment result via
+``to_dict`` plus timing) rather than rich objects, so the same payload
+shape flows back from a subprocess, an in-process run, and a cache hit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.runner.tasks import TaskSpec
+
+__all__ = ["execute_task"]
+
+#: Test-only crash hook: ``"<exp_id>:<sentinel-path>"``.  The first
+#: worker to pick up ``exp_id`` creates the sentinel file and dies
+#: without cleanup (exit 17), letting the retry tests provoke a real
+#: worker crash exactly once.  The reserved sentinel ``always`` crashes
+#: on every attempt (retry-exhaustion tests).  Never set outside the
+#: test suite.
+CRASH_ONCE_ENV = "REPRO_RUNNER_CRASH_ONCE"
+
+
+def _maybe_crash(exp_id: str) -> None:
+    hook = os.environ.get(CRASH_ONCE_ENV, "")
+    if not hook:
+        return
+    target, _, sentinel = hook.partition(":")
+    if exp_id != target or not sentinel:
+        return
+    if sentinel == "always":
+        os._exit(17)
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os._exit(17)
+
+
+def execute_task(spec: TaskSpec) -> dict:
+    """Run one experiment and return ``{"result": ..., "elapsed": ...}``."""
+    # Imported here, not at module top: the registry imports every
+    # experiment module, and the runner package must stay importable
+    # from lightweight contexts (analysis helpers, docs tooling).
+    from repro.experiments.registry import run_experiment
+
+    _maybe_crash(spec.exp_id)
+    # wall-clock telemetry for the progress report, not simulated time
+    start = time.perf_counter()  # repro: noqa-DET001
+    result = run_experiment(spec.exp_id, spec.config)
+    return {
+        "exp_id": spec.exp_id,
+        "elapsed": time.perf_counter() - start,  # repro: noqa-DET001
+        "result": result.to_dict(),
+    }

@@ -58,6 +58,26 @@ class HarnessConfig:
         """Benchmark setting: enough fidelity for the paper's shapes."""
         return cls(repetitions=3, duration=12.0, omit=3.0, tick=0.004)
 
+    # -- serialization (runner cache keys, worker transport) ----------------
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form; inverse of :meth:`from_dict`.
+
+        The runner's content-addressed cache keys hash this dict, so the
+        field set here *is* the cache-key definition for the config part.
+        """
+        return {
+            "repetitions": self.repetitions,
+            "duration": self.duration,
+            "omit": self.omit,
+            "tick": self.tick,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "HarnessConfig":
+        return cls(**doc)
+
 
 @dataclass(frozen=True)
 class HarnessResult:
@@ -174,7 +194,22 @@ class TestHarness:
         )
 
     def run_matrix(
-        self, cases: list[tuple[str, Iperf3Options]]
+        self, cases: list[tuple[str, Iperf3Options]], executor=None
     ) -> list[HarnessResult]:
-        """Run a list of (label, options) cases sequentially."""
-        return [self.run(opts, label) for label, opts in cases]
+        """Run a list of (label, options) cases, serially by default.
+
+        ``executor`` is anything with a ``map(fn, items) -> list`` method
+        preserving item order (e.g. the runner's
+        :class:`~repro.runner.executors.ProcessExecutor`); each case is
+        independent and deterministic, so the result list is identical
+        whatever the executor.
+        """
+        if executor is None:
+            return [self.run(opts, label) for label, opts in cases]
+        return executor.map(_run_harness_case, [(self, c) for c in cases])
+
+
+def _run_harness_case(item) -> HarnessResult:
+    """Top-level (picklable) trampoline for parallel ``run_matrix``."""
+    harness, (label, opts) = item
+    return harness.run(opts, label)

@@ -1,0 +1,25 @@
+"""Registry tying paper-shape tests to the experiments they assert.
+
+Every :class:`~repro.experiments.base.Experiment` subclass carries an
+``expectation`` string — the paper's qualitative claim.  Tests in
+``tests/test_paper_shapes.py`` declare which experiment's expectation
+they assert with the :func:`asserts_expectation` decorator, and
+``tests/test_expectation_coverage.py`` fails if any registered
+experiment's expectation is asserted nowhere (the ROADMAP lint idea,
+delivered as a test).
+"""
+
+from __future__ import annotations
+
+COVERED: dict[str, list[str]] = {}
+
+
+def asserts_expectation(*exp_ids: str):
+    """Mark a test class/function as asserting these experiments' claims."""
+
+    def mark(obj):
+        for exp_id in exp_ids:
+            COVERED.setdefault(exp_id, []).append(obj.__qualname__)
+        return obj
+
+    return mark

@@ -1,0 +1,41 @@
+"""Regenerate the golden characterization files (``tests/golden/``).
+
+Run after an intentional change to the simulator's numbers::
+
+    PYTHONPATH=src python -m tests.make_golden
+
+Uses a serial in-process campaign — the baseline the parallel and
+cache-hit runs are held to.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.experiments import all_experiment_ids
+from repro.runner import RunnerConfig, run_experiments
+
+from tests._golden import GOLDEN_CONFIG, GOLDEN_DIR, golden_entry, golden_path
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    report = run_experiments(
+        all_experiment_ids(),
+        config=GOLDEN_CONFIG,
+        runner=RunnerConfig(jobs=1, use_cache=False),
+    )
+    for result in report.results:
+        entry = golden_entry(result)
+        golden_path(result.exp_id).write_text(
+            json.dumps(entry, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"{result.exp_id:12s} {entry['digest'][:16]}  "
+              f"{entry['n_rows']} rows")
+    print(report.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,34 @@ class TestSweep:
 
         assert "empty" in SweepResult("x").render()
 
+    def test_render_heterogeneous_keys(self):
+        """Regression: points with differing param/metric keys must not
+        KeyError — headers are the first-seen union, gaps render empty."""
+        from repro.analysis.sweep import SweepPoint, SweepResult
+
+        res = SweepResult("mixed", points=[
+            SweepPoint(params={"x": 1}, metrics={"gbps": 10.0}),
+            SweepPoint(params={"x": 2, "mtu": 9000},
+                       metrics={"gbps": 20.0, "retr": 3}),
+            SweepPoint(params={"x": 3}, metrics={"retr": 7}),
+        ])
+        text = res.render()
+        header = text.splitlines()[1]
+        for col in ("x", "mtu", "gbps", "retr"):
+            assert col in header
+        assert "9000" in text and "20.00" in text and "7" in text
+        # every data row has the full column count despite missing keys
+        rows = text.splitlines()[3:]
+        assert all(row.count("|") == header.count("|") for row in rows)
+
+    def test_sweep_with_process_executor(self):
+        from repro.analysis.sweep import sweep1d
+        from repro.runner import ProcessExecutor
+
+        res = sweep1d("s", "x", [1, 2, 3], _square_metric,
+                      executor=ProcessExecutor(2))
+        assert res.column("y") == [1.0, 4.0, 9.0]
+
     def test_sweep_with_simulator(self):
         """End to end: pacing sweep through the real simulator."""
         from repro.core.rng import RngFactory
@@ -91,3 +119,7 @@ class TestSweep:
         values = res.column("gbps")
         assert values[0] == pytest.approx(10, rel=0.05)
         assert values == sorted(values)
+
+
+def _square_metric(x):
+    return {"y": float(x * x)}

@@ -121,3 +121,68 @@ class TestAdviseCommand:
         rc = main(["advise", "--testbed", "esnet", "--path", "wan",
                    "--streams", "8"])
         assert rc == 0
+
+
+class TestRunCommand:
+    @pytest.fixture(autouse=True)
+    def fast_profiles(self, monkeypatch):
+        from repro.tools.harness import HarnessConfig
+
+        fast = HarnessConfig(repetitions=1, duration=3.0, omit=1.0, tick=0.01)
+        monkeypatch.setattr(HarnessConfig, "quick",
+                            classmethod(lambda cls: fast))
+        monkeypatch.setattr(HarnessConfig, "bench",
+                            classmethod(lambda cls: fast))
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run", "--all", "-j", "4"])
+        assert args.all and args.jobs == 4
+        assert args.profile == "bench" and not args.no_cache
+        assert args.cache_dir is None and not args.expect_cached
+
+    def test_no_ids_lists_experiments(self, capsys):
+        rc = main(["run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fig05" in out and "repro run --all" in out
+
+    def test_unknown_id_is_clean_error(self, capsys):
+        rc = main(["run", "fig99"])
+        assert rc == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_cold_then_warm_cache(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        rc = main(["run", "var", "--cache-dir", str(cache)])
+        assert rc == 0
+        cold = capsys.readouterr().out
+        assert "ran in" in cold and "1 executed, 0 cached" in cold
+
+        rc = main(["run", "var", "--cache-dir", str(cache),
+                   "--expect-cached"])
+        assert rc == 0
+        warm = capsys.readouterr().out
+        assert "0 executed, 1 cached" in warm
+        # same digest either way — the cache changes nothing
+        def digests(out):
+            return [l.split("digest ")[1] for l in out.splitlines()
+                    if "digest" in l]
+        assert digests(cold) == digests(warm)
+
+    def test_expect_cached_fails_cold(self, capsys, tmp_path):
+        rc = main(["run", "var", "--cache-dir", str(tmp_path / "c"),
+                   "--expect-cached"])
+        assert rc == 1
+        assert "warm cache" in capsys.readouterr().err
+
+    def test_no_cache_bypasses_store(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        rc = main(["run", "var", "--no-cache", "--cache-dir", str(cache)])
+        assert rc == 0
+        assert not cache.exists()
+
+    def test_markdown_output(self, capsys, tmp_path):
+        md = tmp_path / "out.md"
+        rc = main(["run", "var", "--no-cache", "--markdown", str(md)])
+        assert rc == 0
+        assert md.read_text().startswith("### var")

@@ -1,0 +1,38 @@
+"""Every registered experiment's ``expectation`` is asserted somewhere.
+
+``tests/test_paper_shapes.py`` tags its test classes with
+:func:`tests._expectations.asserts_expectation`; importing the module
+populates the ``COVERED`` registry.  These tests close the loop in both
+directions: no registered experiment may go unasserted, and no tag may
+point at an experiment that no longer exists.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import all_experiment_ids
+from repro.experiments.registry import REGISTRY
+
+import tests.test_paper_shapes  # noqa: F401  — populates COVERED
+from tests._expectations import COVERED
+
+
+def test_every_expectation_is_asserted():
+    missing = sorted(set(all_experiment_ids()) - set(COVERED))
+    assert not missing, (
+        "experiments whose `expectation` no paper-shape test asserts: "
+        f"{missing} — add an @asserts_expectation class to "
+        "tests/test_paper_shapes.py"
+    )
+
+
+def test_no_stale_coverage_tags():
+    stale = sorted(set(COVERED) - set(all_experiment_ids()))
+    assert not stale, f"coverage tags for unregistered experiments: {stale}"
+
+
+def test_every_experiment_declares_an_expectation():
+    empty = [
+        exp_id for exp_id in all_experiment_ids()
+        if not REGISTRY[exp_id].expectation.strip()
+    ]
+    assert not empty, f"experiments with a blank expectation: {empty}"

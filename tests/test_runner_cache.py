@@ -1,0 +1,163 @@
+"""Unit tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.runner.cache import (
+    CACHE_FORMAT,
+    ResultCache,
+    cache_key,
+    canonical_json,
+    default_cache_dir,
+    source_digest,
+)
+from repro.tools.harness import HarnessConfig
+
+CFG = HarnessConfig(repetitions=2, duration=4.0, omit=1.0, tick=0.008)
+
+
+def make_tree(root, files: dict):
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+
+class TestSourceDigest:
+    def test_stable_for_identical_trees(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        files = {"pkg/x.py": "x = 1\n", "pkg/sub/y.py": "y = 2\n"}
+        make_tree(a, files)
+        make_tree(b, files)
+        assert source_digest(a) == source_digest(b)
+
+    def test_content_change_changes_digest(self, tmp_path):
+        make_tree(tmp_path, {"x.py": "x = 1\n"})
+        before = source_digest(tmp_path)
+        (tmp_path / "x.py").write_text("x = 2\n")
+        assert source_digest(tmp_path, refresh=True) != before
+
+    def test_new_file_changes_digest(self, tmp_path):
+        make_tree(tmp_path, {"x.py": "x = 1\n"})
+        before = source_digest(tmp_path)
+        make_tree(tmp_path, {"z.py": "z = 3\n"})
+        assert source_digest(tmp_path, refresh=True) != before
+
+    def test_non_python_files_ignored(self, tmp_path):
+        make_tree(tmp_path, {"x.py": "x = 1\n"})
+        before = source_digest(tmp_path)
+        (tmp_path / "notes.md").write_text("irrelevant")
+        assert source_digest(tmp_path, refresh=True) == before
+
+    def test_memoized_per_process(self, tmp_path):
+        make_tree(tmp_path, {"x.py": "x = 1\n"})
+        before = source_digest(tmp_path)
+        (tmp_path / "x.py").write_text("x = 99\n")
+        # without refresh the memo answers — one digest per campaign
+        assert source_digest(tmp_path) == before
+
+    def test_package_digest_is_computable(self):
+        digest = source_digest()
+        assert len(digest) == 64
+
+
+class TestCacheKey:
+    def test_depends_on_every_component(self):
+        base = cache_key("fig05", CFG, "src0")
+        assert cache_key("fig06", CFG, "src0") != base
+        assert cache_key("fig05", CFG, "src1") != base
+        other = dataclasses.replace(CFG, tick=0.004)
+        assert cache_key("fig05", other, "src0") != base
+
+    def test_stable_across_processes(self):
+        # no salted hashes anywhere in the key path
+        assert cache_key("fig05", CFG, "d") == cache_key("fig05", CFG, "d")
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1.5, "x"]}) == '{"a":[1.5,"x"],"b":1}'
+
+
+class TestResultCache:
+    def payload(self):
+        result = ExperimentResult(
+            exp_id="t", title="T", paper_ref="Fig. 0",
+            columns=["a", "b"], rows=[{"a": 1, "b": 2.5}],
+        )
+        return {"exp_id": "t", "result": result.to_dict()}
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        cache.put(key, self.payload())
+        fresh = ResultCache(tmp_path)  # no memo: forces the disk path
+        doc = fresh.get(key)
+        assert doc is not None
+        restored = ExperimentResult.from_dict(doc["result"])
+        assert restored.rows == [{"a": 1, "b": 2.5}]
+        assert fresh.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        cache.put(key, self.payload())
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{not json")
+        assert ResultCache(tmp_path).get(key) is None
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        cache.put(key, self.payload())
+        path = tmp_path / key[:2] / f"{key}.json"
+        doc = json.loads(path.read_text())
+        doc["format"] = CACHE_FORMAT + 1
+        path.write_text(json.dumps(doc))
+        assert ResultCache(tmp_path).get(key) is None
+
+    def test_no_tmp_litter_after_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" + "0" * 62, self.payload())
+        litter = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+        assert litter == []
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert str(default_cache_dir()) == ".repro_cache"
+
+
+class TestSerializationRoundtrips:
+    def test_harness_config_roundtrip(self):
+        assert HarnessConfig.from_dict(CFG.to_dict()) == CFG
+
+    def test_experiment_result_numpy_rows_jsonify(self):
+        import numpy as np
+
+        result = ExperimentResult(
+            exp_id="t", title="T", paper_ref="Fig. 0", columns=["v", "n"],
+            rows=[{"v": np.float64(1.25), "n": np.int64(3)}],
+        )
+        doc = json.loads(json.dumps(result.to_dict()))
+        restored = ExperimentResult.from_dict(doc)
+        assert restored.rows == [{"v": 1.25, "n": 3}]
+        assert restored.digest() == result.digest()
+
+    def test_digest_sensitive_to_rows_only_changes(self):
+        result = ExperimentResult(
+            exp_id="t", title="T", paper_ref="Fig. 0", columns=["v"],
+            rows=[{"v": 1.0}],
+        )
+        changed = ExperimentResult.from_dict(result.to_dict())
+        changed.rows[0]["v"] = 1.0000000001
+        assert changed.digest() != result.digest()

@@ -1,0 +1,113 @@
+"""Golden characterization tests for the parallel runner.
+
+The committed files under ``tests/golden/`` pin a row digest for every
+registered experiment at ``GOLDEN_CONFIG`` fidelity.  Three campaign
+modes must reproduce them exactly:
+
+* serial in-process (``jobs=1``, no cache) — the baseline semantics
+  ``repro experiment`` has always had;
+* parallel (``jobs=4``) across real worker processes;
+* cache-hit (warm rerun over the parallel campaign's cache directory),
+  which additionally must execute *zero* simulator invocations.
+
+Any drift means parallelism/caching changed a number — the one thing
+this subsystem promises never to do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import all_experiment_ids, run_experiment
+from repro.runner import RunnerConfig, run_tasks, run_experiments, TaskSpec
+
+from tests._golden import GOLDEN_CONFIG, golden_ids, load_golden
+
+ALL_IDS = all_experiment_ids()
+
+
+class TestGoldenFiles:
+    def test_every_experiment_has_a_golden_file(self):
+        assert golden_ids() == sorted(ALL_IDS)
+
+    def test_golden_files_record_the_golden_config(self):
+        for exp_id in golden_ids():
+            assert load_golden(exp_id)["config"] == GOLDEN_CONFIG.to_dict()
+
+
+@pytest.mark.parametrize("exp_id", ALL_IDS)
+def test_serial_reproduces_golden(exp_id):
+    """A plain serial run (the `repro experiment` path) matches golden."""
+    result = run_experiment(exp_id, GOLDEN_CONFIG)
+    golden = load_golden(exp_id)
+    assert result.digest() == golden["digest"], (
+        f"{exp_id}: serial rows drifted from tests/golden/{exp_id}.json — "
+        "if the simulator change is intentional, regenerate with "
+        "`python -m tests.make_golden`"
+    )
+    assert len(result.rows) == golden["n_rows"]
+    assert list(result.columns) == golden["columns"]
+
+
+@pytest.mark.parametrize("exp_id", ALL_IDS)
+def test_parallel_jobs4_reproduces_golden(golden_campaign, exp_id):
+    """The session's jobs=4 process-pool campaign matches golden."""
+    task = golden_campaign.by_id(exp_id)
+    assert not task.cached  # the campaign fixture runs against a cold cache
+    assert task.result.digest() == load_golden(exp_id)["digest"], (
+        f"{exp_id}: parallel rows differ from the committed golden digest"
+    )
+
+
+class TestCacheHitCampaign:
+    def test_warm_rerun_is_pure_cache_with_zero_simulator_invocations(
+        self, golden_campaign, campaign_cache_dir, monkeypatch
+    ):
+        """Rerunning over the warm cache touches the simulator zero times.
+
+        ``Iperf3.run`` is the single choke point every experiment's
+        measurements flow through; poisoning it proves cache hits never
+        reach the simulator.  jobs=1 keeps execution (if any happened —
+        it must not) in-process where the poison patch applies.
+        """
+        import repro.tools.iperf3 as iperf3_mod
+
+        def poisoned(self, *a, **kw):  # pragma: no cover - must not run
+            raise AssertionError("simulator invoked during cache-hit run")
+
+        monkeypatch.setattr(iperf3_mod.Iperf3, "run", poisoned)
+        report = run_experiments(
+            ALL_IDS,
+            config=GOLDEN_CONFIG,
+            runner=RunnerConfig(jobs=1, cache_dir=campaign_cache_dir),
+        )
+        assert report.all_cached
+        assert report.executed == 0
+        for task in report.tasks:
+            assert task.cached
+            assert task.result.digest() == load_golden(task.spec.exp_id)["digest"]
+
+    def test_no_cache_flag_bypasses_a_warm_cache(
+        self, golden_campaign, campaign_cache_dir
+    ):
+        """``--no-cache`` must execute even when every key is warm."""
+        report = run_tasks(
+            [TaskSpec("var", GOLDEN_CONFIG)],
+            RunnerConfig(jobs=1, use_cache=False, cache_dir=campaign_cache_dir),
+        )
+        assert report.cache_hits == 0
+        assert report.executed == 1
+        assert report.results[0].digest() == load_golden("var")["digest"]
+
+    def test_config_change_misses_the_cache(
+        self, golden_campaign, campaign_cache_dir
+    ):
+        """Any HarnessConfig field is part of the content address."""
+        import dataclasses
+
+        other = dataclasses.replace(GOLDEN_CONFIG, seed=GOLDEN_CONFIG.seed + 1)
+        report = run_tasks(
+            [TaskSpec("var", other)],
+            RunnerConfig(jobs=1, cache_dir=campaign_cache_dir),
+        )
+        assert report.executed == 1

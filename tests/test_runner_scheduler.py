@@ -1,0 +1,115 @@
+"""Scheduler behaviour: retries, errors, executors, seed derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, RunnerError
+from repro.runner import (
+    ProcessExecutor,
+    RunnerConfig,
+    SerialExecutor,
+    TaskSpec,
+    run_experiments,
+    run_tasks,
+    task_seed,
+)
+from repro.runner.worker import CRASH_ONCE_ENV
+
+from tests._golden import GOLDEN_CONFIG, load_golden
+
+
+class TestRunnerConfig:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(RunnerError):
+            RunnerConfig(jobs=0)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(RunnerError):
+            RunnerConfig(max_attempts=0)
+
+
+class TestValidation:
+    def test_unknown_experiment_fails_fast(self):
+        with pytest.raises(ConfigurationError, match="fig99"):
+            run_experiments(["fig05", "fig99"], config=GOLDEN_CONFIG)
+
+    def test_empty_campaign(self):
+        report = run_tasks([], RunnerConfig(use_cache=False))
+        assert report.tasks == [] and not report.all_cached
+
+
+class TestCrashRetry:
+    def test_crashed_worker_is_retried_and_recovers(
+        self, tmp_path, monkeypatch
+    ):
+        sentinel = tmp_path / "crashed-once"
+        monkeypatch.setenv(CRASH_ONCE_ENV, f"var:{sentinel}")
+        report = run_experiments(
+            ["var"],
+            config=GOLDEN_CONFIG,
+            runner=RunnerConfig(jobs=2, use_cache=False, retry_backoff=0.01),
+        )
+        assert sentinel.exists()  # the crash really happened
+        task = report.by_id("var")
+        assert task.attempts == 2
+        # and the retried result is still bit-identical to golden
+        assert task.result.digest() == load_golden("var")["digest"]
+
+    def test_crash_exhaustion_raises_runner_error(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ONCE_ENV, "var:always")
+        with pytest.raises(RunnerError, match="var"):
+            run_experiments(
+                ["var"],
+                config=GOLDEN_CONFIG,
+                runner=RunnerConfig(
+                    jobs=2, use_cache=False, max_attempts=2, retry_backoff=0.01
+                ),
+            )
+
+    def test_deterministic_experiment_error_propagates_unwrapped(self):
+        # an unknown id raises before any pool is built; a worker-side
+        # ConfigurationError would pickle back and re-raise the same way
+        with pytest.raises(ConfigurationError):
+            run_tasks(
+                [TaskSpec("no-such-exp", GOLDEN_CONFIG)],
+                RunnerConfig(jobs=2, use_cache=False),
+            )
+
+
+class TestTaskSeed:
+    def test_deterministic_and_label_sensitive(self):
+        assert task_seed(2024, "a") == task_seed(2024, "a")
+        assert task_seed(2024, "a") != task_seed(2024, "b")
+        assert task_seed(2024, "a") != task_seed(2025, "a")
+
+    def test_spec_labels_distinguish_config(self):
+        import dataclasses
+
+        a = TaskSpec("fig05", GOLDEN_CONFIG)
+        b = TaskSpec(
+            "fig05", dataclasses.replace(GOLDEN_CONFIG, repetitions=3)
+        )
+        assert a.label != b.label
+
+
+def _square(x):
+    return x * x
+
+
+class TestExecutors:
+    def test_serial_preserves_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_process_matches_serial(self):
+        items = list(range(20))
+        assert ProcessExecutor(4).map(_square, items) == [
+            SerialExecutor().map(_square, items)[i] for i in range(20)
+        ]
+
+    def test_single_job_runs_inline(self):
+        assert ProcessExecutor(1).map(_square, [2]) == [4]
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(0)
