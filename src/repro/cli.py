@@ -1,20 +1,21 @@
 """Command-line interface.
 
-Five subcommands mirror the ways people use this package::
+Six subcommands mirror the ways people use this package::
 
     repro iperf3    --testbed amlight --path wan54 --zerocopy --fq-rate 50
     repro experiment fig09 [--paper] [--markdown out.md]
     repro run       [exp_id ...|--all] --jobs 4 [--no-cache] [--cache-dir D]
+    repro trace     fig09 --out fig09.trace.json [--interval 0.1] [--csv f.csv]
     repro advise    --testbed esnet --path wan --streams 8
     repro lint      src/ [--format json] [--select DET001,UNIT001]
 
 Each prints to stdout; exit status is 0 on success (``lint`` exits 1
 when it finds violations, ``run --expect-cached`` exits 1 when any
-experiment had to execute, 2 on usage errors).  ``iperf3``,
-``experiment``, and ``run`` accept ``--sanitize`` to enable the
-runtime simulation sanitizer (equivalent to ``REPRO_SANITIZE=1``).
-The module is import-safe (``main`` takes argv) so tests drive it
-directly.
+experiment had to execute, ``trace --validate`` exits 1 on a malformed
+trace, 2 on usage errors).  ``iperf3``, ``experiment``, ``run``, and
+``trace`` accept ``--sanitize`` to enable the runtime simulation
+sanitizer (equivalent to ``REPRO_SANITIZE=1``).  The module is
+import-safe (``main`` takes argv) so tests drive it directly.
 """
 
 from __future__ import annotations
@@ -112,6 +113,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="enable runtime invariant checks "
                        "(= REPRO_SANITIZE=1)")
+    p_run.add_argument("--trace", action="store_true",
+                       help="record trace events for every task and "
+                       "persist Perfetto artifacts next to the cache")
+
+    # -- repro trace ------------------------------------------------------
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one experiment with the observability subsystem on",
+        description="Runs an experiment under the in-simulation trace "
+        "bus — the stand-in for the paper's ss/mpstat/ethtool side "
+        "channels — and exports the event stream as a Perfetto/Chrome "
+        "trace_event JSON (load it at https://ui.perfetto.dev).  "
+        "Tracing is purely observational: results and golden digests "
+        "are identical with it on or off, and the event stream itself "
+        "is deterministic (same seed, same bytes, any --jobs).",
+    )
+    p_trace.add_argument("exp_id", nargs="?", default=None,
+                         help="experiment id (omit to list)")
+    p_trace.add_argument("--out", metavar="FILE",
+                         help="write Perfetto trace_event JSON here")
+    p_trace.add_argument("--csv", metavar="FILE",
+                         help="also write the raw event stream as CSV")
+    p_trace.add_argument("--interval", type=float, default=0.25,
+                         metavar="SEC",
+                         help="probe sampling interval in simulated "
+                         "seconds (default 0.25)")
+    p_trace.add_argument("--events", default=None, metavar="CATS",
+                         help="comma-separated event categories to "
+                         "record (default: all but per-tick 'flow')")
+    p_trace.add_argument("--buffer", type=int, default=0, metavar="N",
+                         help="flight-recorder ring capacity; 0 keeps "
+                         "every event (default)")
+    p_trace.add_argument("--profile", choices=["quick", "bench", "paper"],
+                         default="bench",
+                         help="harness fidelity (default bench)")
+    p_trace.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes (default 1 = in-process)")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="schema-check the exported trace; exit 1 "
+                         "on problems")
+    p_trace.add_argument("--sanitize", action="store_true",
+                         help="enable runtime invariant checks "
+                         "(= REPRO_SANITIZE=1)")
 
     # -- repro lint -------------------------------------------------------
     p_lint = sub.add_parser(
@@ -205,10 +249,16 @@ def _cmd_run(args) -> int:
         "bench": HarnessConfig.bench,
         "paper": HarnessConfig.paper,
     }[args.profile]()
+    trace_spec = None
+    if args.trace:
+        from repro.trace.bus import TraceSpec
+
+        trace_spec = TraceSpec()
     runner = RunnerConfig(
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        trace=trace_spec,
     )
     report = run_experiments(
         args.exp_ids or None, config=config, runner=runner
@@ -217,7 +267,10 @@ def _cmd_run(args) -> int:
         print(task.result.render())
         origin = "cached" if task.cached else f"ran in {task.elapsed:.1f}s"
         print(f"[{task.spec.exp_id}: {origin}, "
-              f"digest {task.result.digest()[:12]}]\n")
+              f"digest {task.result.digest()[:12]}]")
+        if task.trace is not None:
+            print(_trace_line(task))
+        print()
     print(report.summary())
     if args.markdown:
         sections = [result_to_markdown(r) for r in report.results]
@@ -231,6 +284,68 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _trace_line(task) -> str:
+    """One-line trace summary for a TaskResult with a trace payload."""
+    trace = task.trace
+    line = (
+        f"[trace: {len(trace['events'])} events, "
+        f"{trace['dropped']} dropped, digest {trace['digest'][:12]}"
+    )
+    if trace["path"] is not None:
+        line += f", wrote {trace['path']}"
+    return line + "]"
+
+
+def _cmd_trace(args) -> int:
+    _apply_sanitize_flag(args)
+    if args.exp_id is None:
+        print("available experiments:")
+        for exp_id in all_experiment_ids():
+            print(f"  {exp_id}")
+        return 0
+    from repro.runner import RunnerConfig, run_experiments
+    from repro.trace.bus import TraceSpec
+    from repro.trace.export import dump_perfetto, to_csv, validate_perfetto
+
+    categories = None
+    if args.events:
+        categories = [c.strip() for c in args.events.split(",") if c.strip()]
+    spec = TraceSpec(
+        interval=args.interval,
+        categories=categories,
+        buffer=args.buffer,
+    )
+    config = {
+        "quick": HarnessConfig.quick,
+        "bench": HarnessConfig.bench,
+        "paper": HarnessConfig.paper,
+    }[args.profile]()
+    # Traced campaigns never read the cache, and the CLI writes its own
+    # artifact (--out), so skip the cache machinery entirely.
+    runner = RunnerConfig(jobs=args.jobs, use_cache=False, trace=spec)
+    report = run_experiments([args.exp_id], config=config, runner=runner)
+    task = report.by_id(args.exp_id)
+    print(task.result.render())
+    print(_trace_line(task))
+    doc = task.trace["doc"]
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(dump_perfetto(doc))
+        print(f"wrote {args.out}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(to_csv(task.trace["events"]))
+        print(f"wrote {args.csv}")
+    if args.validate:
+        problems = validate_perfetto(doc)
+        if problems:
+            for problem in problems:
+                print(f"invalid trace: {problem}", file=sys.stderr)
+            return 1
+        print("trace schema: ok")
     return 0
 
 
@@ -276,6 +391,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_experiment(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "advise":

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.errors import SimulationError
+from repro.trace.bus import active as trace_active
 
 __all__ = ["Event", "Engine"]
 
@@ -142,6 +143,15 @@ class Engine:
                 continue
             if self._sanitizer is not None:
                 self._sanitizer.check_time(event.time)
+            bus = trace_active()
+            if bus is not None:
+                bus.set_time(event.time)
+                bus.emit(
+                    "engine",
+                    "engine.dispatch",
+                    seq=event.seq,
+                    priority=event.priority,
+                )
             self._now = event.time
             self._processed += 1
             event.callback()

@@ -1,14 +1,19 @@
-"""Determinism rules: DET001 (entropy sources), DET002 (unstable order).
+"""Determinism rules: DET001 (entropy), DET002 (order), DET003 (ambient).
 
 The whole experiment pipeline promises bit-for-bit replays from one
-seed.  Two things silently break that promise:
+seed.  Three things silently break that promise:
 
 * drawing entropy from outside :class:`repro.core.rng.RngFactory` —
   wall-clock reads, the ``random`` module's process-global state, or
   fresh/global numpy generators (DET001);
 * ordering work by quantities that differ between processes — ``hash()``
   (salted per process for strings), ``id()`` (allocator-dependent), or
-  iteration over a bare ``set`` (insertion/hash dependent) (DET002).
+  iteration over a bare ``set`` (insertion/hash dependent) (DET002);
+* iterating ambient process state — ``os.environ`` and dicts built
+  from it differ between machines, CI runners, and even shells, so any
+  loop over them feeds machine-local state into results (DET003).
+  Reading a *named* variable with ``os.environ.get`` is fine; it is the
+  enumeration of everything that happens to be set that is poison.
 """
 
 from __future__ import annotations
@@ -24,7 +29,11 @@ from repro.lint.core import (
     register,
 )
 
-__all__ = ["WallClockAndGlobalRandomRule", "UnstableOrderingRule"]
+__all__ = [
+    "WallClockAndGlobalRandomRule",
+    "UnstableOrderingRule",
+    "AmbientStateIterationRule",
+]
 
 #: Dotted-name suffixes that read the wall clock.
 _WALL_CLOCK = (
@@ -196,4 +205,116 @@ class UnstableOrderingRule(Rule):
                             "comprehension over a bare set: the order is "
                             "hash/insertion dependent; wrap it in "
                             "sorted(...)",
+                        )
+
+
+def _is_environ(node: ast.expr) -> bool:
+    """``os.environ`` (or any ``X.environ`` attribute access)."""
+    name = dotted_name(node)
+    return name is not None and (name == "environ" or name.endswith(".environ"))
+
+
+def _env_like(node: ast.expr, tainted: frozenset[str]) -> bool:
+    if isinstance(node, ast.Name) and node.id in tainted:
+        return True
+    return _is_environ(node)
+
+
+def _env_source(node: ast.expr, tainted: frozenset[str]) -> bool:
+    """Is this expression the environment or a copy of it?
+
+    Matches ``os.environ`` itself, ``dict(os.environ)``,
+    ``os.environ.copy()``, and the same applied to an already-tainted
+    name.
+    """
+    if _env_like(node, tainted):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "dict"
+            and node.args
+            and _env_source(node.args[0], tainted)
+        ):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "copy"
+            and _env_like(func.value, tainted)
+        ):
+            return True
+    return False
+
+
+def _strip_view(node: ast.expr) -> ast.expr:
+    """Peel a ``.keys()``/``.items()``/``.values()`` call off an iterable."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "items", "values")
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.value
+    return node
+
+
+@register
+class AmbientStateIterationRule(Rule):
+    code = "DET003"
+    name = "no-ambient-state-iteration"
+    description = (
+        "Iterating os.environ (or a dict copied from it) folds whatever "
+        "the machine happens to export into program behaviour — a "
+        "different result set per shell, CI runner, and host.  Read "
+        "named variables with os.environ.get(...); never enumerate the "
+        "environment."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # Pass 1: names assigned (anywhere in the file) from the
+        # environment or a copy of it.  Module-level taint is enough —
+        # the rule is a tripwire, not a dataflow engine.
+        tainted: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and _env_source(
+                node.value, frozenset(tainted)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _env_source(node.value, frozenset(tainted)) and isinstance(
+                    node.target, ast.Name
+                ):
+                    tainted.add(node.target.id)
+        frozen = frozenset(tainted)
+
+        def _flags(iterable: ast.expr) -> bool:
+            # sorted(...)/list(sorted(...)) wrappers make the order
+            # explicit; only the raw mapping (or its views) fires.
+            return _env_source(_strip_view(iterable), frozen)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _flags(node.iter):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    "iterating the process environment: contents and "
+                    "order are machine-local; read named variables with "
+                    "os.environ.get(...) instead",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for gen in node.generators:
+                    if _flags(gen.iter):
+                        yield ctx.violation(
+                            node,
+                            self.code,
+                            "comprehension over the process environment: "
+                            "contents and order are machine-local; read "
+                            "named variables with os.environ.get(...) "
+                            "instead",
                         )

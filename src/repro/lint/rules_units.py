@@ -1,4 +1,4 @@
-"""Unit-correctness rule: UNIT001 (magic unit constants).
+"""Unit-correctness rules: UNIT001 (magic constants), UNIT002 (sysctl bytes).
 
 The simulator's internal quantities are SI base units; conversions live
 in :mod:`repro.core.units` and nowhere else.  A bare ``1e9`` or ``* 8``
@@ -6,12 +6,23 @@ in simulation math is exactly how the classic factor-of-8 and
 1000-vs-1024 bugs re-enter a networking codebase — the reader cannot
 tell a gigabit from a gigabyte from a GiB, and neither can a reviewer.
 
-The rule fires on numeric literals that are unit-conversion constants
+UNIT001 fires on numeric literals that are unit-conversion constants
 (1e3/1e6/1e9, 1024 and its powers) and on multiplying/dividing a
 non-literal expression by 8 (bits↔bytes), inside the simulation
 subsystems (``sim``, ``tcp``, ``net``, ``micro``).  Use ``units.G``,
 ``units.KB``, ``units.BITS_PER_BYTE`` & friends, or suppress a genuine
 non-unit use with ``# repro: noqa-UNIT001`` and a justification.
+
+UNIT002 guards the binary-vs-decimal boundary around the kernel byte
+sysctls the paper tunes (``optmem_max``, ``rmem_max``, ``tcp_wmem``,
+...).  Those are byte counts with binary-round canonical values
+(20 KB = 20480, 1 MB = 1048576, the paper's best 3405376); writing
+"1 MB" as the decimal-round ``1000000`` silently undershoots by 4.6%
+— precisely the mixup the paper's own Fig. 9 sensitivity makes costly.
+The rule fires when a sysctl byte name is assigned, compared, or
+passed a decimal-round literal (``% 1000 == 0``) that is not also
+binary-aligned (``% 1024 != 0``).  It applies repo-wide: testbed and
+host configuration files are where the constants live.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ from typing import Iterator
 
 from repro.lint.core import FileContext, Rule, Violation, register
 
-__all__ = ["MagicUnitConstantRule"]
+__all__ = ["MagicUnitConstantRule", "DecimalByteSysctlRule"]
 
 #: Literal value → the units helper that should replace it.
 _MAGIC = {
@@ -90,3 +101,105 @@ class MagicUnitConstantRule(Rule):
                             "units.BITS_PER_BYTE or gbps()/to_gbps()",
                         )
                         break
+
+
+#: Kernel sysctls (net.core.*, net.ipv4.tcp_*mem) that are byte counts
+#: with binary-round canonical values.
+_SYSCTL_BYTE_NAMES = frozenset(
+    {
+        "optmem_max",
+        "rmem_max",
+        "wmem_max",
+        "rmem_default",
+        "wmem_default",
+        "tcp_rmem",
+        "tcp_wmem",
+    }
+)
+
+
+def _decimal_byte_literal(node: ast.expr) -> int | None:
+    """The literal's value if it is decimal-round but not binary-aligned.
+
+    Small values (< 100 KB) are left alone: below the autotuning floor
+    the 1000-vs-1024 distinction cannot matter, and constants like 0 or
+    ``4096`` appear legitimately.
+    """
+    if not _is_number(node):
+        return None
+    value = node.value
+    if isinstance(value, float) and not value.is_integer():
+        return None
+    value = int(value)
+    if value >= 100_000 and value % 1000 == 0 and value % 1024 != 0:
+        return value
+    return None
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class DecimalByteSysctlRule(Rule):
+    code = "UNIT002"
+    name = "no-decimal-byte-sysctls"
+    description = (
+        "Byte-count sysctls (optmem_max, rmem_max, tcp_wmem, ...) have "
+        "binary-round canonical values; a decimal-round literal like "
+        "1000000 for '1 MB' is a binary-vs-decimal mixup that silently "
+        "undersizes the buffer.  Use units.MB/units.KB (binary) or the "
+        "exact kernel value."
+    )
+
+    def _pair(self, ctx: FileContext, site: ast.AST, name_node, lit_node):
+        name = _terminal_name(name_node)
+        if name not in _SYSCTL_BYTE_NAMES:
+            return None
+        value = _decimal_byte_literal(lit_node)
+        if value is None:
+            return None
+        return ctx.violation(
+            site,
+            self.code,
+            f"{name} set/compared with decimal-round {value}: byte "
+            f"sysctls are binary ({value} B is only {value / 1048576:.3f} "
+            f"MiB); use units.MB/units.KB or the exact kernel value",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    for name_node, lit_node in ((left, right), (right, left)):
+                        v = self._pair(ctx, node, name_node, lit_node)
+                        if v is not None:
+                            yield v
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    v = self._pair(ctx, node, target, node.value)
+                    if v is not None:
+                        yield v
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                v = self._pair(ctx, node, node.target, node.value)
+                if v is not None:
+                    yield v
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg in _SYSCTL_BYTE_NAMES:
+                        value = _decimal_byte_literal(kw.value)
+                        if value is not None:
+                            yield ctx.violation(
+                                node,
+                                self.code,
+                                f"{kw.arg}= passed decimal-round {value}: "
+                                f"byte sysctls are binary ({value} B is "
+                                f"{value / 1048576:.3f} MiB); use "
+                                f"units.MB/units.KB or the exact kernel "
+                                f"value",
+                            )

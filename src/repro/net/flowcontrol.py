@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.trace.bus import active as trace_active
+
 __all__ = ["FlowControlState"]
 
 
@@ -47,6 +49,15 @@ class FlowControlState:
         if self.paused:
             if ring_fill <= self.resume_threshold:
                 self.paused = False
+                bus = trace_active()
+                if bus is not None:
+                    bus.emit(
+                        "flowcontrol",
+                        "fc.resume",
+                        ring_fill=round(float(ring_fill), 4),
+                        pause_events=self.pause_events,
+                        paused_sec=round(self.total_paused_sec, 9),
+                    )
                 return 0.3  # partial pause while draining
             self.total_paused_sec += dt
             return 1.0
@@ -54,6 +65,15 @@ class FlowControlState:
             self.paused = True
             self.pause_events += 1
             self.total_paused_sec += dt * 0.5
+            bus = trace_active()
+            if bus is not None:
+                bus.emit(
+                    "flowcontrol",
+                    "fc.pause",
+                    ring_fill=round(float(ring_fill), 4),
+                    pause_events=self.pause_events,
+                    paused_sec=round(self.total_paused_sec, 9),
+                )
             return 0.5  # paused for about half the tick
         return 0.0
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.core import units
 from repro.core.errors import SimulationError
+from repro.trace.bus import active as trace_active
 
 __all__ = ["SwitchModel", "SharedBufferQueue"]
 
@@ -60,6 +61,9 @@ class SharedBufferQueue:
     occupancy: float = 0.0
     dropped_bytes: float = 0.0
     paused_time: float = 0.0
+    # Edge-trigger state for trace events (drop episodes, pause spans).
+    _was_dropping: bool = field(default=False, repr=False)
+    _was_paused: bool = field(default=False, repr=False)
 
     def offer(self, arrival_bytes: float, dt: float) -> tuple[float, float]:
         """Offer ``arrival_bytes`` over ``dt``; return (delivered, dropped).
@@ -73,25 +77,57 @@ class SharedBufferQueue:
         if arrival_bytes < 0 or dt <= 0:
             raise SimulationError("offer() needs arrival>=0 and dt>0")
         drained = self.drain_rate * dt
+        dropped = 0.0
+        paused = False
         # Serve from queue first, then arrivals.
         queue_after = self.occupancy + arrival_bytes - drained
         if queue_after <= 0:
             delivered = self.occupancy + arrival_bytes
             self.occupancy = 0.0
-            return delivered, 0.0
-        delivered = drained
-        if queue_after > self.switch.shared_buffer_bytes:
-            excess = queue_after - self.switch.shared_buffer_bytes
-            self.occupancy = self.switch.shared_buffer_bytes
-            if self.switch.supports_flow_control:
-                # Pause frames push the excess back into the senders'
-                # qdiscs; nothing is lost, but the port was saturated.
-                self.paused_time += dt
-                return delivered, 0.0
-            self.dropped_bytes += excess
-            return delivered, excess
-        self.occupancy = queue_after
-        return delivered, 0.0
+        else:
+            delivered = drained
+            if queue_after > self.switch.shared_buffer_bytes:
+                excess = queue_after - self.switch.shared_buffer_bytes
+                self.occupancy = self.switch.shared_buffer_bytes
+                if self.switch.supports_flow_control:
+                    # Pause frames push the excess back into the
+                    # senders' qdiscs; nothing is lost, but the port
+                    # was saturated.
+                    self.paused_time += dt
+                    paused = True
+                else:
+                    self.dropped_bytes += excess
+                    dropped = excess
+            else:
+                self.occupancy = queue_after
+        bus = trace_active()
+        if bus is not None:
+            self._trace(bus, dropped, paused)
+        return delivered, dropped
+
+    def _trace(self, bus, dropped: float, paused: bool) -> None:
+        """Emit edge-triggered pause/drop events for this offer."""
+        if paused != self._was_paused:
+            self._was_paused = paused
+            bus.emit(
+                "flowcontrol",
+                "fc.pause" if paused else "fc.resume",
+                port=self.switch.model,
+                occupancy=self.occupancy,
+                fill=round(self.fill_fraction, 4),
+                paused_sec=round(self.paused_time, 9),
+            )
+        dropping = dropped > 0.0
+        if dropping != self._was_dropping:
+            self._was_dropping = dropping
+            bus.emit(
+                "switch",
+                "switch.drop_start" if dropping else "switch.drop_end",
+                port=self.switch.model,
+                dropped=dropped,
+                dropped_total=self.dropped_bytes,
+                occupancy=self.occupancy,
+            )
 
     @property
     def fill_fraction(self) -> float:
@@ -101,3 +137,5 @@ class SharedBufferQueue:
         self.occupancy = 0.0
         self.dropped_bytes = 0.0
         self.paused_time = 0.0
+        self._was_dropping = False
+        self._was_paused = False

@@ -36,6 +36,7 @@ from repro.runner.executors import pool_context
 from repro.runner.tasks import RunReport, TaskResult, TaskSpec
 from repro.runner.worker import execute_task
 from repro.tools.harness import HarnessConfig
+from repro.trace.bus import TraceSpec
 
 __all__ = ["RunnerConfig", "run_tasks", "run_experiments"]
 
@@ -57,6 +58,12 @@ class RunnerConfig:
     #: Seed for scheduling-level randomness (backoff jitter) only —
     #: experiment rows draw from ``HarnessConfig.seed``, never this.
     seed: int = 2024
+    #: When set, every spec in the campaign runs traced (see
+    #: :meth:`run_experiments`); traced tasks never read the cache.
+    trace: TraceSpec | None = None
+    #: Where to persist per-task trace artifacts; ``None`` puts them
+    #: under the cache directory's ``traces/`` subtree.
+    trace_dir: Path | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -69,7 +76,49 @@ def _result_from_payload(payload: dict) -> ExperimentResult:
     return ExperimentResult.from_dict(payload["result"])
 
 
-def _run_pool(pending: list, runner: RunnerConfig, slots: list) -> None:
+def _trace_summary(spec: TaskSpec, payload: dict, store_dir: Path | None) -> dict | None:
+    """Turn a worker's trace payload into the :class:`TaskResult` form.
+
+    Builds the Perfetto document, optionally persists it next to the
+    result cache (atomic rename, like the cache's own writes), and
+    returns ``{"doc", "events", "digest", "dropped", "path"}``.
+    """
+    raw = payload.get("trace")
+    if raw is None:
+        return None
+    from repro.trace.export import dump_perfetto, to_perfetto
+
+    doc = to_perfetto(
+        raw["events"],
+        meta={
+            "exp_id": spec.exp_id,
+            "task": spec.label,
+            "dropped": raw["dropped"],
+            "emitted": raw["emitted"],
+        },
+    )
+    path = None
+    if store_dir is not None:
+        store_dir.mkdir(parents=True, exist_ok=True)
+        path = store_dir / f"{spec.label}.trace.json"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(dump_perfetto(doc))
+        tmp.replace(path)
+    return {
+        "doc": doc,
+        "events": raw["events"],
+        "digest": raw["digest"],
+        "dropped": raw["dropped"],
+        "path": path,
+    }
+
+
+def _run_pool(
+    pending: list,
+    runner: RunnerConfig,
+    slots: list,
+    store_dir: Path | None = None,
+) -> None:
     """Execute ``(index, spec, key)`` triples on a worker pool.
 
     Fills ``slots[index]`` with a :class:`TaskResult` for each triple.
@@ -107,6 +156,7 @@ def _run_pool(pending: list, runner: RunnerConfig, slots: list) -> None:
                         cached=False,
                         attempts=attempts[index],
                         elapsed=payload["elapsed"],
+                        trace=_trace_summary(spec, payload, store_dir),
                     )
         if not crashed:
             return
@@ -141,21 +191,32 @@ def run_tasks(specs: list[TaskSpec], runner: RunnerConfig | None = None) -> RunR
         cache = ResultCache(runner.cache_dir or default_cache_dir())
         src_digest = source_digest()
 
+    store_dir = None
+    if any(spec.trace is not None for spec in specs):
+        if runner.trace_dir is not None:
+            store_dir = runner.trace_dir
+        elif cache is not None:
+            store_dir = cache.root / "traces"
+
     pending: list[tuple[int, TaskSpec, str]] = []
     for index, spec in enumerate(specs):
         key = ""
         if cache is not None:
             key = cache_key(spec.exp_id, spec.config, src_digest)
-            doc = cache.get(key)
-            if doc is not None:
-                slots[index] = TaskResult(
-                    spec=spec,
-                    result=_result_from_payload(doc),
-                    cached=True,
-                    attempts=0,
-                    elapsed=0.0,
-                )
-                continue
+            # Traced tasks must actually execute — a cached payload has
+            # the rows but not the event stream — yet still store their
+            # (trace-independent) results for later untraced campaigns.
+            if spec.trace is None:
+                doc = cache.get(key)
+                if doc is not None:
+                    slots[index] = TaskResult(
+                        spec=spec,
+                        result=_result_from_payload(doc),
+                        cached=True,
+                        attempts=0,
+                        elapsed=0.0,
+                    )
+                    continue
         pending.append((index, spec, key))
 
     if pending:
@@ -168,9 +229,10 @@ def run_tasks(specs: list[TaskSpec], runner: RunnerConfig | None = None) -> RunR
                     cached=False,
                     attempts=1,
                     elapsed=payload["elapsed"],
+                    trace=_trace_summary(spec, payload, store_dir),
                 )
         else:
-            _run_pool(pending, runner, slots)
+            _run_pool(pending, runner, slots, store_dir)
 
     if cache is not None:
         for index, spec, key in pending:
@@ -208,5 +270,8 @@ def run_experiments(
             f"unknown experiment ids {unknown}; have {all_experiment_ids()}"
         )
     config = config or HarnessConfig.bench()
-    specs = [TaskSpec(exp_id=exp_id, config=config) for exp_id in ids]
+    runner = runner or RunnerConfig()
+    specs = [
+        TaskSpec(exp_id=exp_id, config=config, trace=runner.trace) for exp_id in ids
+    ]
     return run_tasks(specs, runner)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.rng import RngFactory
 from repro.experiments.base import ExperimentResult
 from repro.tools.harness import HarnessConfig
+from repro.trace.bus import TraceSpec
 
 __all__ = ["TaskSpec", "TaskResult", "RunReport", "task_seed"]
 
@@ -36,6 +37,11 @@ class TaskSpec:
 
     exp_id: str
     config: HarnessConfig
+    #: When set, the worker runs the experiment under the trace bus and
+    #: ships the event stream back in its payload.  Traced tasks never
+    #: read the result cache (cached payloads carry no events), though
+    #: their results are still stored — tracing does not change them.
+    trace: TraceSpec | None = None
 
     @property
     def label(self) -> str:
@@ -55,6 +61,10 @@ class TaskResult:
     cached: bool = False
     attempts: int = 1
     elapsed: float = 0.0
+    #: Traced tasks only: {"doc", "events", "digest", "dropped", "path"}
+    #: — the Perfetto document, raw event dicts, stream digest, flight-
+    #: recorder drop count, and the persisted artifact path (or None).
+    trace: dict | None = None
 
 
 @dataclass

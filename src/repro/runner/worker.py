@@ -41,7 +41,15 @@ def _maybe_crash(exp_id: str) -> None:
 
 
 def execute_task(spec: TaskSpec) -> dict:
-    """Run one experiment and return ``{"result": ..., "elapsed": ...}``."""
+    """Run one experiment and return ``{"result": ..., "elapsed": ...}``.
+
+    When ``spec.trace`` is set the experiment runs with the trace bus
+    installed and the payload additionally carries ``"trace"``: the
+    event stream (as plain dicts), its digest, and the flight
+    recorder's drop count.  The digest is computed *here*, in the
+    worker, so ``--jobs 1`` (in-process) and ``--jobs 4`` (subprocess)
+    hash exactly the same bytes.
+    """
     # Imported here, not at module top: the registry imports every
     # experiment module, and the runner package must stay importable
     # from lightweight contexts (analysis helpers, docs tooling).
@@ -50,9 +58,29 @@ def execute_task(spec: TaskSpec) -> dict:
     _maybe_crash(spec.exp_id)
     # wall-clock telemetry for the progress report, not simulated time
     start = time.perf_counter()  # repro: noqa-DET001
-    result = run_experiment(spec.exp_id, spec.config)
-    return {
+    trace_payload = None
+    if spec.trace is None:
+        result = run_experiment(spec.exp_id, spec.config)
+    else:
+        from repro.trace.bus import TraceBus, tracing
+        from repro.trace.events import events_digest
+
+        sink = spec.trace.make_sink()
+        bus = TraceBus(sinks=[sink], probe_interval=spec.trace.interval)
+        with tracing(bus):
+            result = run_experiment(spec.exp_id, spec.config)
+        events = [event.to_dict() for event in sink.events]
+        trace_payload = {
+            "events": events,
+            "dropped": sink.dropped,
+            "emitted": bus.emitted,
+            "digest": events_digest(events),
+        }
+    payload = {
         "exp_id": spec.exp_id,
         "elapsed": time.perf_counter() - start,  # repro: noqa-DET001
         "result": result.to_dict(),
     }
+    if trace_payload is not None:
+        payload["trace"] = trace_payload
+    return payload

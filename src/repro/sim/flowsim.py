@@ -46,6 +46,10 @@ from repro.tcp.cc import make_cc
 from repro.tcp.pacing import PacingConfig
 from repro.tcp.segment import SegmentGeometry
 from repro.tcp.sockets import SocketProfile
+from repro.trace.bus import TraceBus
+from repro.trace.bus import active as trace_active
+from repro.trace.ledger import FlowConservationLedger
+from repro.trace.probes import mpstat_probe, nic_probe, socket_probe
 
 __all__ = ["FlowSpec", "SimProfile", "FlowSimulator"]
 
@@ -168,6 +172,33 @@ class FlowSimulator:
         )
         sockets = SocketProfile.from_sysctls(self.sender.sysctls, self.receiver.sysctls)
 
+        # Observability.  The ambient trace bus (if one is installed)
+        # receives events and probes; the sanitizer additionally audits
+        # per-flow conservation by consuming the same "flow.tick" wire
+        # format through a private single-sink bus, so the ledger
+        # exercises the exact stream exports would see.  Every emission
+        # below is observational — no RNG draws, no state the simulated
+        # numbers depend on.
+        bus = trace_active()
+        self.last_ledger = None
+        ledger_bus = None
+        if san is not None:
+            ledger = FlowConservationLedger(
+                n, mss=float(geom_tx.mss), context=f"flowsim rep={rep}"
+            )
+            self.last_ledger = ledger
+            ledger_bus = TraceBus(sinks=[ledger])
+        want_flow = bus is not None and bus.wants("flow")
+        want_probe = bus is not None and bus.wants("probe")
+        want_cc = bus is not None and bus.wants("cc")
+        want_zc = bus is not None and bus.wants("zerocopy")
+        emit_flow = want_flow or ledger_bus is not None
+        probe_stride = 0
+        drops_cum = None
+        if want_probe:
+            probe_stride = max(1, int(round(bus.probe_interval / dt)))
+            drops_cum = np.zeros(n)
+
         send_models = [
             CpuCostModel(self.sender, geom_tx, snd_place, zerocopy=f.zerocopy)
             for f in self.flows
@@ -246,10 +277,27 @@ class FlowSimulator:
         budget_tx = self.sender.core_cycles_per_sec() * run_noise
         budget_rx = self.receiver.core_cycles_per_sec() * run_noise
 
+        if bus is not None:
+            bus.emit(
+                "run",
+                "run.start",
+                rep=rep,
+                flows=n,
+                path=self.path.name,
+                duration=prof.duration,
+                tick=dt,
+                rtt_ms=units.seconds_to_ms(base_rtt),
+                flow_control=self.path.flow_control,
+            )
+
         now = 0.0
         rtt = base_rtt
         for step in range(n_ticks):
             now += dt
+            if bus is not None:
+                bus.set_time(now)
+            if ledger_bus is not None:
+                ledger_bus.set_time(now)
             if san is not None:
                 san.check_time(now)
             if step % steps_per_bg == 0 and self.path.background.active:
@@ -415,12 +463,45 @@ class FlowSimulator:
                 san.check_positive("rtt", rtt)
                 san.check_positive("cwnd", cwnd)
 
+            if drops_cum is not None:
+                drops_cum += drops
+            if emit_flow:
+                # cwnd here is the window that bounded THIS tick's
+                # allocation (the cc update below may change it).
+                for i in range(n):
+                    args = {
+                        "flow": i,
+                        "sent": float(sent[i]),
+                        "delivered": float(delivered[i]),
+                        "dropped": float(drops[i]),
+                        "alloc": float(alloc[i]),
+                        "cwnd": float(cwnd[i]),
+                        "rtt": rtt,
+                    }
+                    if want_flow:
+                        bus.emit("flow", "flow.tick", **args)
+                    if ledger_bus is not None:
+                        ledger_bus.emit("flow", "flow.tick", **args)
+
             # --- congestion feedback ------------------------------------
             loss_events = 0
             retr_segments = float(drops.sum() / geom_tx.mss)
             for i, cc in enumerate(ccs):
                 if drops[i] > LOSS_REACT_FRACTION * max(sent[i], 1.0):
-                    if cc.on_loss(now, rtt):
+                    if want_cc:
+                        before = float(cc.cwnd_bytes)
+                        if cc.on_loss(now, rtt):
+                            loss_events += 1
+                            bus.emit(
+                                "cc",
+                                "cc.loss",
+                                flow=i,
+                                cwnd_before=before,
+                                cwnd_after=float(cc.cwnd_bytes),
+                                dropped=float(drops[i]),
+                                rtt=rtt,
+                            )
+                    elif cc.on_loss(now, rtt):
                         loss_events += 1
                 # Congestion-window validation (RFC 7661): loss-based
                 # algorithms only grow while the window is what binds.
@@ -450,6 +531,57 @@ class FlowSimulator:
                 rcosts = recv_models[i].receiver_costs(drate, rtt)
                 rx_app += drate * rcosts.app_cyc_per_byte / budget_rx
                 rx_irq += drate * rcosts.irq_cyc_per_byte / budget_rx
+                if want_zc and send_models[i].zc_model is not None:
+                    # Edge-triggered: one event when the flow starts
+                    # falling back to copying (optmem exhausted), one
+                    # when it recovers.
+                    bus.emit_edge(
+                        ("zc", i),
+                        "zerocopy",
+                        "zc.fallback",
+                        bool(costs.zc_fraction < 0.999),
+                        flow=i,
+                        zc_fraction=round(float(costs.zc_fraction), 4),
+                    )
+
+            if want_probe and step % probe_stride == 0:
+                bus.emit(
+                    "probe",
+                    "probe.mpstat",
+                    **mpstat_probe(
+                        snd_app_pct=100.0 * tx_app / n,
+                        snd_irq_pct=100.0 * tx_irq / n,
+                        rcv_app_pct=100.0 * rx_app / n,
+                        rcv_irq_pct=100.0 * rx_irq / n,
+                    ),
+                )
+                bus.emit(
+                    "probe",
+                    "probe.nic",
+                    **nic_probe(
+                        q_switch, q_ring, flow_control=self.path.flow_control
+                    ),
+                )
+                for i in range(n):
+                    zc_model = send_models[i].zc_model
+                    bus.emit(
+                        "probe",
+                        "probe.socket",
+                        **socket_probe(
+                            i,
+                            cwnd=float(cwnd[i]),
+                            pacing_rate=float(pace[i]),
+                            rtt=rtt,
+                            send_rate=float(alloc[i]),
+                            delivered_rate=float(delivered[i]) / dt,
+                            retrans_cum=float(drops_cum[i]) / geom_tx.mss,
+                            zc_fraction=(
+                                None
+                                if zc_model is None
+                                else zc_model.zc_fraction(float(alloc[i]), rtt)
+                            ),
+                        ),
+                    )
 
             metrics.record_tick(
                 dt,
@@ -460,4 +592,15 @@ class FlowSimulator:
                 zc_sum / n,
             )
 
-        return metrics.finalize()
+        result = metrics.finalize()
+        if bus is not None:
+            bus.emit(
+                "run",
+                "run.end",
+                rep=rep,
+                flows=n,
+                gbps=round(result.total_gbps, 6),
+                retransmit_segments=round(result.retransmit_segments, 3),
+                loss_events=result.loss_events,
+            )
+        return result

@@ -128,7 +128,16 @@ class SimSanitizer:
     # -- plumbing ---------------------------------------------------------
 
     def _fail(self, what: str) -> None:
-        raise SanitizerViolation(f"[{self.context}] {what}")
+        message = f"[{self.context}] {what}"
+        # Post-mortem context: when a trace bus is installed, append
+        # its flight-recorder tail.  Imported lazily so the sanitizer
+        # stays importable without loading the trace package.
+        from repro.trace.bus import flight_recorder_tail
+
+        tail = flight_recorder_tail()
+        if tail:
+            message = f"{message}\n{tail}"
+        raise SanitizerViolation(message)
 
     def reset_clock(self) -> None:
         """Forget the monotonicity watermark (engine ``reset()``)."""

@@ -25,6 +25,7 @@ from repro.core.rng import RngFactory
 from repro.host.machine import Host
 from repro.net.path import NetworkPath
 from repro.tools.iperf3 import Iperf3, Iperf3Options, Iperf3Result
+from repro.trace.bus import active as trace_active
 
 __all__ = ["HarnessConfig", "HarnessResult", "TestHarness"]
 
@@ -188,10 +189,18 @@ class TestHarness:
             rng=RngFactory(seed=cfg.seed),
             tick=cfg.tick,
         )
-        runs = [tool.run(options, rep=i) for i in range(cfg.repetitions)]
-        return HarnessResult(
-            label=label or options.command_line(), options=options, runs=runs
-        )
+        label = label or options.command_line()
+        bus = trace_active()
+        runs = []
+        for i in range(cfg.repetitions):
+            if bus is None:
+                runs.append(tool.run(options, rep=i))
+            else:
+                # Each repetition gets its own trace track, so exports
+                # show "<case>#r<rep>" rows like the harness's own logs.
+                with bus.scoped(f"{label}#r{i}"):
+                    runs.append(tool.run(options, rep=i))
+        return HarnessResult(label=label, options=options, runs=runs)
 
     def run_matrix(
         self, cases: list[tuple[str, Iperf3Options]], executor=None

@@ -1,0 +1,77 @@
+"""``repro.trace`` — in-simulation observability.
+
+A structured event bus with typed, timestamped events from the
+simulator's hot paths, periodic probes modeled on the paper's tools
+(``ss -ti``, ``mpstat``, ``ethtool -S``), a bounded ring-buffer flight
+recorder, and Perfetto/CSV exporters.  See README "Tracing & probes"
+and DESIGN §2 item 15.
+
+Quick tour::
+
+    from repro.trace import ListSink, TraceBus, tracing
+
+    sink = ListSink()
+    with tracing(TraceBus(sinks=[sink], probe_interval=0.25)):
+        result = tool.run(options)          # numbers unchanged
+    print(sink.events[0].render())          # ... but now explainable
+
+Tracing is **zero-cost when disabled** (hot paths read one module
+global and bail on ``None``) and **deterministic when enabled** (the
+event stream is a pure function of code, seed, and trace config — the
+runner asserts digest equality across ``--jobs 1`` vs ``--jobs 4``).
+"""
+
+from repro.trace.bus import (
+    ListSink,
+    RingSink,
+    Sink,
+    TraceBus,
+    TraceSpec,
+    active,
+    flight_recorder_tail,
+    install,
+    tracing,
+    uninstall,
+)
+from repro.trace.events import (
+    CATEGORIES,
+    DEFAULT_EXPORT_CATEGORIES,
+    TraceEvent,
+    events_digest,
+)
+from repro.trace.export import (
+    dump_perfetto,
+    perfetto_digest,
+    to_csv,
+    to_perfetto,
+    validate_perfetto,
+)
+from repro.trace.ledger import FlowConservationLedger
+from repro.trace.probes import PROBE_TOOLS, mpstat_probe, nic_probe, socket_probe
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_EXPORT_CATEGORIES",
+    "TraceEvent",
+    "events_digest",
+    "Sink",
+    "ListSink",
+    "RingSink",
+    "TraceBus",
+    "TraceSpec",
+    "active",
+    "install",
+    "uninstall",
+    "tracing",
+    "flight_recorder_tail",
+    "FlowConservationLedger",
+    "PROBE_TOOLS",
+    "socket_probe",
+    "mpstat_probe",
+    "nic_probe",
+    "to_perfetto",
+    "to_csv",
+    "dump_perfetto",
+    "perfetto_digest",
+    "validate_perfetto",
+]

@@ -1,0 +1,333 @@
+"""The trace event bus, sinks, and the ambient installation switch.
+
+Mirrors the :mod:`repro.sim.sanitizer` opt-in pattern: hot paths read
+one module global (:func:`active`) and pay a single ``None`` check when
+tracing is off — no event objects, no dict building, no RNG draws.
+When a bus *is* installed, emission is purely observational: nothing
+the simulator computes depends on it, which is why golden result
+digests are byte-identical with tracing on or off.
+
+Sinks receive every event whose category they accept.  Two concrete
+sinks ship here:
+
+* :class:`ListSink` — unbounded, keeps everything (exports);
+* :class:`RingSink` — bounded drop-oldest ring, the *flight recorder*:
+  O(capacity) memory however long the run, with a ``dropped`` counter
+  so exports can report what the ring forgot.
+
+The sanitizer consumes the same stream: on any invariant violation,
+:func:`flight_recorder_tail` renders the last events of the ambient
+bus into the exception message for post-mortem context.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import SimulationError
+from repro.trace.events import (
+    CATEGORIES,
+    DEFAULT_EXPORT_CATEGORIES,
+    TraceEvent,
+)
+
+__all__ = [
+    "Sink",
+    "ListSink",
+    "RingSink",
+    "TraceBus",
+    "TraceSpec",
+    "active",
+    "install",
+    "uninstall",
+    "tracing",
+    "flight_recorder_tail",
+]
+
+
+def _check_categories(categories) -> frozenset | None:
+    if categories is None:
+        return None
+    cats = frozenset(categories)
+    unknown = sorted(cats - frozenset(CATEGORIES))
+    if unknown:
+        raise SimulationError(
+            f"unknown trace categories {unknown}; have {list(CATEGORIES)}"
+        )
+    return cats
+
+
+class Sink:
+    """Receives events; ``categories`` (None = all) filters per sink."""
+
+    categories: frozenset | None = None
+
+    def accepts(self, cat: str) -> bool:
+        return self.categories is None or cat in self.categories
+
+    def write(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+
+class ListSink(Sink):
+    """Unbounded in-order capture of every accepted event."""
+
+    def __init__(self, categories=None) -> None:
+        self.categories = _check_categories(categories)
+        self.events: list[TraceEvent] = []
+
+    #: Mirrors :attr:`RingSink.dropped` so exporters treat sinks alike.
+    dropped = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def tail(self, n: int) -> list[TraceEvent]:
+        return self.events[-n:]
+
+
+class RingSink(Sink):
+    """Bounded drop-oldest ring buffer — the flight recorder.
+
+    Keeps the most recent ``capacity`` accepted events in O(capacity)
+    memory; ``dropped`` counts how many older events were overwritten,
+    so consumers can state exactly how much history is missing.
+    """
+
+    def __init__(self, capacity: int, categories=None) -> None:
+        if capacity < 1:
+            raise SimulationError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.categories = _check_categories(categories)
+        self._buf: list[TraceEvent] = []
+        self.written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        if len(self._buf) < self.capacity:
+            self._buf.append(event)
+        else:
+            self._buf[self.written % self.capacity] = event
+        self.written += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten because the ring was full."""
+        return max(0, self.written - self.capacity)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first."""
+        if self.written <= self.capacity:
+            return list(self._buf)
+        head = self.written % self.capacity
+        return self._buf[head:] + self._buf[:head]
+
+    def tail(self, n: int) -> list[TraceEvent]:
+        return self.events[-n:]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Picklable description of what a traced task should record.
+
+    The runner ships one of these to worker processes; the worker
+    builds the matching bus/sink around the experiment (see
+    :func:`repro.runner.worker.execute_task`).
+    """
+
+    #: Probe sampling interval in simulated seconds.
+    interval: float = 0.25
+    #: Event categories to record; None means
+    #: :data:`~repro.trace.events.DEFAULT_EXPORT_CATEGORIES`.
+    categories: tuple | None = None
+    #: Flight-recorder capacity; 0 keeps every event (ListSink).
+    buffer: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise SimulationError(f"probe interval must be > 0, got {self.interval}")
+        if self.buffer < 0:
+            raise SimulationError(f"buffer must be >= 0, got {self.buffer}")
+        _check_categories(self.categories)
+
+    def resolved_categories(self) -> tuple:
+        if self.categories is None:
+            return DEFAULT_EXPORT_CATEGORIES
+        return tuple(self.categories)
+
+    def make_sink(self) -> Sink:
+        cats = self.resolved_categories()
+        if self.buffer:
+            return RingSink(self.buffer, categories=cats)
+        return ListSink(categories=cats)
+
+
+class TraceBus:
+    """Routes events from instrumentation points to sinks.
+
+    The bus owns the sequence counter and the current simulated time
+    (drivers call :meth:`set_time` as their clock advances, so emitters
+    deeper in the stack never thread a timestamp through).  It
+    precomputes the union of sink categories: :meth:`emit` on an
+    unwanted category returns before building the event.
+    """
+
+    def __init__(self, sinks=(), probe_interval: float = 0.25) -> None:
+        if probe_interval <= 0:
+            raise SimulationError(
+                f"probe interval must be > 0, got {probe_interval}"
+            )
+        self.probe_interval = probe_interval
+        self.now = 0.0
+        self.emitted = 0
+        self._seq = 0
+        self._track = ""
+        self._edges: dict = {}
+        self._sinks: list[Sink] = []
+        self._wanted: frozenset = frozenset()
+        for sink in sinks:
+            self.add_sink(sink)
+
+    # -- sink management --------------------------------------------------
+
+    @property
+    def sinks(self) -> tuple:
+        return tuple(self._sinks)
+
+    def add_sink(self, sink: Sink) -> None:
+        self._sinks.append(sink)
+        self._recompute_wanted()
+
+    def remove_sink(self, sink: Sink) -> None:
+        self._sinks.remove(sink)
+        self._recompute_wanted()
+
+    def _recompute_wanted(self) -> None:
+        wanted: set = set()
+        for sink in self._sinks:
+            if sink.categories is None:
+                wanted = set(CATEGORIES)
+                break
+            wanted |= sink.categories
+        self._wanted = frozenset(wanted)
+
+    def wants(self, cat: str) -> bool:
+        """Would any sink accept ``cat``?  Hot paths guard on this once
+        per run so disabled categories cost nothing per tick."""
+        return cat in self._wanted
+
+    # -- emission ---------------------------------------------------------
+
+    def set_time(self, t: float) -> None:
+        """Advance the bus clock (simulated seconds)."""
+        self.now = t
+
+    def emit(self, cat: str, name: str, **args) -> TraceEvent | None:
+        """Emit one event at the current bus time; None if unwanted."""
+        if cat not in self._wanted:
+            return None
+        event = TraceEvent(
+            seq=self._seq, t=self.now, cat=cat, name=name,
+            track=self._track, args=args,
+        )
+        self._seq += 1
+        self.emitted += 1
+        for sink in self._sinks:
+            if sink.accepts(cat):
+                sink.write(event)
+        return event
+
+    def emit_edge(self, key, cat: str, name: str, value, **args):
+        """Emit only when ``value`` changes for ``key`` (edge trigger).
+
+        The initial observation is silent when falsy — a flow that never
+        falls back to copying produces zero ``zc.fallback`` events, not
+        one reassuring ``False``.
+        """
+        prev = self._edges.get(key, _UNSET)
+        if prev is _UNSET:
+            self._edges[key] = value
+            if not value:
+                return None
+            return self.emit(cat, name, value=value, **args)
+        if prev == value:
+            return None
+        self._edges[key] = value
+        return self.emit(cat, name, value=value, **args)
+
+    @contextmanager
+    def scoped(self, track: str) -> Iterator[None]:
+        """Prefix events emitted inside with a hierarchical track label."""
+        prev = self._track
+        self._track = f"{prev}/{track}" if prev else track
+        try:
+            yield
+        finally:
+            self._track = prev
+
+    # -- flight recorder --------------------------------------------------
+
+    def tail(self, n: int = 20) -> list[TraceEvent]:
+        """The most recent ``n`` events across all sinks, in seq order."""
+        merged: dict[int, TraceEvent] = {}
+        for sink in self._sinks:
+            for event in sink.tail(n) if hasattr(sink, "tail") else []:
+                merged[event.seq] = event
+        return [merged[seq] for seq in sorted(merged)][-n:]
+
+
+_UNSET = object()
+
+#: The ambient bus; ``None`` (the default) disables all tracing.
+_active: TraceBus | None = None
+
+
+def active() -> TraceBus | None:
+    """The installed bus, or None — the one global hot paths read."""
+    return _active
+
+
+def install(bus: TraceBus) -> None:
+    """Install ``bus`` as the ambient trace bus."""
+    global _active
+    if _active is not None:
+        raise SimulationError(
+            "a trace bus is already installed; uninstall() it first "
+            "(buses do not nest — add a sink to the active bus instead)"
+        )
+    _active = bus
+
+
+def uninstall() -> None:
+    """Remove the ambient bus; tracing reverts to zero-cost no-ops."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def tracing(bus: TraceBus | None = None) -> Iterator[TraceBus]:
+    """Scope an ambient bus; builds a capture-everything one if omitted."""
+    owned = bus if bus is not None else TraceBus(sinks=[ListSink()])
+    install(owned)
+    try:
+        yield owned
+    finally:
+        uninstall()
+
+
+def flight_recorder_tail(limit: int = 20) -> str:
+    """Render the ambient bus's recent events for exception messages.
+
+    Returns "" when no bus is installed or nothing was recorded, so the
+    sanitizer can append it unconditionally.
+    """
+    bus = _active
+    if bus is None:
+        return ""
+    events = bus.tail(limit)
+    if not events:
+        return ""
+    lines = "\n  ".join(event.render() for event in events)
+    return f"flight recorder (last {len(events)} events):\n  {lines}"

@@ -1,0 +1,115 @@
+"""Typed, timestamped trace events.
+
+A :class:`TraceEvent` is one observation from a simulation hot path:
+an engine dispatch, a cwnd change, a queue drop, a pause frame, or a
+periodic probe sample.  Events are immutable and carry
+
+* ``seq`` — a bus-wide monotonic sequence number that totally orders
+  the stream (timestamps alone tie within a tick);
+* ``t``   — *simulated* time in seconds (never wall-clock);
+* ``cat`` — one of :data:`CATEGORIES`, the coarse filter sinks and the
+  CLI select on;
+* ``name`` — the specific event type (``"fc.pause"``, ``"probe.socket"``);
+* ``track`` — a hierarchical origin label (``"<case>#r<rep>"`` when the
+  harness is running repetitions) that exporters map to process rows;
+* ``args`` — a flat dict of JSON-able values (numpy scalars collapse).
+
+Determinism contract: an event stream is a pure function of (code,
+seed, trace configuration).  :func:`events_digest` hashes the canonical
+JSON form, which is what the runner/CLI compare across ``--jobs 1`` vs
+``--jobs 4`` and across repeated same-seed runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_EXPORT_CATEGORIES",
+    "TraceEvent",
+    "events_digest",
+]
+
+#: Every event category the simulator emits, in taxonomy order:
+#: ``run``         — run lifecycle (start/end, per iperf3 invocation);
+#: ``engine``      — discrete-event kernel dispatches;
+#: ``flow``        — per-flow per-tick byte accounting (high volume;
+#:                   feeds the conservation ledger, off by default);
+#: ``cc``          — congestion-control loss reactions;
+#: ``zerocopy``    — MSG_ZEROCOPY fallback edges (optmem exhaustion);
+#: ``flowcontrol`` — IEEE 802.3x pause/resume edges;
+#: ``switch``      — switch/NIC-ring drop episodes;
+#: ``probe``       — periodic ss/mpstat/ethtool-style samples.
+CATEGORIES = (
+    "run",
+    "engine",
+    "flow",
+    "cc",
+    "zerocopy",
+    "flowcontrol",
+    "switch",
+    "probe",
+)
+
+#: What ``repro trace`` records unless ``--events`` says otherwise:
+#: everything except the per-tick ``flow`` stream, which is O(ticks x
+#: flows) and exists for the conservation ledger rather than for humans.
+DEFAULT_EXPORT_CATEGORIES = tuple(c for c in CATEGORIES if c != "flow")
+
+
+def _plain(value):
+    """Collapse numpy scalars to builtins; pass everything else through."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observation from the simulation (see module docstring)."""
+
+    seq: int
+    t: float
+    cat: str
+    name: str
+    track: str = ""
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form: sorted args, builtin scalars."""
+        return {
+            "seq": self.seq,
+            "t": round(float(self.t), 9),
+            "cat": self.cat,
+            "name": self.name,
+            "track": self.track,
+            "args": {k: _plain(self.args[k]) for k in sorted(self.args)},
+        }
+
+    def render(self) -> str:
+        """One human-readable line (flight-recorder dumps)."""
+        args = " ".join(
+            f"{k}={_plain(self.args[k])!r}" for k in sorted(self.args)
+        )
+        origin = f" <{self.track}>" if self.track else ""
+        return f"t={self.t:.6f} [{self.cat}] {self.name}{origin} {args}".rstrip()
+
+
+def events_digest(events) -> str:
+    """sha256 over the canonical JSON of an event stream.
+
+    Accepts :class:`TraceEvent` objects or their ``to_dict`` forms, so
+    the worker, the scheduler, and the tests hash identical bytes.
+    """
+    h = hashlib.sha256()
+    for event in events:
+        doc = event.to_dict() if isinstance(event, TraceEvent) else event
+        h.update(json.dumps(doc, sort_keys=True, separators=(",", ":")).encode())
+        h.update(b"\n")
+    return h.hexdigest()

@@ -1,0 +1,200 @@
+"""Trace exporters: Perfetto/Chrome ``trace_event`` JSON and CSV.
+
+The Perfetto export targets the JSON Array/Object format the Chrome
+tracing ecosystem defined and https://ui.perfetto.dev still loads:
+
+* each distinct event ``track`` becomes a process (a ``process_name``
+  metadata event assigns the label; pids are first-seen order, which is
+  deterministic because the event stream is);
+* ``probe.*`` events become ``"ph": "C"`` counter events — Perfetto
+  renders them as time-series tracks, the closest thing to the paper's
+  mpstat/ss plots;
+* everything else becomes a thread-scoped instant (``"ph": "i"``,
+  ``"s": "t"``);
+* timestamps are simulated microseconds (the format's unit).
+
+All functions accept either :class:`~repro.trace.events.TraceEvent`
+objects or their ``to_dict`` forms.  Serialization is canonical
+(sorted keys, fixed separators): the same event stream always produces
+the same bytes, so file-level comparison works across ``--jobs`` modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.trace.events import TraceEvent, events_digest
+
+__all__ = [
+    "to_perfetto",
+    "to_csv",
+    "dump_perfetto",
+    "perfetto_digest",
+    "validate_perfetto",
+]
+
+
+def _event_docs(events) -> list[dict]:
+    return [
+        e.to_dict() if isinstance(e, TraceEvent) else e for e in events
+    ]
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def to_perfetto(events, meta: dict | None = None) -> dict:
+    """Build a Chrome/Perfetto ``trace_event`` JSON document."""
+    docs = _event_docs(events)
+    pids: dict[str, int] = {}
+    trace_events: list[dict] = []
+    for doc in docs:
+        track = doc["track"] or "sim"
+        pid = pids.get(track)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[track] = pid
+            trace_events.append({
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": track},
+            })
+        ts = round(doc["t"] * 1e6, 3)  # simulated microseconds
+        if doc["cat"] == "probe":
+            args = doc["args"]
+            flow = args.get("flow")
+            name = doc["name"] if flow is None else f"{doc['name']}/flow{int(flow)}"
+            counters = {
+                k: v
+                for k, v in args.items()
+                if k != "flow" and _numeric(v)
+            }
+            trace_events.append({
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": ts,
+                "cat": doc["cat"],
+                "name": name,
+                "args": counters,
+            })
+        else:
+            trace_events.append({
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": 0,
+                "ts": ts,
+                "cat": doc["cat"],
+                "name": doc["name"],
+                "args": dict(doc["args"]),
+            })
+    other = {"event_count": len(docs), "digest": events_digest(docs)}
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {k: other[k] for k in sorted(other)},
+    }
+
+
+def dump_perfetto(doc: dict) -> str:
+    """Canonical serialization — same document, same bytes, always."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def perfetto_digest(doc: dict) -> str:
+    """sha256 of the canonical serialization of a Perfetto document."""
+    return hashlib.sha256(dump_perfetto(doc).encode()).hexdigest()
+
+
+def to_csv(events) -> str:
+    """Flat CSV time series: one row per event, one column per arg key.
+
+    Columns appear in first-seen order across the stream (deterministic
+    for a deterministic stream); missing args render as empty cells.
+    """
+    docs = _event_docs(events)
+    keys: list[str] = []
+    seen: set = set()
+    for doc in docs:
+        for k in doc["args"]:
+            if k not in seen:
+                seen.add(k)
+                keys.append(k)
+    lines = [",".join(["seq", "t", "cat", "name", "track"] + keys)]
+    for doc in docs:
+        row = [
+            str(doc["seq"]),
+            f"{doc['t']:.9f}",
+            doc["cat"],
+            doc["name"],
+            json.dumps(doc["track"]) if "," in doc["track"] else doc["track"],
+        ]
+        for k in keys:
+            v = doc["args"].get(k)
+            row.append("" if v is None else json.dumps(v))
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+_PHASES = frozenset({"C", "i", "M"})
+_INSTANT_SCOPES = frozenset({"t", "p", "g"})
+
+
+def validate_perfetto(doc) -> list[str]:
+    """Schema-check a document produced by :func:`to_perfetto`.
+
+    Returns a list of human-readable problems; empty means valid.  The
+    checks cover what the Perfetto/Chrome loader actually requires of
+    the JSON Object format plus this package's own guarantees (counter
+    args numeric, digest present).
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' missing or not a list"]
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        problems.append("'displayTimeUnit' must be 'ms' or 'ns'")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or "digest" not in other:
+        problems.append("'otherData.digest' missing (event-stream digest)")
+    for idx, ev in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: 'name' missing or empty")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: 'pid' missing or not an int")
+        if not isinstance(ev.get("args"), dict):
+            problems.append(f"{where}: 'args' missing or not an object")
+            continue
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not _numeric(ts) or ts < 0:
+            problems.append(f"{where}: 'ts' missing, non-numeric, or negative")
+        if not isinstance(ev.get("cat"), str) or not ev["cat"]:
+            problems.append(f"{where}: 'cat' missing or empty")
+        if ph == "C":
+            bad = [k for k, v in ev["args"].items() if not _numeric(v)]
+            if bad:
+                problems.append(
+                    f"{where}: counter args must be numeric, got {sorted(bad)}"
+                )
+        if ph == "i" and ev.get("s") not in _INSTANT_SCOPES:
+            problems.append(f"{where}: instant scope 's' must be t/p/g")
+    return problems

@@ -1,0 +1,132 @@
+"""Per-flow byte-conservation ledger — a sanitizer on the trace stream.
+
+The link-level conservation check in :mod:`repro.sim.sanitizer` audits
+each queue's aggregate accounting; this ledger audits *per flow*, by
+consuming the ``flow.tick`` event stream the simulator emits on the
+trace bus.  Implementing it as a :class:`~repro.trace.bus.Sink` means
+one wire format serves both debugging (exports) and verification (this
+ledger): whatever the events claim is exactly what gets checked.
+
+Invariants per flow per tick (``sent``/``delivered``/``dropped`` are
+bytes this tick, ``alloc`` the allocated rate, ``cwnd`` the congestion
+window that bounded it, ``rtt`` the smoothed RTT used for the window
+rate):
+
+* no negative byte counts;
+* ``delivered <= sent`` — a flow cannot deliver bytes it never emitted;
+* ``delivered + dropped >= sent`` — every emitted byte is delivered or
+  dropped (burst-train concentration can drop *more* than this tick's
+  emission — time-compressed per-RTT losses — so only the lower bound
+  holds per tick);
+* ``alloc * rtt <= cwnd`` (+ a few MSS of slack) — the cwnd-bounded
+  in-flight constraint: the allocator may never hand a flow more than
+  its congestion window covers;
+* cumulatively, total delivered never exceeds total sent.
+
+Violations raise :class:`~repro.core.errors.SanitizerViolation` with
+the ambient flight-recorder tail appended, exactly like the link-level
+sanitizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SanitizerViolation
+from repro.trace.bus import Sink, flight_recorder_tail
+from repro.trace.events import TraceEvent
+
+__all__ = ["FlowConservationLedger"]
+
+#: The window bound gets this many MSS of absolute slack: allocation
+#: happens at float precision against ``cwnd / max(rtt, eps)``.
+_WINDOW_SLACK_MSS = 4.0
+
+
+class FlowConservationLedger(Sink):
+    """Checks per-flow conservation by consuming ``flow.tick`` events."""
+
+    categories = frozenset({"flow"})
+
+    def __init__(
+        self,
+        n_flows: int,
+        mss: float,
+        context: str = "flowsim",
+        rel_tol: float = 1e-6,
+        abs_tol: float = 1e-3,
+    ) -> None:
+        self.context = context
+        self.mss = float(mss)
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+        #: Assertions run; tests use this to prove the ledger was live.
+        self.checks = 0
+        self.sent_cum = np.zeros(n_flows)
+        self.delivered_cum = np.zeros(n_flows)
+        self.dropped_cum = np.zeros(n_flows)
+
+    # Mirrors SimSanitizer._fail so both oracles speak the same dialect.
+    def _fail(self, what: str) -> None:
+        message = f"[{self.context}] {what}"
+        tail = flight_recorder_tail()
+        if tail:
+            message = f"{message}\n{tail}"
+        raise SanitizerViolation(message)
+
+    def write(self, event: TraceEvent) -> None:
+        if event.name != "flow.tick":
+            return
+        a = event.args
+        i = int(a["flow"])
+        sent = float(a["sent"])
+        delivered = float(a["delivered"])
+        dropped = float(a["dropped"])
+        alloc = float(a["alloc"])
+        cwnd = float(a["cwnd"])
+        rtt = float(a["rtt"])
+
+        self.checks += 1
+        tol = self.abs_tol + self.rel_tol * max(sent, 1.0)
+        if min(sent, delivered, dropped) < -tol:
+            self._fail(
+                f"flow {i} t={event.t:.6f}: negative byte count "
+                f"(sent={sent:.3f} delivered={delivered:.3f} "
+                f"dropped={dropped:.3f})"
+            )
+        if delivered > sent + tol:
+            self._fail(
+                f"flow {i} t={event.t:.6f}: delivered {delivered:.3f} B "
+                f"of only {sent:.3f} B sent — a flow cannot deliver "
+                f"bytes it never emitted"
+            )
+        if delivered + dropped < sent - tol:
+            self._fail(
+                f"flow {i} t={event.t:.6f}: "
+                f"{sent - delivered - dropped:.3f} B vanished "
+                f"(sent={sent:.3f} delivered={delivered:.3f} "
+                f"dropped={dropped:.3f})"
+            )
+        inflight = alloc * max(rtt, 1e-6)
+        bound = (
+            cwnd * (1.0 + self.rel_tol)
+            + _WINDOW_SLACK_MSS * self.mss
+            + self.abs_tol
+        )
+        if inflight > bound:
+            self._fail(
+                f"flow {i} t={event.t:.6f}: in-flight {inflight:.0f} B "
+                f"exceeds cwnd {cwnd:.0f} B — the allocator ignored the "
+                f"congestion window (alloc={alloc:.0f} B/s rtt={rtt:.6f}s)"
+            )
+
+        self.sent_cum[i] += sent
+        self.delivered_cum[i] += delivered
+        self.dropped_cum[i] += dropped
+        cum_tol = self.abs_tol + self.rel_tol * max(self.sent_cum[i], 1.0)
+        if self.delivered_cum[i] > self.sent_cum[i] + cum_tol:
+            self._fail(
+                f"flow {i} t={event.t:.6f}: cumulative delivered "
+                f"{self.delivered_cum[i]:.0f} B exceeds cumulative sent "
+                f"{self.sent_cum[i]:.0f} B"
+            )

@@ -1,0 +1,112 @@
+"""Periodic probes modeled on the paper's measurement tools.
+
+The paper's evidence is not throughput numbers alone — it is what
+``ss -ti``, ``mpstat``, and NIC/switch counters showed *while* the
+numbers happened: cwnd collapse under burst loss, the IRQ core pinned
+at 100% behind a throughput knee, pause-frame storms on the 802.3x
+production path.  These builders produce the ``args`` dicts for the
+simulator's equivalents, sampled on the trace bus's probe interval:
+
+====================  =================================================
+event name            real-world tool it emulates
+====================  =================================================
+``probe.socket``      ``ss -ti`` — per-socket cwnd, pacing rate,
+                      cumulative retransmissions, smoothed RTT
+``probe.mpstat``      ``mpstat -P ALL`` — per-core application vs
+                      softirq utilisation on both hosts
+``probe.nic``         ``ethtool -S`` + switch telemetry — queue
+                      occupancy, drop counters, pause time
+====================  =================================================
+
+Builders are pure functions of simulator state: no RNG, no mutation —
+sampling a probe can never change a simulated number.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["PROBE_TOOLS", "socket_probe", "mpstat_probe", "nic_probe"]
+
+#: probe event name -> the paper-workflow tool it emulates (docs, CLI).
+PROBE_TOOLS = {
+    "probe.socket": "ss -ti (cwnd / pacing rate / retrans / rtt per socket)",
+    "probe.mpstat": "mpstat -P ALL (per-core app vs softirq utilisation)",
+    "probe.nic": "ethtool -S + switch counters (occupancy, drops, pauses)",
+}
+
+_MS_PER_SEC = 1e3
+
+
+def socket_probe(
+    flow: int,
+    *,
+    cwnd: float,
+    pacing_rate: float,
+    rtt: float,
+    send_rate: float,
+    delivered_rate: float,
+    retrans_cum: float,
+    zc_fraction: float | None = None,
+) -> dict:
+    """``ss -ti``-style snapshot of one flow's socket.
+
+    ``pacing_rate`` may be ``inf`` (unpaced fq); it is exported as
+    ``None`` since JSON has no infinity and ``ss`` simply omits the
+    field for unpaced sockets.
+    """
+    args = {
+        "flow": int(flow),
+        "cwnd": float(cwnd),
+        "pacing_rate": None if math.isinf(pacing_rate) else float(pacing_rate),
+        "rtt_ms": float(rtt) * _MS_PER_SEC,
+        "send_rate": float(send_rate),
+        "delivered_rate": float(delivered_rate),
+        "retrans": int(round(retrans_cum)),
+    }
+    if zc_fraction is not None:
+        args["zc_fraction"] = round(float(zc_fraction), 6)
+    return args
+
+
+def mpstat_probe(
+    *,
+    snd_app_pct: float,
+    snd_irq_pct: float,
+    rcv_app_pct: float,
+    rcv_irq_pct: float,
+) -> dict:
+    """mpstat-style per-core sample for sender and receiver.
+
+    Values are percentages of one core (app = the iperf3/copy core,
+    irq = the NIC interrupt core), matching the units of
+    :class:`repro.sim.metrics.CpuUtil` and the paper's TX/RX curves.
+    """
+    return {
+        "snd_app_pct": round(float(snd_app_pct), 4),
+        "snd_irq_pct": round(float(snd_irq_pct), 4),
+        "snd_total_pct": round(float(snd_app_pct) + float(snd_irq_pct), 4),
+        "rcv_app_pct": round(float(rcv_app_pct), 4),
+        "rcv_irq_pct": round(float(rcv_irq_pct), 4),
+        "rcv_total_pct": round(float(rcv_app_pct) + float(rcv_irq_pct), 4),
+    }
+
+
+def nic_probe(switch_queue, ring_queue, *, flow_control: bool) -> dict:
+    """ethtool/switch-counter sample of both queues in the data path.
+
+    ``switch_queue`` is the bottleneck switch's shared buffer,
+    ``ring_queue`` the receiver NIC ring (both
+    :class:`repro.net.switch.SharedBufferQueue`).  Counters are
+    cumulative, exactly like ``ethtool -S`` output.
+    """
+    return {
+        "switch_occupancy": float(switch_queue.occupancy),
+        "switch_fill": round(float(switch_queue.fill_fraction), 6),
+        "switch_dropped": float(switch_queue.dropped_bytes),
+        "ring_occupancy": float(ring_queue.occupancy),
+        "ring_fill": round(float(ring_queue.fill_fraction), 6),
+        "ring_dropped": float(ring_queue.dropped_bytes),
+        "ring_paused_sec": round(float(ring_queue.paused_time), 9),
+        "flow_control": bool(flow_control),
+    }

@@ -1,0 +1,22 @@
+"""Fixture: DET003 — iterating ambient process state (os.environ).
+
+The ``for`` loop over ``os.environ`` and the comprehension over a dict
+copied from it must both be flagged by DET003 and by no other rule.
+Reading a named variable with ``os.environ.get`` stays clean.
+"""
+
+import os
+
+allowed = os.environ.get("REPRO_CACHE_DIR", "")  # fine: named read
+
+
+def dump_everything() -> list[str]:
+    lines = []
+    for key in os.environ:  # fires: enumerates the whole environment
+        lines.append(key)
+    return lines
+
+
+def snapshot_names() -> list[str]:
+    env = dict(os.environ)
+    return [k for k in env.keys()]  # fires: comprehension over a copy

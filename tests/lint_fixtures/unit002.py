@@ -1,0 +1,20 @@
+"""Fixture: UNIT002 — decimal-round literals on byte-count sysctls.
+
+Both the comparison and the assignment write "2 MB" / "0.5 MB" as
+decimal-round byte counts, the classic binary-vs-decimal mixup around
+``net.core.*`` tuning.  UNIT002 (and no other rule) must flag both.
+"""
+
+
+class _Sysctls:
+    optmem_max = 20480
+
+
+def undersized(sysctls: _Sysctls) -> bool:
+    # fires: decimal "2 MB" compared against a binary byte sysctl
+    return sysctls.optmem_max < 2000000
+
+
+def detune(sysctls: _Sysctls) -> None:
+    # fires: decimal "0.5 MB" assigned to a binary byte sysctl
+    sysctls.rmem_max = 500000

@@ -30,7 +30,9 @@ SRC = REPO / "src" / "repro"
 RULE_FIXTURES = {
     "DET001": FIXTURES / "det001.py",
     "DET002": FIXTURES / "det002.py",
+    "DET003": FIXTURES / "det003.py",
     "UNIT001": FIXTURES / "unit001.py",
+    "UNIT002": FIXTURES / "unit002.py",
     "FLOAT001": FIXTURES / "float001.py",
     "EXP001": FIXTURES / "exp001_project",
 }
@@ -39,7 +41,9 @@ RULE_FIXTURES = {
 EXPECTED_COUNTS = {
     "DET001": 2,  # time.time() + random.random()
     "DET002": 2,  # sorted(key=hash) + bare-set for loop
+    "DET003": 2,  # `for k in os.environ` + comprehension over a copy
     "UNIT001": 2,  # 1e9 literal + `* 8`
+    "UNIT002": 2,  # decimal compare + decimal assign on byte sysctls
     "FLOAT001": 1,
     "EXP001": 2,  # unregistered + unbenchmarked
 }

@@ -1,0 +1,180 @@
+"""Traced campaigns through the runner and the ``repro trace`` CLI.
+
+The determinism contract under test: a traced task's event stream is a
+pure function of (code, exp_id, config, trace spec) — worker count,
+cache state, and repeated invocation cannot change a byte of the
+exported artifact.  Plus the cache interplay: traced tasks always
+execute (cached payloads carry no events) but still store results, and
+artifacts land next to the cache under ``traces/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.runner import RunnerConfig, run_experiments, run_tasks
+from repro.runner.tasks import TaskSpec
+from repro.tools.harness import HarnessConfig
+from repro.trace import TraceSpec, validate_perfetto
+from repro.trace import bus as trace_bus
+
+#: Small-but-real config for runner-level determinism checks; the CLI
+#: tests use --profile quick (the CI smoke job's configuration).
+TINY = HarnessConfig(repetitions=1, duration=2.0, omit=0.5, tick=0.008)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_bus():
+    yield
+    trace_bus.uninstall()
+
+
+def traced_runner(tmp_path: Path, jobs: int = 1, **kw) -> RunnerConfig:
+    return RunnerConfig(
+        jobs=jobs,
+        cache_dir=tmp_path / "cache",
+        trace=TraceSpec(**kw),
+    )
+
+
+class TestRunnerIntegration:
+    def test_traced_task_carries_valid_trace(self, tmp_path):
+        report = run_experiments(["fig04"], config=TINY,
+                                 runner=traced_runner(tmp_path))
+        task = report.by_id("fig04")
+        assert task.trace is not None
+        assert task.trace["events"], "traced run produced no events"
+        assert task.trace["dropped"] == 0
+        assert validate_perfetto(task.trace["doc"]) == []
+        assert task.trace["doc"]["otherData"]["exp_id"] == "fig04"
+
+    def test_untraced_task_has_no_trace(self, tmp_path):
+        runner = RunnerConfig(jobs=1, cache_dir=tmp_path / "cache")
+        report = run_experiments(["fig04"], config=TINY, runner=runner)
+        assert report.by_id("fig04").trace is None
+        assert trace_bus.active() is None
+
+    def test_jobs_1_vs_4_identical_digest(self, tmp_path):
+        serial = run_experiments(["fig04"], config=TINY,
+                                 runner=traced_runner(tmp_path / "a"))
+        pooled = run_experiments(["fig04"], config=TINY,
+                                 runner=traced_runner(tmp_path / "b", jobs=4))
+        a, b = serial.by_id("fig04").trace, pooled.by_id("fig04").trace
+        assert a["digest"] == b["digest"]
+        assert a["doc"] == b["doc"]
+        assert serial.by_id("fig04").result.digest() == \
+            pooled.by_id("fig04").result.digest()
+
+    def test_artifact_persisted_next_to_cache(self, tmp_path):
+        report = run_experiments(["fig04"], config=TINY,
+                                 runner=traced_runner(tmp_path))
+        trace = report.by_id("fig04").trace
+        path = trace["path"]
+        assert path is not None
+        assert path.parent == tmp_path / "cache" / "traces"
+        doc = json.loads(path.read_text())
+        assert validate_perfetto(doc) == []
+        assert doc["otherData"]["digest"] == trace["digest"]
+
+    def test_explicit_trace_dir_wins(self, tmp_path):
+        runner = RunnerConfig(
+            jobs=1,
+            cache_dir=tmp_path / "cache",
+            trace=TraceSpec(),
+            trace_dir=tmp_path / "elsewhere",
+        )
+        report = run_experiments(["fig04"], config=TINY, runner=runner)
+        assert report.by_id("fig04").trace["path"].parent == \
+            tmp_path / "elsewhere"
+
+    def test_traced_tasks_bypass_cache_read_but_store(self, tmp_path):
+        # Prime the cache untraced...
+        plain = RunnerConfig(jobs=1, cache_dir=tmp_path / "cache")
+        first = run_experiments(["fig04"], config=TINY, runner=plain)
+        assert not first.by_id("fig04").cached
+        # ...a traced campaign must execute anyway (no events in cache)
+        traced = run_experiments(["fig04"], config=TINY,
+                                 runner=traced_runner(tmp_path))
+        task = traced.by_id("fig04")
+        assert not task.cached and task.trace is not None
+        # ...and its (trace-independent) rows match the cached ones
+        assert task.result.digest() == first.by_id("fig04").result.digest()
+        # ...while a later untraced campaign is served from cache
+        again = run_experiments(["fig04"], config=TINY, runner=plain)
+        assert again.by_id("fig04").cached
+
+    def test_ring_buffer_spec_reaches_worker(self, tmp_path):
+        report = run_experiments(
+            ["fig04"], config=TINY,
+            runner=traced_runner(tmp_path, buffer=64),
+        )
+        trace = report.by_id("fig04").trace
+        assert len(trace["events"]) == 64
+        assert trace["dropped"] > 0
+
+    def test_flow_category_optin(self, tmp_path):
+        report = run_experiments(
+            ["fig04"], config=TINY,
+            runner=traced_runner(tmp_path, categories=("flow",)),
+        )
+        trace = report.by_id("fig04").trace
+        assert trace["events"]
+        assert {e["cat"] for e in trace["events"]} == {"flow"}
+
+    def test_run_tasks_mixed_traced_and_plain(self, tmp_path):
+        specs = [
+            TaskSpec(exp_id="fig04", config=TINY, trace=TraceSpec()),
+            TaskSpec(exp_id="fig04", config=TINY),
+        ]
+        report = run_tasks(specs, RunnerConfig(jobs=1,
+                                               cache_dir=tmp_path / "cache"))
+        assert report.tasks[0].trace is not None
+        assert report.tasks[1].trace is None
+
+
+class TestCli:
+    def test_trace_lists_experiments(self, capsys):
+        assert main(["trace"]) == 0
+        assert "fig09" in capsys.readouterr().out
+
+    def test_trace_fig09_same_seed_byte_identical(self, tmp_path, capsys):
+        out1, out2 = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["trace", "fig09", "--profile", "quick",
+                     "--out", str(out1), "--validate"]) == 0
+        assert "trace schema: ok" in capsys.readouterr().out
+        assert main(["trace", "fig09", "--profile", "quick", "--jobs", "4",
+                     "--out", str(out2)]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        doc = json.loads(out1.read_text())
+        assert validate_perfetto(doc) == []
+        assert doc["otherData"]["exp_id"] == "fig09"
+
+    def test_trace_csv_export(self, tmp_path, capsys):
+        csv = tmp_path / "t.csv"
+        assert main(["trace", "fig04", "--profile", "quick",
+                     "--csv", str(csv)]) == 0
+        lines = csv.read_text().strip().split("\n")
+        assert lines[0].startswith("seq,t,cat,name,track")
+        assert len(lines) > 10
+
+    def test_trace_unknown_experiment_errors(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_unknown_category_errors(self, capsys):
+        assert main(["trace", "fig04", "--events", "bogus"]) == 2
+        assert "unknown trace categories" in capsys.readouterr().err
+
+    def test_run_with_trace_flag(self, tmp_path, capsys):
+        rc = main(["run", "fig04", "--profile", "quick", "--trace",
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[trace:" in out
+        artifacts = list((tmp_path / "cache" / "traces").glob("*.trace.json"))
+        assert len(artifacts) == 1
+        assert validate_perfetto(json.loads(artifacts[0].read_text())) == []
