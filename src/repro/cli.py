@@ -6,13 +6,16 @@ Six subcommands mirror the ways people use this package::
     repro experiment fig09 [--paper] [--markdown out.md]
     repro run       [exp_id ...|--all] --jobs 4 [--no-cache] [--cache-dir D]
     repro trace     fig09 --out fig09.trace.json [--interval 0.1] [--csv f.csv]
+    repro trace     fig09 --spill traces/ [--profile paper]
+    repro trace     --diff a.trace.jsonl b.trace.jsonl
     repro advise    --testbed esnet --path wan --streams 8
     repro lint      src/ [--format json] [--select DET001,UNIT001]
 
 Each prints to stdout; exit status is 0 on success (``lint`` exits 1
 when it finds violations, ``run --expect-cached`` exits 1 when any
 experiment had to execute, ``trace --validate`` exits 1 on a malformed
-trace, 2 on usage errors).  ``iperf3``, ``experiment``, ``run``, and
+trace, ``trace --diff`` exits 1 when the traces diverge, 2 on usage
+errors).  ``iperf3``, ``experiment``, ``run``, and
 ``trace`` accept ``--sanitize`` to enable the runtime simulation
 sanitizer (equivalent to ``REPRO_SANITIZE=1``).  The module is
 import-safe (``main`` takes argv) so tests drive it directly.
@@ -116,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace", action="store_true",
                        help="record trace events for every task and "
                        "persist Perfetto artifacts next to the cache")
+    p_run.add_argument("--spill", metavar="DIR",
+                       help="with --trace: stream each task's events to "
+                       "a JSONL file in DIR (bounded memory) instead of "
+                       "buffering them in the worker")
 
     # -- repro trace ------------------------------------------------------
     p_trace = sub.add_parser(
@@ -145,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--buffer", type=int, default=0, metavar="N",
                          help="flight-recorder ring capacity; 0 keeps "
                          "every event (default)")
+    p_trace.add_argument("--spill", metavar="DIR",
+                         help="stream events to a JSONL file in DIR as "
+                         "they happen (bounded memory; exports then "
+                         "read from disk)")
+    p_trace.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                         help="compare two trace artifacts (JSONL "
+                         "streams or Perfetto JSON): report the first "
+                         "divergent event and exit 1 if they differ")
+    p_trace.add_argument("--seed", type=int, default=None,
+                         help="override the harness seed (handy for "
+                         "producing deliberately divergent traces to "
+                         "--diff)")
     p_trace.add_argument("--profile", choices=["quick", "bench", "paper"],
                          default="bench",
                          help="harness fidelity (default bench)")
@@ -253,7 +272,9 @@ def _cmd_run(args) -> int:
     if args.trace:
         from repro.trace.bus import TraceSpec
 
-        trace_spec = TraceSpec()
+        trace_spec = TraceSpec(spill_dir=args.spill)
+    elif args.spill:
+        raise ReproError("--spill only makes sense with --trace")
     runner = RunnerConfig(
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -291,7 +312,7 @@ def _trace_line(task) -> str:
     """One-line trace summary for a TaskResult with a trace payload."""
     trace = task.trace
     line = (
-        f"[trace: {len(trace['events'])} events, "
+        f"[trace: {trace['count']} events, "
         f"{trace['dropped']} dropped, digest {trace['digest'][:12]}"
     )
     if trace["path"] is not None:
@@ -299,8 +320,23 @@ def _trace_line(task) -> str:
     return line + "]"
 
 
+def _cmd_trace_diff(paths) -> int:
+    from repro.trace.diff import diff_files
+
+    diff = diff_files(paths[0], paths[1])
+    print(diff.render())
+    return 0 if diff.identical else 1
+
+
 def _cmd_trace(args) -> int:
     _apply_sanitize_flag(args)
+    if args.diff:
+        if args.exp_id is not None:
+            raise ReproError(
+                "--diff compares two existing trace files; "
+                "drop the experiment id"
+            )
+        return _cmd_trace_diff(args.diff)
     if args.exp_id is None:
         print("available experiments:")
         for exp_id in all_experiment_ids():
@@ -317,12 +353,17 @@ def _cmd_trace(args) -> int:
         interval=args.interval,
         categories=categories,
         buffer=args.buffer,
+        spill_dir=args.spill,
     )
     config = {
         "quick": HarnessConfig.quick,
         "bench": HarnessConfig.bench,
         "paper": HarnessConfig.paper,
     }[args.profile]()
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
     # Traced campaigns never read the cache, and the CLI writes its own
     # artifact (--out), so skip the cache machinery entirely.
     runner = RunnerConfig(jobs=args.jobs, use_cache=False, trace=spec)
@@ -330,16 +371,42 @@ def _cmd_trace(args) -> int:
     task = report.by_id(args.exp_id)
     print(task.result.render())
     print(_trace_line(task))
-    doc = task.trace["doc"]
+    trace = task.trace
+    spilled = trace["jsonl"] is not None
+    if spilled:
+        print(f"[spill: {trace['jsonl']}, "
+              f"peak buffered {trace['peak_buffered']} events]")
+    meta = {
+        "exp_id": task.spec.exp_id,
+        "task": task.spec.label,
+        "dropped": trace["dropped"],
+        "emitted": trace["emitted"],
+    }
+    doc = trace["doc"]
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(dump_perfetto(doc))
+        if spilled:
+            from repro.trace.stream import stream_perfetto
+
+            stream_perfetto(trace["jsonl"], args.out, meta=meta)
+        else:
+            with open(args.out, "w") as fh:
+                fh.write(dump_perfetto(doc))
         print(f"wrote {args.out}")
     if args.csv:
-        with open(args.csv, "w") as fh:
-            fh.write(to_csv(task.trace["events"]))
+        if spilled:
+            from repro.trace.stream import stream_csv
+
+            stream_csv(trace["jsonl"], args.csv)
+        else:
+            with open(args.csv, "w") as fh:
+                fh.write(to_csv(trace["events"]))
         print(f"wrote {args.csv}")
     if args.validate:
+        if doc is None:
+            from repro.trace.export import to_perfetto
+            from repro.trace.stream import iter_stream_events
+
+            doc = to_perfetto(iter_stream_events(trace["jsonl"]), meta=meta)
         problems = validate_perfetto(doc)
         if problems:
             for problem in problems:

@@ -20,6 +20,7 @@ directory.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import os
@@ -118,22 +119,26 @@ class ResultCache:
 
         Unreadable or wrong-format entries count as misses — a corrupted
         file must never poison a campaign, only cost a re-run.
+
+        Every hit returns a **deep copy** of the memoized payload: the
+        memo is shared by all in-process callers, and handing out the
+        same mutable dict would let one consumer's edit (say, rounding
+        ``payload["result"]`` rows in place) silently poison every
+        later hit for the same key.
         """
-        if key in self._memo:
-            self.hits += 1
-            return self._memo[key]
-        path = self._path(key)
-        try:
-            doc = json.loads(path.read_text())
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        if doc.get("format") != CACHE_FORMAT or "result" not in doc:
-            self.misses += 1
-            return None
-        self._memo[key] = doc
+        if key not in self._memo:
+            path = self._path(key)
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                self.misses += 1
+                return None
+            if doc.get("format") != CACHE_FORMAT or "result" not in doc:
+                self.misses += 1
+                return None
+            self._memo[key] = doc
         self.hits += 1
-        return doc
+        return copy.deepcopy(self._memo[key])
 
     def put(self, key: str, payload: dict) -> None:
         """Atomically store ``payload`` (a dict with a ``result`` entry)."""
@@ -153,5 +158,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self._memo[key] = payload
+        # Deep-copied for the same aliasing reason as get(): the caller
+        # still owns (and may mutate) the dict it handed in.
+        self._memo[key] = copy.deepcopy(payload)
         self.stores += 1

@@ -70,45 +70,84 @@ class RunnerConfig:
             raise RunnerError("need jobs >= 1")
         if self.max_attempts < 1:
             raise RunnerError("need max_attempts >= 1")
+        if self.retry_backoff < 0:
+            raise RunnerError(
+                f"need retry_backoff >= 0, got {self.retry_backoff}"
+            )
 
 
 def _result_from_payload(payload: dict) -> ExperimentResult:
     return ExperimentResult.from_dict(payload["result"])
 
 
+def _trace_meta(spec: TaskSpec, raw: dict) -> dict:
+    """The ``otherData`` metadata both export paths stamp on artifacts."""
+    return {
+        "exp_id": spec.exp_id,
+        "task": spec.label,
+        "dropped": raw["dropped"],
+        "emitted": raw["emitted"],
+    }
+
+
 def _trace_summary(spec: TaskSpec, payload: dict, store_dir: Path | None) -> dict | None:
     """Turn a worker's trace payload into the :class:`TaskResult` form.
 
-    Builds the Perfetto document, optionally persists it next to the
-    result cache (atomic rename, like the cache's own writes), and
-    returns ``{"doc", "events", "digest", "dropped", "path"}``.
+    Handles both worker payload shapes.  In-memory mode (``"events"``):
+    builds the Perfetto document here.  Spill mode (``"jsonl"``): the
+    events live on disk; the Perfetto artifact, when persisted, is
+    produced by the streaming exporter without materializing them.
+    Either way the artifact file name comes from
+    :attr:`TaskSpec.artifact_stem` — sanitized and content-keyed, so
+    same-label specs cannot silently overwrite each other and labels
+    cannot smuggle path separators — and lands via atomic rename, like
+    the cache's own writes.  Returns ``{"doc", "events", "jsonl",
+    "count", "digest", "dropped", "emitted", "peak_buffered", "path"}``.
     """
     raw = payload.get("trace")
     if raw is None:
         return None
-    from repro.trace.export import dump_perfetto, to_perfetto
 
-    doc = to_perfetto(
-        raw["events"],
-        meta={
-            "exp_id": spec.exp_id,
-            "task": spec.label,
+    path = None
+    if raw.get("jsonl") is not None:
+        if store_dir is not None:
+            from repro.trace.stream import stream_perfetto
+
+            store_dir.mkdir(parents=True, exist_ok=True)
+            path = store_dir / f"{spec.artifact_stem}.trace.json"
+            tmp = path.with_name(path.name + ".tmp")
+            stream_perfetto(raw["jsonl"], tmp, meta=_trace_meta(spec, raw))
+            tmp.replace(path)
+        return {
+            "doc": None,
+            "events": None,
+            "jsonl": Path(raw["jsonl"]),
+            "count": raw["count"],
+            "digest": raw["digest"],
             "dropped": raw["dropped"],
             "emitted": raw["emitted"],
-        },
-    )
-    path = None
+            "peak_buffered": raw["peak_buffered"],
+            "path": path,
+        }
+
+    from repro.trace.export import dump_perfetto, to_perfetto
+
+    doc = to_perfetto(raw["events"], meta=_trace_meta(spec, raw))
     if store_dir is not None:
         store_dir.mkdir(parents=True, exist_ok=True)
-        path = store_dir / f"{spec.label}.trace.json"
+        path = store_dir / f"{spec.artifact_stem}.trace.json"
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(dump_perfetto(doc))
         tmp.replace(path)
     return {
         "doc": doc,
         "events": raw["events"],
+        "jsonl": None,
+        "count": len(raw["events"]),
         "digest": raw["digest"],
         "dropped": raw["dropped"],
+        "emitted": raw["emitted"],
+        "peak_buffered": None,
         "path": path,
     }
 

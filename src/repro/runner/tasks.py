@@ -9,14 +9,31 @@ derivation (see :func:`task_seed`).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 from repro.core.rng import RngFactory
 from repro.experiments.base import ExperimentResult
+from repro.runner.cache import cache_key
 from repro.tools.harness import HarnessConfig
 from repro.trace.bus import TraceSpec
 
-__all__ = ["TaskSpec", "TaskResult", "RunReport", "task_seed"]
+__all__ = ["TaskSpec", "TaskResult", "RunReport", "sanitize_label", "task_seed"]
+
+_UNSAFE_CHARS = re.compile(r"[^A-Za-z0-9._@+=-]")
+
+
+def sanitize_label(label: str) -> str:
+    """Filesystem-safe form of a task label.
+
+    Labels embed ``exp_id``\\ s, which ``run_tasks`` accepts as arbitrary
+    strings — a ``/`` (or ``..``) in one must not turn an artifact
+    write into a path escape.  Anything outside a conservative
+    portable-filename set becomes ``_``, leading dots are stripped
+    (no hidden files), and the result is length-capped.
+    """
+    safe = _UNSAFE_CHARS.sub("_", label).lstrip(".")
+    return safe[:100] or "task"
 
 
 def task_seed(root_seed: int, label: str) -> int:
@@ -49,6 +66,23 @@ class TaskSpec:
         return (
             f"{self.exp_id}@r{cfg.repetitions}d{cfg.duration:g}"
             f"o{cfg.omit:g}t{cfg.tick:g}s{cfg.seed}"
+        )
+
+    @property
+    def artifact_stem(self) -> str:
+        """Collision-free filesystem stem for this spec's artifacts.
+
+        The sanitized label (human-readable) plus the first 8 hex chars
+        of the spec's content key — :func:`~repro.runner.cache.cache_key`
+        over (exp_id, config) with an empty source digest, so names stay
+        stable across code edits.  Two specs whose labels collide after
+        sanitization (or that differ only in fields the label omits)
+        still get distinct artifact files instead of silently
+        overwriting each other.
+        """
+        return (
+            f"{sanitize_label(self.label)}-"
+            f"{cache_key(self.exp_id, self.config, '')[:8]}"
         )
 
 

@@ -65,17 +65,39 @@ def execute_task(spec: TaskSpec) -> dict:
         from repro.trace.bus import TraceBus, tracing
         from repro.trace.events import events_digest
 
-        sink = spec.trace.make_sink()
+        sink = spec.trace.make_sink(
+            stem=spec.artifact_stem,
+            meta={
+                "exp_id": spec.exp_id,
+                "task": spec.label,
+                "interval": spec.trace.interval,
+            },
+        )
         bus = TraceBus(sinks=[sink], probe_interval=spec.trace.interval)
         with tracing(bus):
             result = run_experiment(spec.exp_id, spec.config)
-        events = [event.to_dict() for event in sink.events]
-        trace_payload = {
-            "events": events,
-            "dropped": sink.dropped,
-            "emitted": bus.emitted,
-            "digest": events_digest(events),
-        }
+        if spec.trace.spill_dir is not None:
+            # Spill mode: events already live on disk as a JSONL stream;
+            # ship only the summary (path, incremental digest, counters)
+            # back through the pool — the payload stays O(1) in event
+            # count, which is the whole point for paper-profile runs.
+            sink.finalize()
+            trace_payload = {
+                "jsonl": str(sink.path),
+                "count": sink.written,
+                "dropped": sink.dropped,
+                "emitted": bus.emitted,
+                "digest": sink.digest(),
+                "peak_buffered": sink.peak_buffered,
+            }
+        else:
+            events = [event.to_dict() for event in sink.events]
+            trace_payload = {
+                "events": events,
+                "dropped": sink.dropped,
+                "emitted": bus.emitted,
+                "digest": events_digest(events),
+            }
     payload = {
         "exp_id": spec.exp_id,
         "elapsed": time.perf_counter() - start,  # repro: noqa-DET001

@@ -39,6 +39,7 @@ from repro.trace.events import (
     TraceEvent,
     events_digest,
 )
+from repro.trace.diff import TraceDiff, diff_event_streams, diff_files
 from repro.trace.export import (
     dump_perfetto,
     perfetto_digest,
@@ -46,8 +47,17 @@ from repro.trace.export import (
     to_perfetto,
     validate_perfetto,
 )
-from repro.trace.ledger import FlowConservationLedger
+from repro.trace.ledger import FlowConservationLedger, inflight_bytes
 from repro.trace.probes import PROBE_TOOLS, mpstat_probe, nic_probe, socket_probe
+from repro.trace.stream import (
+    JsonlSink,
+    StreamInfo,
+    iter_stream_events,
+    read_stream_header,
+    stream_csv,
+    stream_perfetto,
+    stream_summary,
+)
 
 __all__ = [
     "CATEGORIES",
@@ -65,6 +75,7 @@ __all__ = [
     "tracing",
     "flight_recorder_tail",
     "FlowConservationLedger",
+    "inflight_bytes",
     "PROBE_TOOLS",
     "socket_probe",
     "mpstat_probe",
@@ -74,4 +85,14 @@ __all__ = [
     "dump_perfetto",
     "perfetto_digest",
     "validate_perfetto",
+    "JsonlSink",
+    "StreamInfo",
+    "iter_stream_events",
+    "read_stream_header",
+    "stream_summary",
+    "stream_perfetto",
+    "stream_csv",
+    "TraceDiff",
+    "diff_event_streams",
+    "diff_files",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator
 
 from repro.core.errors import SimulationError
@@ -144,12 +145,24 @@ class TraceSpec:
     categories: tuple | None = None
     #: Flight-recorder capacity; 0 keeps every event (ListSink).
     buffer: int = 0
+    #: Spill mode: when set, the worker streams events to a JSONL file
+    #: in this directory (:class:`~repro.trace.stream.JsonlSink` —
+    #: lossless, O(1) resident memory in event count) instead of
+    #: shipping the full event list back through the process pool.
+    #: Kept as a string so the spec pickles/canonicalizes plainly.
+    spill_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
             raise SimulationError(f"probe interval must be > 0, got {self.interval}")
         if self.buffer < 0:
             raise SimulationError(f"buffer must be >= 0, got {self.buffer}")
+        if self.buffer and self.spill_dir is not None:
+            raise SimulationError(
+                "buffer and spill_dir are mutually exclusive: the ring "
+                "bounds memory by forgetting, the JSONL spill by "
+                "streaming to disk — pick one"
+            )
         _check_categories(self.categories)
 
     def resolved_categories(self) -> tuple:
@@ -157,8 +170,26 @@ class TraceSpec:
             return DEFAULT_EXPORT_CATEGORIES
         return tuple(self.categories)
 
-    def make_sink(self) -> Sink:
+    def make_sink(self, stem: str | None = None, meta: dict | None = None) -> Sink:
+        """Build the sink this spec describes.
+
+        ``stem`` names the spill file (``<spill_dir>/<stem>.trace.jsonl``)
+        and is required in spill mode — the runner passes
+        :attr:`~repro.runner.tasks.TaskSpec.artifact_stem` so concurrent
+        tasks never collide on a path.  ``meta`` lands in the stream's
+        header record.  Both are ignored by the in-memory sinks.
+        """
         cats = self.resolved_categories()
+        if self.spill_dir is not None:
+            if stem is None:
+                raise SimulationError(
+                    "spill mode needs an artifact stem to name the "
+                    "JSONL file; pass make_sink(stem=...)"
+                )
+            from repro.trace.stream import JsonlSink
+
+            path = Path(self.spill_dir) / f"{stem}.trace.jsonl"
+            return JsonlSink(path, categories=cats, meta=meta)
         if self.buffer:
             return RingSink(self.buffer, categories=cats)
         return ListSink(categories=cats)
@@ -252,7 +283,7 @@ class TraceBus:
             if not value:
                 return None
             return self.emit(cat, name, value=value, **args)
-        if prev == value:
+        if _same_value(prev, value):
             return None
         self._edges[key] = value
         return self.emit(cat, name, value=value, **args)
@@ -279,6 +310,19 @@ class TraceBus:
 
 
 _UNSET = object()
+
+
+def _same_value(prev, value) -> bool:
+    """Identity-or-equal, treating two NaNs as the same observation.
+
+    Plain ``prev == value`` makes a NaN edge re-fire on every tick
+    (NaN never equals itself), flooding the stream with non-edges —
+    the runtime variant of what lint rule FLOAT001 exists to prevent.
+    """
+    if prev is value or prev == value:
+        return True
+    # Both NaN (x != x is the type-safe NaN test; False for non-floats).
+    return prev != prev and value != value
 
 #: The ambient bus; ``None`` (the default) disables all tracing.
 _active: TraceBus | None = None

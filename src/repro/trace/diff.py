@@ -1,0 +1,199 @@
+"""Structural diff of two trace artifacts — ``repro trace --diff``.
+
+The determinism contract says an event stream is a pure function of
+(code, seed, trace configuration).  When a regression breaks that —
+two runs that should match don't — the digests tell you *that* they
+diverged; this module tells you *where*: the first event index at
+which the streams disagree, which fields differ, and both values,
+plus a per-stream count/digest summary.
+
+Both artifact formats diff:
+
+* JSONL streams written by :class:`~repro.trace.stream.JsonlSink`
+  (compared event-by-event on the canonical ``to_dict`` form);
+* Perfetto ``.trace.json`` documents from the exporters (compared on
+  their ``traceEvents`` records).
+
+Streams are consumed as iterators — two multi-gigabyte JSONL spills
+diff in O(1) memory.  Comparison is exact (``!=`` on the parsed JSON
+values): the streams were serialized canonically, so any byte-level
+divergence shows up as a field-level one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from itertools import zip_longest
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.errors import SimulationError
+
+__all__ = ["FieldDiff", "TraceDiff", "diff_event_streams", "diff_files"]
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One field that differs at the first divergent event."""
+
+    field: str
+    a: object
+    b: object
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Outcome of diffing two event streams."""
+
+    label_a: str
+    label_b: str
+    count_a: int
+    count_b: int
+    digest_a: str
+    digest_b: str
+    #: Index (0-based position in the stream) of the first divergent
+    #: event; None when the streams are identical.
+    index: int | None = None
+    #: ``seq`` of the divergent event in each stream (None when that
+    #: stream ended before the divergence point).
+    seq_a: int | None = None
+    seq_b: int | None = None
+    fields: tuple = ()
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.index is None
+            and self.count_a == self.count_b
+            and self.digest_a == self.digest_b
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"A: {self.label_a} — {self.count_a} events, "
+            f"digest {self.digest_a[:16]}",
+            f"B: {self.label_b} — {self.count_b} events, "
+            f"digest {self.digest_b[:16]}",
+        ]
+        if self.identical:
+            lines.append("traces identical")
+            return "\n".join(lines)
+        if self.index is None:
+            lines.append("traces differ (digest/count mismatch)")
+            return "\n".join(lines)
+        if self.seq_a is None or self.seq_b is None:
+            ended, continues = ("A", "B") if self.seq_a is None else ("B", "A")
+            lines.append(
+                f"first divergence at event index {self.index}: stream "
+                f"{ended} ended here, {continues} continues"
+            )
+        else:
+            lines.append(
+                f"first divergence at event index {self.index} "
+                f"(seq {self.seq_a} vs {self.seq_b}):"
+            )
+        for fd in self.fields:
+            lines.append(f"  {fd.field}: {fd.a!r} != {fd.b!r}")
+        return "\n".join(lines)
+
+
+def _field_diffs(da: dict, db: dict) -> tuple:
+    """Per-field differences, with ``args`` flattened to ``args.<k>``."""
+    out: list[FieldDiff] = []
+    for k in sorted(set(da) | set(db)):
+        va, vb = da.get(k), db.get(k)
+        if k == "args" and isinstance(va, dict) and isinstance(vb, dict):
+            for ak in sorted(set(va) | set(vb)):
+                if va.get(ak) != vb.get(ak):
+                    out.append(FieldDiff(f"args.{ak}", va.get(ak), vb.get(ak)))
+        elif va != vb:
+            out.append(FieldDiff(k, va, vb))
+    return tuple(out)
+
+
+def _canonical(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def diff_event_streams(
+    events_a, events_b, label_a: str = "A", label_b: str = "B"
+) -> TraceDiff:
+    """Lockstep-compare two iterables of event dicts.
+
+    Both streams are consumed to the end even after a divergence, so
+    the summary always carries total counts and full-stream digests.
+    """
+    h_a, h_b = hashlib.sha256(), hashlib.sha256()
+    count_a = count_b = 0
+    index = seq_a = seq_b = None
+    fields: tuple = ()
+    for i, (da, db) in enumerate(zip_longest(events_a, events_b)):
+        if da is not None:
+            h_a.update(_canonical(da).encode("utf-8"))
+            h_a.update(b"\n")
+            count_a += 1
+        if db is not None:
+            h_b.update(_canonical(db).encode("utf-8"))
+            h_b.update(b"\n")
+            count_b += 1
+        if index is None and da != db:
+            index = i
+            seq_a = None if da is None else da.get("seq")
+            seq_b = None if db is None else db.get("seq")
+            if da is not None and db is not None:
+                fields = _field_diffs(da, db)
+    return TraceDiff(
+        label_a=label_a,
+        label_b=label_b,
+        count_a=count_a,
+        count_b=count_b,
+        digest_a=h_a.hexdigest(),
+        digest_b=h_b.hexdigest(),
+        index=index,
+        seq_a=seq_a,
+        seq_b=seq_b,
+        fields=fields,
+    )
+
+
+def _open_artifact(path: Path) -> Iterator[dict]:
+    """Event iterator for either artifact format (JSONL or Perfetto)."""
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+    try:
+        doc = json.loads(first)
+        is_jsonl = isinstance(doc, dict) and doc.get("kind") == "header"
+    except ValueError:
+        is_jsonl = False
+    if is_jsonl:
+        from repro.trace.stream import iter_stream_events
+
+        return iter_stream_events(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        raise SimulationError(
+            f"{path}: neither a JSONL trace stream nor a Perfetto document"
+        ) from None
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        raise SimulationError(
+            f"{path}: JSON document has no 'traceEvents' list"
+        )
+    return iter(events)
+
+
+def diff_files(path_a, path_b) -> TraceDiff:
+    """Diff two trace artifacts on disk (JSONL streams or Perfetto JSON)."""
+    path_a, path_b = Path(path_a), Path(path_b)
+    for path in (path_a, path_b):
+        if not path.exists():
+            raise SimulationError(f"{path}: no such trace artifact")
+    return diff_event_streams(
+        _open_artifact(path_a),
+        _open_artifact(path_b),
+        label_a=str(path_a),
+        label_b=str(path_b),
+    )

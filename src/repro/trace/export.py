@@ -9,6 +9,10 @@ tracing ecosystem defined and https://ui.perfetto.dev still loads:
 * ``probe.*`` events become ``"ph": "C"`` counter events — Perfetto
   renders them as time-series tracks, the closest thing to the paper's
   mpstat/ss plots;
+* ``flow.tick`` events (recorded when the ``flow`` category is opted
+  in) become per-flow **ledger counter tracks** — the in-flight bytes
+  estimate the :class:`~repro.trace.ledger.FlowConservationLedger`
+  checks, plotted against the ``cwnd`` that bounded it;
 * everything else becomes a thread-scoped instant (``"ph": "i"``,
   ``"s": "t"``);
 * timestamps are simulated microseconds (the format's unit).
@@ -16,19 +20,29 @@ tracing ecosystem defined and https://ui.perfetto.dev still loads:
 All functions accept either :class:`~repro.trace.events.TraceEvent`
 objects or their ``to_dict`` forms.  Serialization is canonical
 (sorted keys, fixed separators): the same event stream always produces
-the same bytes, so file-level comparison works across ``--jobs`` modes.
+the same bytes, so file-level comparison works across ``--jobs`` modes
+— and across the in-memory and the streaming
+(:mod:`repro.trace.stream`) export paths, which share the per-event
+conversion in :class:`PerfettoEventStream` and the CSV row writer
+here.
 """
 
 from __future__ import annotations
 
+import csv
 import hashlib
+import io
 import json
 
 from repro.trace.events import TraceEvent, events_digest
+from repro.trace.ledger import inflight_bytes
 
 __all__ = [
+    "PerfettoEventStream",
     "to_perfetto",
     "to_csv",
+    "csv_arg_keys",
+    "write_csv",
     "dump_perfetto",
     "perfetto_digest",
     "validate_perfetto",
@@ -45,18 +59,27 @@ def _numeric(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-def to_perfetto(events, meta: dict | None = None) -> dict:
-    """Build a Chrome/Perfetto ``trace_event`` JSON document."""
-    docs = _event_docs(events)
-    pids: dict[str, int] = {}
-    trace_events: list[dict] = []
-    for doc in docs:
+class PerfettoEventStream:
+    """Stateful per-event converter shared by both export paths.
+
+    Holds the track→pid map (first-seen order); :meth:`convert` returns
+    the Perfetto records for one event — a ``process_name`` metadata
+    record the first time a track appears, then the event itself.
+    Because the only state is that small map, the streaming exporter
+    stays O(distinct tracks) in memory however long the stream.
+    """
+
+    def __init__(self) -> None:
+        self._pids: dict[str, int] = {}
+
+    def convert(self, doc: dict) -> list[dict]:
+        out: list[dict] = []
         track = doc["track"] or "sim"
-        pid = pids.get(track)
+        pid = self._pids.get(track)
         if pid is None:
-            pid = len(pids) + 1
-            pids[track] = pid
-            trace_events.append({
+            pid = len(self._pids) + 1
+            self._pids[track] = pid
+            out.append({
                 "ph": "M",
                 "pid": pid,
                 "tid": 0,
@@ -64,8 +87,8 @@ def to_perfetto(events, meta: dict | None = None) -> dict:
                 "args": {"name": track},
             })
         ts = round(doc["t"] * 1e6, 3)  # simulated microseconds
+        args = doc["args"]
         if doc["cat"] == "probe":
-            args = doc["args"]
             flow = args.get("flow")
             name = doc["name"] if flow is None else f"{doc['name']}/flow{int(flow)}"
             counters = {
@@ -73,7 +96,7 @@ def to_perfetto(events, meta: dict | None = None) -> dict:
                 for k, v in args.items()
                 if k != "flow" and _numeric(v)
             }
-            trace_events.append({
+            out.append({
                 "ph": "C",
                 "pid": pid,
                 "tid": 0,
@@ -82,8 +105,25 @@ def to_perfetto(events, meta: dict | None = None) -> dict:
                 "name": name,
                 "args": counters,
             })
+        elif doc["cat"] == "flow" and doc["name"] == "flow.tick":
+            # The conservation ledger's own quantity, as a counter
+            # track: in-flight bytes (alloc × sRTT) against the cwnd
+            # that bounded the allocation.  Pure function of the event,
+            # so exports stay independent of whether a ledger ran.
+            out.append({
+                "ph": "C",
+                "pid": pid,
+                "tid": 0,
+                "ts": ts,
+                "cat": doc["cat"],
+                "name": f"ledger.inflight/flow{int(args['flow'])}",
+                "args": {
+                    "cwnd": float(args["cwnd"]),
+                    "inflight": inflight_bytes(args["alloc"], args["rtt"]),
+                },
+            })
         else:
-            trace_events.append({
+            out.append({
                 "ph": "i",
                 "s": "t",
                 "pid": pid,
@@ -91,8 +131,18 @@ def to_perfetto(events, meta: dict | None = None) -> dict:
                 "ts": ts,
                 "cat": doc["cat"],
                 "name": doc["name"],
-                "args": dict(doc["args"]),
+                "args": dict(args),
             })
+        return out
+
+
+def to_perfetto(events, meta: dict | None = None) -> dict:
+    """Build a Chrome/Perfetto ``trace_event`` JSON document."""
+    docs = _event_docs(events)
+    conv = PerfettoEventStream()
+    trace_events: list[dict] = []
+    for doc in docs:
+        trace_events.extend(conv.convert(doc))
     other = {"event_count": len(docs), "digest": events_digest(docs)}
     if meta:
         other.update(meta)
@@ -113,13 +163,15 @@ def perfetto_digest(doc: dict) -> str:
     return hashlib.sha256(dump_perfetto(doc).encode()).hexdigest()
 
 
-def to_csv(events) -> str:
-    """Flat CSV time series: one row per event, one column per arg key.
+# -- CSV -------------------------------------------------------------------
 
-    Columns appear in first-seen order across the stream (deterministic
-    for a deterministic stream); missing args render as empty cells.
+
+def csv_arg_keys(docs) -> list[str]:
+    """Argument columns in first-seen order across the stream.
+
+    Deterministic for a deterministic stream; accepts any iterable of
+    event dicts (the streaming exporter passes a disk iterator).
     """
-    docs = _event_docs(events)
     keys: list[str] = []
     seen: set = set()
     for doc in docs:
@@ -127,20 +179,61 @@ def to_csv(events) -> str:
             if k not in seen:
                 seen.add(k)
                 keys.append(k)
-    lines = [",".join(["seq", "t", "cat", "name", "track"] + keys)]
+    return keys
+
+
+def _csv_cell(value) -> str:
+    """Render one cell; the :mod:`csv` writer handles all quoting.
+
+    ``None`` is an empty cell, booleans keep their JSON spelling,
+    numbers use canonical JSON rendering, strings pass through raw
+    (RFC-4180 quoting is the writer's job, not escaping-by-JSON), and
+    anything structured falls back to canonical JSON text.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return json.dumps(value)
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def write_csv(docs, keys: list[str], fh) -> None:
+    """Write header + one RFC-4180 row per event dict to ``fh``.
+
+    Shared by :func:`to_csv` (in-memory) and
+    :func:`repro.trace.stream.stream_csv` (from disk) so both produce
+    identical bytes.  Fields containing commas, quotes, or newlines are
+    quoted per RFC 4180 by the :mod:`csv` writer.
+    """
+    writer = csv.writer(fh, lineterminator="\n")
+    writer.writerow(["seq", "t", "cat", "name", "track"] + keys)
     for doc in docs:
         row = [
             str(doc["seq"]),
             f"{doc['t']:.9f}",
-            doc["cat"],
-            doc["name"],
-            json.dumps(doc["track"]) if "," in doc["track"] else doc["track"],
+            _csv_cell(doc["cat"]),
+            _csv_cell(doc["name"]),
+            _csv_cell(doc["track"]),
         ]
-        for k in keys:
-            v = doc["args"].get(k)
-            row.append("" if v is None else json.dumps(v))
-        lines.append(",".join(row))
-    return "\n".join(lines) + "\n"
+        args = doc["args"]
+        row.extend(_csv_cell(args.get(k)) for k in keys)
+        writer.writerow(row)
+
+
+def to_csv(events) -> str:
+    """Flat CSV time series: one row per event, one column per arg key.
+
+    Columns appear in first-seen order across the stream (deterministic
+    for a deterministic stream); missing args render as empty cells.
+    """
+    docs = _event_docs(events)
+    buf = io.StringIO()
+    write_csv(docs, csv_arg_keys(docs), buf)
+    return buf.getvalue()
 
 
 _PHASES = frozenset({"C", "i", "M"})

@@ -36,11 +36,22 @@ from repro.core.errors import SanitizerViolation
 from repro.trace.bus import Sink, flight_recorder_tail
 from repro.trace.events import TraceEvent
 
-__all__ = ["FlowConservationLedger"]
+__all__ = ["FlowConservationLedger", "inflight_bytes"]
 
 #: The window bound gets this many MSS of absolute slack: allocation
 #: happens at float precision against ``cwnd / max(rtt, eps)``.
 _WINDOW_SLACK_MSS = 4.0
+
+
+def inflight_bytes(alloc, rtt) -> float:
+    """The ledger's in-flight estimate: allocated rate × smoothed RTT.
+
+    This is the exact quantity the cwnd bound below checks, and the one
+    the Perfetto exporter renders as per-flow ``ledger.inflight``
+    counter tracks (against ``cwnd``), so what you see plotted is what
+    gets verified.
+    """
+    return float(alloc) * max(float(rtt), 1e-6)
 
 
 class FlowConservationLedger(Sink):
@@ -107,7 +118,7 @@ class FlowConservationLedger(Sink):
                 f"(sent={sent:.3f} delivered={delivered:.3f} "
                 f"dropped={dropped:.3f})"
             )
-        inflight = alloc * max(rtt, 1e-6)
+        inflight = inflight_bytes(alloc, rtt)
         bound = (
             cwnd * (1.0 + self.rel_tol)
             + _WINDOW_SLACK_MSS * self.mss

@@ -1,0 +1,339 @@
+"""File-backed JSONL trace streams: spill, re-read, stream-export.
+
+The in-memory sinks in :mod:`repro.trace.bus` either keep everything
+(:class:`~repro.trace.bus.ListSink` — O(events) memory) or forget
+(:class:`~repro.trace.bus.RingSink` — bounded, lossy).  Long ``paper``
+profile campaigns need a third mode, the one production tracers use:
+**keep everything, hold almost nothing** — append each event to an
+on-disk JSONL stream as it happens, so peak resident event memory is
+O(flush batch), not O(run length).
+
+The stream format is line-oriented so a crashed or killed writer
+leaves a readable file:
+
+* line 1 — a *header record* ``{"kind": "header", "format": 1, ...}``
+  written (and flushed) before any event;
+* one line per event — the exact canonical JSON of
+  :meth:`TraceEvent.to_dict` that :func:`~repro.trace.events.events_digest`
+  hashes, so re-reading and re-hashing a stream reproduces the digest
+  the writer computed incrementally;
+* last line — a *finalize record* ``{"kind": "end", "count": N,
+  "digest": ...}`` appended by :meth:`JsonlSink.finalize`; its absence
+  marks the stream as truncated (the writer crashed mid-run).
+
+Readers are tolerant by construction: a partial trailing line (the
+kill-mid-write case) or a missing finalize record terminates iteration
+cleanly instead of raising — every complete event before the
+truncation point is still served.
+
+The streaming exporters re-serialize from disk without materializing
+the event list: :func:`stream_perfetto` and :func:`stream_csv` make
+two passes (count/digest or column discovery first, then rows) and
+produce **byte-identical** output to their in-memory counterparts in
+:mod:`repro.trace.export` — the tests compare them with ``==`` on
+bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.errors import SimulationError
+from repro.trace.bus import Sink, _check_categories
+from repro.trace.events import TraceEvent
+
+__all__ = [
+    "STREAM_FORMAT",
+    "JsonlSink",
+    "StreamInfo",
+    "iter_stream_events",
+    "read_stream_header",
+    "stream_summary",
+    "stream_perfetto",
+    "stream_csv",
+]
+
+#: Bump when the stream layout changes; readers reject other formats.
+STREAM_FORMAT = 1
+
+#: Default write-batch size: the sink's resident-memory bound.  256
+#: pending lines is a few tens of KB however many millions of events
+#: the run emits.
+DEFAULT_FLUSH_EVERY = 256
+
+
+def _canonical(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+class JsonlSink(Sink):
+    """Streams accepted events to a JSONL file with bounded memory.
+
+    Events buffer as serialized lines and spill every ``flush_every``
+    writes; :attr:`peak_buffered` records the high-water mark of the
+    buffer, which is how the tests (and the acceptance criterion)
+    assert O(1)-in-event-count residency.  The stream digest is
+    accumulated incrementally with the exact byte recipe of
+    :func:`~repro.trace.events.events_digest`, so it never requires
+    the events to be in memory at once.
+    """
+
+    #: JSONL streams are lossless; mirrors the other sinks' counter.
+    dropped = 0
+
+    def __init__(
+        self,
+        path,
+        categories=None,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+        meta: dict | None = None,
+    ) -> None:
+        if flush_every < 1:
+            raise SimulationError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
+        self.categories = _check_categories(categories)
+        self.path = Path(path)
+        self.flush_every = flush_every
+        self.written = 0
+        self.peak_buffered = 0
+        self._buf: list[str] = []
+        self._hash = hashlib.sha256()
+        self._closed = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        header = {
+            "kind": "header",
+            "format": STREAM_FORMAT,
+            "categories": sorted(self.categories)
+            if self.categories is not None
+            else None,
+            "meta": {k: meta[k] for k in sorted(meta)} if meta else {},
+        }
+        # The header is one atomic line, flushed before any event: even
+        # an immediately-killed writer leaves an identifiable stream.
+        self._fh.write(_canonical(header) + "\n")
+        self._fh.flush()
+
+    def write(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise SimulationError(
+                f"JsonlSink({self.path}) is finalized; no further writes"
+            )
+        line = _canonical(event.to_dict())
+        self._hash.update(line.encode("utf-8"))
+        self._hash.update(b"\n")
+        self._buf.append(line)
+        self.written += 1
+        if len(self._buf) > self.peak_buffered:
+            self.peak_buffered = len(self._buf)
+        if len(self._buf) >= self.flush_every:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buf:
+            self._fh.write("\n".join(self._buf) + "\n")
+            self._fh.flush()
+            self._buf.clear()
+
+    def digest(self) -> str:
+        """The incremental stream digest == ``events_digest(events)``."""
+        return self._hash.hexdigest()
+
+    def finalize(self) -> None:
+        """Flush, append the finalize record, and close the file.
+
+        Idempotent: the record is written exactly once, as one atomic
+        line, so a finalized stream always ends in a complete ``end``
+        record and an unfinalized one simply lacks it.
+        """
+        if self._closed:
+            return
+        self._flush()
+        end = {
+            "kind": "end",
+            "count": self.written,
+            "digest": self.digest(),
+            "peak_buffered": self.peak_buffered,
+        }
+        self._fh.write(_canonical(end) + "\n")
+        self._fh.close()
+        self._closed = True
+
+    close = finalize
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finalize()
+
+
+# -- reading ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamInfo:
+    """Summary of one JSONL stream, recomputed from its event lines."""
+
+    path: Path
+    header: dict
+    count: int
+    digest: str
+    #: True when the finalize record was present and intact.
+    finalized: bool
+    end: dict | None
+
+    @property
+    def consistent(self) -> bool:
+        """Finalize record (when present) agrees with the re-scan."""
+        if self.end is None:
+            return True
+        return (
+            self.end.get("count") == self.count
+            and self.end.get("digest") == self.digest
+        )
+
+
+def _records(path) -> Iterator[tuple[str, dict]]:
+    """Yield ``(kind, doc)`` pairs: one header, events, maybe an end.
+
+    Tolerates truncation anywhere after the header: an unparsable or
+    non-object line (the partial write of a killed process) terminates
+    iteration instead of raising, so every complete event survives a
+    crash.  A missing or malformed *header*, by contrast, means the
+    file is not a trace stream at all and raises.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise SimulationError(f"{path}: empty file, not a JSONL trace stream")
+        try:
+            header = json.loads(first)
+        except ValueError:
+            raise SimulationError(
+                f"{path}: not a JSONL trace stream (first line is not JSON)"
+            ) from None
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            raise SimulationError(
+                f"{path}: missing stream header record "
+                "(expected {\"kind\": \"header\", ...} on line 1)"
+            )
+        if header.get("format") != STREAM_FORMAT:
+            raise SimulationError(
+                f"{path}: unsupported stream format "
+                f"{header.get('format')!r} (have {STREAM_FORMAT})"
+            )
+        yield "header", header
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                return  # partial trailing line — truncated write
+            if not isinstance(doc, dict):
+                return
+            if doc.get("kind") == "end":
+                yield "end", doc
+                return
+            yield "event", doc
+
+
+def read_stream_header(path) -> dict:
+    """The stream's header record; raises if ``path`` is not a stream."""
+    for kind, doc in _records(path):
+        return doc
+    raise SimulationError(f"{path}: empty stream")  # pragma: no cover
+
+
+def iter_stream_events(path) -> Iterator[dict]:
+    """Iterate event dicts from a JSONL stream without materializing it."""
+    for kind, doc in _records(path):
+        if kind == "event":
+            yield doc
+
+
+def stream_summary(path) -> StreamInfo:
+    """One tolerant pass: recomputed count + digest, finalize status."""
+    header: dict = {}
+    end: dict | None = None
+    count = 0
+    h = hashlib.sha256()
+    for kind, doc in _records(path):
+        if kind == "header":
+            header = doc
+        elif kind == "end":
+            end = doc
+        else:
+            h.update(_canonical(doc).encode("utf-8"))
+            h.update(b"\n")
+            count += 1
+    return StreamInfo(
+        path=Path(path),
+        header=header,
+        count=count,
+        digest=h.hexdigest(),
+        finalized=end is not None,
+        end=end,
+    )
+
+
+# -- streaming exporters ---------------------------------------------------
+
+
+def stream_perfetto(src, out, meta: dict | None = None) -> StreamInfo:
+    """Export a JSONL stream as Perfetto JSON without loading it.
+
+    Two passes over ``src``: the first recomputes event count and
+    digest (``otherData`` needs them up front), the second converts and
+    appends events one at a time.  The output bytes are identical to
+    ``dump_perfetto(to_perfetto(events, meta))`` on the same stream —
+    the canonical top-level key order (``displayTimeUnit`` <
+    ``otherData`` < ``traceEvents``) is written literally here.
+    """
+    from repro.trace.export import PerfettoEventStream
+
+    info = stream_summary(src)
+    other = {"event_count": info.count, "digest": info.digest}
+    if meta:
+        other.update(meta)
+    conv = PerfettoEventStream()
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8") as fh:
+        fh.write('{"displayTimeUnit":"ms","otherData":')
+        fh.write(_canonical(other))
+        fh.write(',"traceEvents":[')
+        first = True
+        for doc in iter_stream_events(src):
+            for ev in conv.convert(doc):
+                if not first:
+                    fh.write(",")
+                fh.write(_canonical(ev))
+                first = False
+        fh.write("]}\n")
+    return info
+
+
+def stream_csv(src, out) -> StreamInfo:
+    """Export a JSONL stream as CSV without loading it.
+
+    Pass one discovers the first-seen argument-column order (the same
+    rule :func:`~repro.trace.export.to_csv` uses), pass two writes
+    RFC-4180 rows; output bytes match the in-memory exporter.
+    """
+    from repro.trace.export import csv_arg_keys, write_csv
+
+    keys = csv_arg_keys(iter_stream_events(src))
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8", newline="") as fh:
+        write_csv(iter_stream_events(src), keys, fh)
+    return stream_summary(src)

@@ -126,6 +126,36 @@ class TestResultCache:
         litter = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
         assert litter == []
 
+    def test_mutating_a_get_does_not_poison_the_memo(self, tmp_path):
+        # Regression: the in-process memo used to hand the same payload
+        # dict to every caller, so one caller's mutation silently
+        # leaked into every later hit for that key.
+        cache = ResultCache(tmp_path)
+        key = "11" + "0" * 62
+        cache.put(key, self.payload())
+        first = cache.get(key)
+        first["result"]["rows"][0]["a"] = 999
+        first["exp_id"] = "tampered"
+        again = cache.get(key)
+        assert again["exp_id"] == "t"
+        assert again["result"]["rows"][0]["a"] == 1
+
+    def test_mutating_the_put_payload_does_not_poison_the_memo(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "22" + "0" * 62
+        payload = self.payload()
+        cache.put(key, payload)
+        payload["result"]["rows"][0]["a"] = 999
+        assert cache.get(key)["result"]["rows"][0]["a"] == 1
+
+    def test_disk_hit_is_also_isolated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "33" + "0" * 62
+        cache.put(key, self.payload())
+        fresh = ResultCache(tmp_path)  # no memo: first get reads disk
+        fresh.get(key)["result"]["rows"][0]["a"] = 999
+        assert fresh.get(key)["result"]["rows"][0]["a"] == 1
+
 
 class TestDefaultCacheDir:
     def test_env_override(self, monkeypatch, tmp_path):

@@ -28,6 +28,15 @@ class TestRunnerConfig:
         with pytest.raises(RunnerError):
             RunnerConfig(max_attempts=0)
 
+    def test_rejects_negative_retry_backoff(self):
+        # A negative backoff used to slip through and reach time.sleep,
+        # which raises deep inside the retry loop mid-campaign.
+        with pytest.raises(RunnerError, match="retry_backoff"):
+            RunnerConfig(retry_backoff=-0.25)
+
+    def test_zero_retry_backoff_is_allowed(self):
+        assert RunnerConfig(retry_backoff=0.0).retry_backoff == 0.0
+
 
 class TestValidation:
     def test_unknown_experiment_fails_fast(self):

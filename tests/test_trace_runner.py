@@ -136,6 +136,125 @@ class TestRunnerIntegration:
         assert report.tasks[1].trace is None
 
 
+def spill_runner(tmp_path: Path, jobs: int = 1, **kw) -> RunnerConfig:
+    return RunnerConfig(
+        jobs=jobs,
+        cache_dir=tmp_path / "cache",
+        trace=TraceSpec(spill_dir=str(tmp_path / "spill"), **kw),
+    )
+
+
+class TestSpillMode:
+    def test_spill_payload_shape(self, tmp_path):
+        report = run_experiments(["fig04"], config=TINY,
+                                 runner=spill_runner(tmp_path))
+        trace = report.by_id("fig04").trace
+        assert trace["events"] is None and trace["doc"] is None
+        assert trace["jsonl"].exists()
+        assert trace["count"] > 0 and trace["dropped"] == 0
+        # the sink-side high-water mark: resident events bounded by the
+        # flush batch, not the stream length
+        assert trace["peak_buffered"] <= 256
+
+    def test_spilled_stream_is_finalized_and_consistent(self, tmp_path):
+        from repro.trace import stream_summary
+
+        report = run_experiments(["fig04"], config=TINY,
+                                 runner=spill_runner(tmp_path))
+        trace = report.by_id("fig04").trace
+        info = stream_summary(trace["jsonl"])
+        assert info.finalized and info.consistent
+        assert info.count == trace["count"]
+        assert info.digest == trace["digest"]
+        assert info.header["meta"]["exp_id"] == "fig04"
+
+    def test_spill_digest_matches_in_memory_run(self, tmp_path):
+        spilled = run_experiments(["fig04"], config=TINY,
+                                  runner=spill_runner(tmp_path / "a"))
+        buffered = run_experiments(["fig04"], config=TINY,
+                                   runner=traced_runner(tmp_path / "b"))
+        a, b = spilled.by_id("fig04").trace, buffered.by_id("fig04").trace
+        assert a["digest"] == b["digest"]
+        assert a["count"] == len(b["events"])
+
+    def test_spill_artifact_byte_identical_to_in_memory(self, tmp_path):
+        # The streamed Perfetto artifact and the in-memory one are the
+        # same bytes: same converter, same canonical serialization.
+        spilled = run_experiments(["fig04"], config=TINY,
+                                  runner=spill_runner(tmp_path / "a"))
+        buffered = run_experiments(["fig04"], config=TINY,
+                                   runner=traced_runner(tmp_path / "b"))
+        pa = spilled.by_id("fig04").trace["path"]
+        pb = buffered.by_id("fig04").trace["path"]
+        assert pa is not None and pb is not None
+        assert pa.read_bytes() == pb.read_bytes()
+        assert validate_perfetto(json.loads(pa.read_text())) == []
+
+    def test_spill_jobs_1_vs_4_byte_identical_jsonl(self, tmp_path):
+        serial = run_experiments(["fig04"], config=TINY,
+                                 runner=spill_runner(tmp_path / "a"))
+        pooled = run_experiments(["fig04"], config=TINY,
+                                 runner=spill_runner(tmp_path / "b", jobs=4))
+        a = serial.by_id("fig04").trace["jsonl"].read_bytes()
+        b = pooled.by_id("fig04").trace["jsonl"].read_bytes()
+        assert a == b
+
+    def test_different_seeds_diverge_and_diff_pinpoints(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.trace import diff_files
+
+        base = run_experiments(["fig04"], config=TINY,
+                               runner=spill_runner(tmp_path / "a"))
+        other = run_experiments(["fig04"], config=replace(TINY, seed=2025),
+                                runner=spill_runner(tmp_path / "b"))
+        pa = base.by_id("fig04").trace["jsonl"]
+        pb = other.by_id("fig04").trace["jsonl"]
+        diff = diff_files(pa, pb)
+        assert not diff.identical
+        assert diff.index is not None and diff.fields
+        assert diff.digest_a != diff.digest_b
+
+    def test_artifact_names_disambiguate_same_label(self, tmp_path):
+        # Same label, different spec → distinct artifact stems; a label
+        # with path separators cannot escape the store directory.
+        from repro.runner.tasks import sanitize_label
+
+        from dataclasses import replace
+
+        s1 = TaskSpec(exp_id="fig04", config=TINY, trace=TraceSpec())
+        s2 = TaskSpec(exp_id="fig04", config=TINY,
+                      trace=TraceSpec(interval=0.1))
+        # trace spec is not part of the content key (results/events are
+        # trace-config independent), so these share a stem...
+        assert s1.artifact_stem == s2.artifact_stem
+        # ...but any config change (here: seed) yields a distinct stem,
+        # even when the two labels sanitize to the same string
+        s3 = TaskSpec(exp_id="fig04", config=replace(TINY, seed=1))
+        assert s1.artifact_stem != s3.artifact_stem
+        evil = TaskSpec(exp_id="../../evil/fig04", config=TINY)
+        assert "/" not in evil.artifact_stem
+        assert not evil.artifact_stem.startswith(".")
+        assert sanitize_label("a/b,c d") == "a_b_c_d"
+        assert sanitize_label("...") == "task"
+
+    def test_scheduler_writes_artifact_under_sanitized_stem(self, tmp_path):
+        from repro.runner.scheduler import _trace_summary
+
+        spec = TaskSpec(exp_id="x/../y", config=TINY, trace=TraceSpec())
+        payload = {"trace": {
+            "events": [{"seq": 0, "t": 0.0, "cat": "cc", "name": "cc.loss",
+                        "track": "", "args": {}}],
+            "dropped": 0, "emitted": 1, "digest": "d" * 64,
+        }}
+        store = tmp_path / "store"
+        summary = _trace_summary(spec, payload, store)
+        assert summary["path"].parent == store
+        assert summary["path"].name.endswith(".trace.json")
+        assert "/" not in summary["path"].name
+        assert summary["path"].exists()
+
+
 class TestCli:
     def test_trace_lists_experiments(self, capsys):
         assert main(["trace"]) == 0
@@ -178,3 +297,66 @@ class TestCli:
         artifacts = list((tmp_path / "cache" / "traces").glob("*.trace.json"))
         assert len(artifacts) == 1
         assert validate_perfetto(json.loads(artifacts[0].read_text())) == []
+
+    def test_run_spill_without_trace_errors(self, tmp_path, capsys):
+        rc = main(["run", "fig04", "--profile", "quick",
+                   "--spill", str(tmp_path / "spill"),
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 2
+        assert "--spill" in capsys.readouterr().err
+
+
+class TestCliSpillAndDiff:
+    def test_spilled_out_matches_in_memory_out(self, tmp_path, capsys):
+        plain, spilled = tmp_path / "plain.json", tmp_path / "spilled.json"
+        assert main(["trace", "fig04", "--profile", "quick",
+                     "--out", str(plain)]) == 0
+        assert main(["trace", "fig04", "--profile", "quick",
+                     "--spill", str(tmp_path / "spill"),
+                     "--out", str(spilled), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "[spill:" in out
+        assert "trace schema: ok" in out
+        assert plain.read_bytes() == spilled.read_bytes()
+        assert list((tmp_path / "spill").glob("*.trace.jsonl"))
+
+    def test_spilled_csv_matches_in_memory_csv(self, tmp_path):
+        plain, spilled = tmp_path / "plain.csv", tmp_path / "spilled.csv"
+        assert main(["trace", "fig04", "--profile", "quick",
+                     "--csv", str(plain)]) == 0
+        assert main(["trace", "fig04", "--profile", "quick",
+                     "--spill", str(tmp_path / "spill"),
+                     "--csv", str(spilled)]) == 0
+        assert plain.read_bytes() == spilled.read_bytes()
+
+    def test_diff_identical_traces_exit_zero(self, tmp_path, capsys):
+        for sub in ("a", "b"):
+            assert main(["trace", "fig04", "--profile", "quick",
+                         "--spill", str(tmp_path / sub)]) == 0
+        pa = next((tmp_path / "a").glob("*.trace.jsonl"))
+        pb = next((tmp_path / "b").glob("*.trace.jsonl"))
+        assert main(["trace", "--diff", str(pa), str(pb)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_divergent_seeds_exit_one(self, tmp_path, capsys):
+        assert main(["trace", "fig04", "--profile", "quick",
+                     "--spill", str(tmp_path / "a")]) == 0
+        assert main(["trace", "fig04", "--profile", "quick", "--seed", "7",
+                     "--spill", str(tmp_path / "b")]) == 0
+        pa = next((tmp_path / "a").glob("*.trace.jsonl"))
+        pb = next((tmp_path / "b").glob("*.trace.jsonl"))
+        assert main(["trace", "--diff", str(pa), str(pb)]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+        assert "seq" in out
+
+    def test_diff_with_experiment_id_errors(self, tmp_path, capsys):
+        rc = main(["trace", "fig04", "--diff", "a", "b"])
+        assert rc == 2
+        assert "--diff" in capsys.readouterr().err
+
+    def test_diff_missing_file_errors(self, tmp_path, capsys):
+        rc = main(["trace", "--diff", str(tmp_path / "no.jsonl"),
+                   str(tmp_path / "pe.jsonl")])
+        assert rc == 2
+        assert "no such trace artifact" in capsys.readouterr().err

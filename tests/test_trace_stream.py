@@ -1,0 +1,385 @@
+"""The streaming trace pipeline: JSONL spill, re-read, export, diff.
+
+Locks down the four contracts the streaming layer adds on top of PR-3's
+in-memory trace subsystem:
+
+* **bounded memory** — :class:`JsonlSink` holds at most ``flush_every``
+  events resident however long the stream, asserted via its
+  ``peak_buffered`` high-water counter (the acceptance criterion);
+* **crash tolerance** — a stream truncated mid-line (kill-mid-write) or
+  missing its finalize record re-reads cleanly, serving every complete
+  event before the truncation point;
+* **byte identity** — the streaming Perfetto/CSV exporters produce the
+  exact bytes of their in-memory counterparts on the same stream;
+* **diff** — ``repro trace --diff`` pinpoints the first divergent
+  event (index, seq, fields, both values) and summarizes digests and
+  counts for identical, divergent, truncated, and Perfetto inputs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.trace import (
+    JsonlSink,
+    TraceBus,
+    TraceEvent,
+    TraceSpec,
+    diff_event_streams,
+    diff_files,
+    dump_perfetto,
+    events_digest,
+    inflight_bytes,
+    iter_stream_events,
+    read_stream_header,
+    stream_csv,
+    stream_perfetto,
+    stream_summary,
+    to_csv,
+    to_perfetto,
+    validate_perfetto,
+)
+from repro.trace import bus as trace_bus
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_bus():
+    yield
+    trace_bus.uninstall()
+
+
+def write_stream(path, n=10, flush_every=4, mutate=None, args_extra=None):
+    """A small deterministic stream; ``mutate(i, args)`` can perturb it."""
+    sink = JsonlSink(path, flush_every=flush_every, meta={"exp_id": "figX"})
+    bus = TraceBus(sinks=[sink])
+    for i in range(n):
+        bus.set_time(i * 0.25)
+        args = {"flow": i % 2, "cwnd": 1e5 + i}
+        if args_extra:
+            args.update(args_extra)
+        if mutate:
+            mutate(i, args)
+        bus.emit("cc", "cc.loss", **args)
+    sink.finalize()
+    return sink
+
+
+class TestJsonlSink:
+    def test_header_events_finalize_layout(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        write_stream(p, n=3)
+        lines = p.read_text().splitlines()
+        assert len(lines) == 5  # header + 3 events + end
+        header, end = json.loads(lines[0]), json.loads(lines[-1])
+        assert header["kind"] == "header" and header["meta"]["exp_id"] == "figX"
+        assert end["kind"] == "end" and end["count"] == 3
+        assert json.loads(lines[1])["seq"] == 0
+
+    def test_incremental_digest_matches_events_digest(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        sink = write_stream(p)
+        events = list(iter_stream_events(p))
+        assert len(events) == 10
+        assert events_digest(events) == sink.digest()
+
+    def test_peak_buffered_is_bounded_by_flush_batch(self, tmp_path):
+        # The acceptance criterion: resident event memory is O(1) in
+        # event count — the high-water mark never exceeds the batch
+        # size however many events the run emits.
+        p = tmp_path / "a.trace.jsonl"
+        sink = write_stream(p, n=500, flush_every=8)
+        assert sink.written == 500
+        assert sink.peak_buffered <= 8
+
+    def test_category_filtering(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        sink = JsonlSink(p, categories=("cc",))
+        bus = TraceBus(sinks=[sink])
+        bus.emit("cc", "cc.loss", flow=0)
+        bus.emit("probe", "probe.nic", q=1)
+        sink.finalize()
+        assert [e["name"] for e in iter_stream_events(p)] == ["cc.loss"]
+
+    def test_finalize_idempotent_and_write_after_close_rejected(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        sink = write_stream(p, n=2)
+        sink.finalize()  # second call is a no-op
+        assert sum(1 for ln in p.read_text().splitlines()
+                   if '"kind":"end"' in ln) == 1
+        with pytest.raises(SimulationError, match="finalized"):
+            sink.write(TraceEvent(99, 0.0, "cc", "cc.loss"))
+
+    def test_context_manager_finalizes(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        with JsonlSink(p) as sink:
+            bus = TraceBus(sinks=[sink])
+            bus.emit("cc", "cc.loss", flow=0)
+        assert stream_summary(p).finalized
+
+    def test_spec_spill_mode_builds_jsonl_sink(self, tmp_path):
+        spec = TraceSpec(spill_dir=str(tmp_path))
+        sink = spec.make_sink(stem="stem")
+        assert isinstance(sink, JsonlSink)
+        assert sink.path == tmp_path / "stem.trace.jsonl"
+        sink.finalize()
+        with pytest.raises(SimulationError, match="artifact stem"):
+            spec.make_sink()
+
+    def test_spec_spill_and_buffer_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SimulationError, match="mutually exclusive"):
+            TraceSpec(buffer=16, spill_dir=str(tmp_path))
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(SimulationError, match="flush_every"):
+            JsonlSink(tmp_path / "x.jsonl", flush_every=0)
+
+
+class TestTolerantReread:
+    def test_unfinalized_stream_reads_fully(self, tmp_path):
+        # Crash before finalize: all flushed events survive, stream is
+        # marked unfinalized.
+        p = tmp_path / "a.trace.jsonl"
+        sink = JsonlSink(p, flush_every=1)
+        bus = TraceBus(sinks=[sink])
+        for i in range(5):
+            bus.emit("cc", "cc.loss", flow=i)
+        # no finalize(): simulate a dead worker (file handle leaks, but
+        # every line was flushed)
+        info = stream_summary(p)
+        assert info.count == 5 and not info.finalized and info.end is None
+        sink.finalize()
+
+    def test_kill_mid_write_partial_line_tolerated(self, tmp_path):
+        # Truncate the file mid-way through an event line: the partial
+        # tail is dropped, every complete event before it is served.
+        p = tmp_path / "a.trace.jsonl"
+        write_stream(p, n=10, flush_every=1)
+        full = p.read_text().splitlines()
+        cut = tmp_path / "cut.trace.jsonl"
+        # keep header + 6 complete events + half of the 7th line
+        cut.write_text("\n".join(full[:7]) + "\n" + full[7][: len(full[7]) // 2])
+        events = list(iter_stream_events(cut))
+        assert [e["seq"] for e in events] == list(range(6))
+        info = stream_summary(cut)
+        assert info.count == 6 and not info.finalized
+
+    def test_finalize_record_consistency_check(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        write_stream(p, n=4)
+        assert stream_summary(p).consistent
+        # forge the end record's count: scan disagrees
+        lines = p.read_text().splitlines()
+        end = json.loads(lines[-1])
+        end["count"] = 999
+        forged = tmp_path / "forged.trace.jsonl"
+        forged.write_text("\n".join(lines[:-1] + [json.dumps(end)]) + "\n")
+        info = stream_summary(forged)
+        assert info.finalized and not info.consistent
+
+    def test_headerless_file_rejected(self, tmp_path):
+        p = tmp_path / "bogus.jsonl"
+        p.write_text('{"seq": 0}\n')
+        with pytest.raises(SimulationError, match="header"):
+            list(iter_stream_events(p))
+
+    def test_non_json_file_rejected(self, tmp_path):
+        p = tmp_path / "bogus.txt"
+        p.write_text("not a trace\n")
+        with pytest.raises(SimulationError, match="not a JSONL trace"):
+            read_stream_header(p)
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(SimulationError, match="empty"):
+            list(iter_stream_events(p))
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        p = tmp_path / "future.jsonl"
+        p.write_text('{"kind": "header", "format": 999}\n')
+        with pytest.raises(SimulationError, match="format"):
+            list(iter_stream_events(p))
+
+
+class TestStreamingExportByteIdentity:
+    def test_perfetto_streamed_equals_in_memory(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        write_stream(p, n=25)
+        events = list(iter_stream_events(p))
+        meta = {"exp_id": "figX", "task": "t", "dropped": 0, "emitted": 25}
+        out = tmp_path / "streamed.trace.json"
+        stream_perfetto(p, out, meta=meta)
+        in_memory = dump_perfetto(to_perfetto(events, meta=meta))
+        assert out.read_text() == in_memory
+        assert validate_perfetto(json.loads(out.read_text())) == []
+
+    def test_perfetto_streamed_empty_stream(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        JsonlSink(p).finalize()
+        out = tmp_path / "out.json"
+        stream_perfetto(p, out)
+        assert out.read_text() == dump_perfetto(to_perfetto([]))
+
+    def test_csv_streamed_equals_in_memory(self, tmp_path):
+        p = tmp_path / "a.trace.jsonl"
+        write_stream(p, n=25, args_extra={"why": 'quote " comma, done'})
+        out = tmp_path / "a.csv"
+        stream_csv(p, out)
+        assert out.read_text() == to_csv(list(iter_stream_events(p)))
+
+    def test_ledger_counter_tracks_for_flow_ticks(self, tmp_path):
+        event = TraceEvent(
+            0, 0.5, "flow", "flow.tick",
+            args={"flow": 1, "sent": 1000.0, "delivered": 900.0,
+                  "dropped": 100.0, "alloc": 2e6, "cwnd": 1.5e5,
+                  "rtt": 0.05},
+        )
+        doc = to_perfetto([event])
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert [c["name"] for c in counters] == ["ledger.inflight/flow1"]
+        assert counters[0]["args"] == {
+            "cwnd": 1.5e5,
+            "inflight": inflight_bytes(2e6, 0.05),
+        }
+        assert counters[0]["args"]["inflight"] == pytest.approx(1e5)
+        assert validate_perfetto(doc) == []
+
+
+class TestCsvQuoting:
+    """The RFC-4180 regression: quotes, commas, newlines in any field."""
+
+    def stream(self):
+        return [
+            TraceEvent(0, 0.0, "run", "run.start", track='tr "q", x',
+                       args={"label": 'say "hi", then\nnewline',
+                             "n": 3, "ok": True, "skip": None}),
+            TraceEvent(1, 0.5, "cc", "cc.loss", track="plain",
+                       args={"label": "plain", "n": 1.5, "ok": False}),
+        ]
+
+    def test_round_trips_through_csv_reader(self):
+        rows = list(csv.reader(io.StringIO(to_csv(self.stream()))))
+        header = rows[0]
+        assert header[:5] == ["seq", "t", "cat", "name", "track"]
+        first = dict(zip(header, rows[1]))
+        assert first["track"] == 'tr "q", x'
+        assert first["label"] == 'say "hi", then\nnewline'
+        assert first["n"] == "3" and first["ok"] == "true"
+        assert first["skip"] == ""
+        second = dict(zip(header, rows[2]))
+        assert second["n"] == "1.5" and second["ok"] == "false"
+        assert len(rows) == 3
+
+    def test_plain_values_stay_unquoted(self):
+        text = to_csv(self.stream())
+        # row 1 spans two physical lines (quoted newline), so the plain
+        # second record is the 4th line of the file
+        line = text.splitlines()[3]
+        assert line == "1,0.500000000,cc,cc.loss,plain,plain,1.5,false,"
+
+
+class TestDiff:
+    def streams(self, tmp_path, mutate=None, n=8):
+        a, b = tmp_path / "a.trace.jsonl", tmp_path / "b.trace.jsonl"
+        write_stream(a, n=n)
+        write_stream(b, n=n, mutate=mutate)
+        return a, b
+
+    def test_identical(self, tmp_path):
+        a, b = self.streams(tmp_path)
+        diff = diff_files(a, b)
+        assert diff.identical
+        assert diff.count_a == diff.count_b == 8
+        assert diff.digest_a == diff.digest_b
+        assert "traces identical" in diff.render()
+
+    def test_first_divergent_event_pinpointed(self, tmp_path):
+        def mutate(i, args):
+            if i >= 5:
+                args["cwnd"] += 7.0
+
+        a, b = self.streams(tmp_path, mutate=mutate)
+        diff = diff_files(a, b)
+        assert not diff.identical
+        assert diff.index == 5 and diff.seq_a == 5 and diff.seq_b == 5
+        assert [(f.field, f.a, f.b) for f in diff.fields] == [
+            ("args.cwnd", 1e5 + 5, 1e5 + 12),
+        ]
+        text = diff.render()
+        assert "first divergence at event index 5" in text
+        assert "args.cwnd" in text and "100005.0" in text and "100012.0" in text
+
+    def test_length_mismatch_reported(self, tmp_path):
+        a = tmp_path / "a.trace.jsonl"
+        b = tmp_path / "b.trace.jsonl"
+        write_stream(a, n=8)
+        write_stream(b, n=6)
+        diff = diff_files(a, b)
+        assert not diff.identical
+        assert diff.index == 6 and diff.seq_b is None
+        assert "stream B ended here" in diff.render()
+        assert diff.count_a == 8 and diff.count_b == 6
+
+    def test_diff_consumes_streams_not_lists(self, tmp_path):
+        # API-level: generators work, both streams drain to the end so
+        # counts/digests cover the whole file even after divergence.
+        def gen(vals):
+            for i, v in enumerate(vals):
+                yield {"seq": i, "v": v}
+
+        diff = diff_event_streams(gen([1, 2, 3, 4]), gen([1, 9, 3, 5]))
+        assert diff.index == 1
+        assert diff.fields == tuple([type(diff.fields[0])("v", 2, 9)])
+        assert diff.count_a == diff.count_b == 4
+
+    def test_perfetto_artifacts_diff_too(self, tmp_path):
+        a, b = self.streams(
+            tmp_path, mutate=lambda i, args: args.update(flow=9) if i == 2 else None
+        )
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        stream_perfetto(a, pa)
+        stream_perfetto(b, pb)
+        diff = diff_files(pa, pb)
+        assert not diff.identical
+        assert any(f.field == "args.flow" for f in diff.fields)
+        assert diff_files(pa, pa).identical
+
+    def test_missing_file_errors(self, tmp_path):
+        a = tmp_path / "a.trace.jsonl"
+        write_stream(a, n=2)
+        with pytest.raises(SimulationError, match="no such trace artifact"):
+            diff_files(a, tmp_path / "nope.jsonl")
+
+
+class TestEmitEdgeNaN:
+    """Regression: a NaN edge value must not re-fire every observation."""
+
+    def test_nan_is_one_edge_not_many(self):
+        from repro.trace import ListSink
+
+        sink = ListSink()
+        bus = TraceBus(sinks=[sink])
+        nan = float("nan")
+        assert bus.emit_edge("k", "cc", "cc.rate", nan) is not None  # first
+        # repeated NaN observations (fresh objects included) are silent
+        assert bus.emit_edge("k", "cc", "cc.rate", float("nan")) is None
+        assert bus.emit_edge("k", "cc", "cc.rate", math.nan) is None
+        # leaving and re-entering NaN are both edges
+        assert bus.emit_edge("k", "cc", "cc.rate", 1.0) is not None
+        assert bus.emit_edge("k", "cc", "cc.rate", float("nan")) is not None
+        assert len(sink.events) == 3
+
+    def test_plain_values_unaffected(self):
+        from repro.trace import ListSink
+
+        sink = ListSink()
+        bus = TraceBus(sinks=[sink])
+        assert bus.emit_edge("k", "cc", "x", 1.0) is not None
+        assert bus.emit_edge("k", "cc", "x", 1.0) is None
+        assert bus.emit_edge("k", "cc", "x", 2.0) is not None
