@@ -1,4 +1,5 @@
-"""Float-comparison rule: FLOAT001 (``==``/``!=`` on float expressions).
+"""Float rules: FLOAT001 (``==``/``!=`` on float expressions) and
+FLOAT002 (accumulating simulation time with ``+= dt``).
 
 Simulation state — times, rates, queue occupancies — is float
 arithmetic; exact equality against a float literal is either dead code
@@ -13,6 +14,17 @@ side, or when both sides are arithmetic expressions (BinOp) — the two
 shapes that are unambiguously float comparisons without type inference.
 Scope: the simulation subsystems (``sim``, ``tcp``, ``net``,
 ``micro``).
+
+FLOAT002 targets the clock-drift bug family this repo actually hit:
+``now += dt`` executed a million times accumulates rounding error
+(~1 ulp per add) large enough to flip omit-interval and measurement
+boundary comparisons, while the closed form ``(step + 1) * dt`` is
+exact at every boundary in use.  The rule flags ``+=`` where the
+right-hand side is a bare ``dt``/``tick`` name (or an attribute ending
+in ``.dt``/``.tick``) — the unmistakable shape of per-tick time
+accumulation.  Genuine duration *integrals* (pause spans, app-limited
+epoch slides) have no closed form; those sites carry a
+``# repro: noqa-FLOAT002`` naming the waiver.
 """
 
 from __future__ import annotations
@@ -22,7 +34,10 @@ from typing import Iterator
 
 from repro.lint.core import FileContext, Rule, Violation, register
 
-__all__ = ["FloatEqualityRule"]
+__all__ = ["FloatEqualityRule", "SimTimeAccumulationRule"]
+
+#: RHS names/attributes that identify a tick-duration operand.
+_TICK_NAMES = frozenset({"dt", "tick"})
 
 _ARITH = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
 
@@ -70,3 +85,40 @@ class FloatEqualityRule(Rule):
                         "exact ==/!= on a float expression; compare with "
                         "a tolerance instead",
                     )
+
+
+def _is_tick_operand(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _TICK_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TICK_NAMES
+    return False
+
+
+@register
+class SimTimeAccumulationRule(Rule):
+    code = "FLOAT002"
+    name = "no-sim-time-accumulation"
+    description = (
+        "`x += dt` in simulation code accumulates one rounding error "
+        "per tick and drifts the clock off boundary comparisons; "
+        "derive time as a closed form (`(step + 1) * dt`) instead, or "
+        "mark genuine duration integrals with `# repro: noqa-FLOAT002`."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_sim_code():
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and _is_tick_operand(node.value)
+            ):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    "simulation time accumulated with `+= dt` drifts "
+                    "by one rounding error per tick; use a closed form "
+                    "like `(step + 1) * dt`",
+                )

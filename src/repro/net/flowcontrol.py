@@ -49,6 +49,12 @@ class FlowControlState:
         if self.paused:
             if ring_fill <= self.resume_threshold:
                 self.paused = False
+                # The resume tick is still ~30% paused while the ring
+                # drains; account it like every other returned fraction
+                # (previously dropped, undercounting Table-3-style
+                # paused-time evidence) so the fc.resume event reports
+                # the corrected total.
+                self.total_paused_sec += dt * 0.3
                 bus = trace_active()
                 if bus is not None:
                     bus.emit(
@@ -59,7 +65,9 @@ class FlowControlState:
                         paused_sec=round(self.total_paused_sec, 9),
                     )
                 return 0.3  # partial pause while draining
-            self.total_paused_sec += dt
+            # Fully paused tick: a genuine duration integral (pause
+            # spans are not tick-aligned, there is no closed form).
+            self.total_paused_sec += dt  # repro: noqa-FLOAT002
             return 1.0
         if ring_fill >= self.pause_threshold:
             self.paused = True

@@ -92,8 +92,9 @@ class SharedBufferQueue:
                 if self.switch.supports_flow_control:
                     # Pause frames push the excess back into the
                     # senders' qdiscs; nothing is lost, but the port
-                    # was saturated.
-                    self.paused_time += dt
+                    # was saturated.  Duration integral over saturated
+                    # offers only — no closed form exists.
+                    self.paused_time += dt  # repro: noqa-FLOAT002
                     paused = True
                 else:
                     self.dropped_bytes += excess

@@ -28,12 +28,16 @@ def maxmin_allocate(
     caps: np.ndarray,
     capacity: float,
     weights: np.ndarray | None = None,
+    *,
+    validate: bool = True,
 ) -> np.ndarray:
     """Allocate ``capacity`` across flows with individual ``caps``.
 
     Returns the per-flow allocation; ``sum(result) <= capacity`` and
     ``result <= caps`` elementwise.  Runs in O(n^2) worst case, which is
-    irrelevant at n <= dozens of flows.
+    irrelevant at n <= dozens of flows.  ``validate=False`` skips the
+    weight sanity checks (no numeric effect) for hot-loop callers whose
+    weights are positive by construction.
     """
     caps = np.asarray(caps, dtype=float)
     n = caps.size
@@ -43,12 +47,22 @@ def maxmin_allocate(
         return np.zeros(n)
     if weights is None:
         w = np.ones(n)
-    else:
+    elif validate:
         w = np.asarray(weights, dtype=float)
         if w.shape != caps.shape:
             raise ValueError("weights shape mismatch")
         if np.any(w <= 0):
             raise ValueError("weights must be positive")
+    else:
+        w = weights
+
+    # Uncongested fast path: when the caps fit inside the capacity,
+    # water-filling terminates with every flow at its cap, so the loop
+    # is pure overhead — return the caps directly.  This is the common
+    # case for CPU/pacing-limited ticks.  (clip(x, 0, None) is
+    # maximum(x, 0.0): identical result for every float, NaN included.)
+    if float(np.add.reduce(caps)) <= capacity:
+        return np.maximum(caps, 0.0)
 
     alloc = np.zeros(n)
     active = np.ones(n, dtype=bool)
@@ -69,5 +83,5 @@ def maxmin_allocate(
         active &= ~limited
     # Numerical safety.
     np.minimum(alloc, caps, out=alloc)
-    np.clip(alloc, 0.0, None, out=alloc)
+    np.maximum(alloc, 0.0, out=alloc)
     return alloc

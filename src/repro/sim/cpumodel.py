@@ -53,6 +53,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.host.machine import Host
 from repro.host.numa import CorePlacement
 from repro.tcp.segment import SegmentGeometry
@@ -64,7 +66,13 @@ from repro.tcp.zerocopy import (
     ZerocopyModel,
 )
 
-__all__ = ["CpuCostModel", "SendCosts", "RecvCosts"]
+__all__ = [
+    "CpuCostModel",
+    "SendCosts",
+    "RecvCosts",
+    "SenderCostBatch",
+    "ReceiverCostBatch",
+]
 
 #: Extra per-byte cost of a zerocopy send that *fell back* to copying
 #: (failed pin attempt + notification setup/teardown), cycles/byte,
@@ -353,3 +361,266 @@ class CpuCostModel:
 
     def mem_touches(self) -> float:
         return MEM_TOUCHES_ZEROCOPY if self.zerocopy else MEM_TOUCHES_COPY
+
+
+# ----------------------------------------------------------------------
+# batched variants for the vectorized tick kernel
+# ----------------------------------------------------------------------
+#
+# One simulation's flows all share a host, segment geometry, and core
+# placement; the only per-flow variation on the sender is the zerocopy
+# flag and on the receiver the skip-rx-copy flag.  The batches below
+# evaluate the scalar formulas above as elementwise float64 array
+# expressions with the same operation order, so each lane is bitwise
+# identical to the corresponding scalar call — the property the kernel
+# parity tests (tests/test_kernel_parity.py) pin down.
+
+
+def _uniform(values) -> float:
+    vals = set(values)
+    if len(vals) != 1:
+        raise ValueError(f"batch requires a uniform value, got {sorted(vals)}")
+    return vals.pop()
+
+
+class SenderCostBatch:
+    """Array evaluation of sender costs/limits across one host's flows."""
+
+    def __init__(self, models: list[CpuCostModel]) -> None:
+        m0 = models[0]
+        self._cpu = m0._cpu
+        self._app_scale = _uniform(m._app_scale for m in models)
+        self._irq_scale = _uniform(m._irq_scale for m in models)
+        self._batch_scale = _uniform(m._batch_scale for m in models)
+        self._core_budget = _uniform(m._core_budget for m in models)
+        self._gso = max(1.0, _uniform(m.geometry.gso_size for m in models))
+        self._send_block = _uniform(m.send_block for m in models)
+        self.zc_mask = np.array([m.zc_model is not None for m in models])
+        self._any_zc = bool(self.zc_mask.any())
+        self._max_inflight = 0.0
+        if self._any_zc:
+            self._max_inflight = _uniform(
+                m.zc_model.max_inflight_bytes for m in models if m.zc_model
+            )
+        # Scalar coefficients hoisted out of the per-tick calls — pure
+        # functions of model constants, so the values (and therefore
+        # every downstream bit) are unchanged.
+        cpu = self._cpu
+        self._l3_sq = cpu.l3_effective_bytes * cpu.l3_effective_bytes
+        self._batch_pb = cpu.tx_batch_cyc / self._gso
+        self._walk_pb = cpu.skb_walk_cyc / self._gso
+        self._zc_pb = (
+            cpu.pin_cyc_per_byte
+            + cpu.stack_cyc_per_byte
+            + ZC_COMPLETION_CYC / self._send_block
+        )
+        self._limit_batch_pb = (
+            (1.0 - TX_IRQ_SHARE) * (cpu.tx_batch_cyc / self._gso) * self._batch_scale
+            + (cpu.skb_walk_cyc / self._gso) * self._app_scale
+        )
+        self._limit_zc_pb = self._zc_pb * self._app_scale + self._limit_batch_pb
+        self._irq_const = (
+            TX_IRQ_SHARE * self._batch_pb * self._batch_scale * self._irq_scale
+        )
+        self._tx_tail = (1.0 - TX_IRQ_SHARE) * self._batch_pb * self._batch_scale
+        # Scratch buffers sized once; every returned array is either a
+        # fresh allocation or one of these, valid until the next call
+        # on this batch (the tick kernel consumes results within the
+        # tick, so reuse never aliases live data).
+        n = len(models)
+        self._all_zc = self._any_zc and bool(self.zc_mask.all())
+        self._irq_arr = np.full(n, self._irq_const)
+        self._no_zc_frac = np.zeros(n)
+        self._prep_buf = np.empty(n)
+        self._prep_tmp = np.empty(n)
+        self._lim_buf = np.empty(n)
+        self._zc_buf = np.empty(n)
+        self._zcf_buf = np.empty(n)
+        self._zcf_pos = np.empty(n, dtype=bool)
+        self._costs_fb = np.empty(n)
+        self._costs_t1 = np.empty(n)
+        self._costs_t2 = np.empty(n)
+
+    def _zc_fraction(self, rates: np.ndarray, rtt: float) -> np.ndarray:
+        inflight = np.multiply(rates, rtt, out=self._zcf_buf)
+        # min(inflight) > 0 iff every element is (no NaNs here).  All
+        # in-flight means the two np.where masks select their first
+        # operand everywhere — min(1, max_inflight/inflight) — so the
+        # masked evaluation collapses to the expression itself.
+        if inflight.size and float(np.minimum.reduce(inflight)) > 0.0:
+            np.divide(self._max_inflight, inflight, out=inflight)
+            np.minimum(inflight, 1.0, out=inflight)
+            return inflight
+        pos = np.greater(inflight, 0, out=self._zcf_pos)
+        safe = np.where(pos, inflight, 1.0)
+        return np.where(pos, np.minimum(1.0, self._max_inflight / safe), 1.0)
+
+    def prepare(self, footprints: np.ndarray) -> np.ndarray:
+        """Footprint-dependent copy+stack cyc/B, shared sub-expression
+        of :meth:`costs` and :meth:`rate_limits` (both evaluate the
+        identical formula, so computing it once per tick is bitwise
+        neutral).  Commutative reorderings (``x * c`` for ``c * x``)
+        round identically in IEEE-754, and in-place ``out=`` targets
+        only change where results land, never their bits."""
+        cpu = self._cpu
+        b, t = self._prep_buf, self._prep_tmp
+        np.multiply(footprints, footprints, out=b)  # f2
+        np.add(b, self._l3_sq, out=t)  # f2 + l3^2
+        np.multiply(b, cpu.cache_penalty, out=b)
+        np.divide(b, t, out=b)
+        np.add(b, 1.0, out=b)  # cache factor
+        np.multiply(b, cpu.copy_cyc_per_byte, out=b)
+        np.add(b, cpu.stack_cyc_per_byte, out=b)
+        return b
+
+    def costs(
+        self,
+        rates: np.ndarray,
+        rtt: float,
+        footprints: np.ndarray,
+        copy_stack: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-flow (app cyc/B, irq cyc/B, zc fraction) arrays."""
+        copy_pb = self.prepare(footprints) if copy_stack is None else copy_stack
+        if self._any_zc:
+            frac = self._zc_fraction(rates, rtt)
+            fb_pb = np.add(copy_pb, ZC_ATTEMPT_OVERHEAD, out=self._costs_fb)
+            t = np.multiply(frac, self._zc_pb, out=self._costs_t1)
+            u = np.subtract(1.0, frac, out=self._costs_t2)
+            np.multiply(u, fb_pb, out=u)
+            zc_pb = np.add(t, u, out=t)
+            if self._all_zc:
+                # np.where with an all-true mask returns its first
+                # operand's values verbatim.
+                app_pb = zc_pb
+                zc_frac = frac
+            else:
+                app_pb = np.where(self.zc_mask, zc_pb, copy_pb)
+                zc_frac = np.where(self.zc_mask, frac, 0.0)
+        else:
+            app_pb = copy_pb
+            zc_frac = self._no_zc_frac
+
+        # In-place is safe: ``app_pb`` is one of this batch's scratch
+        # buffers (or the per-tick prepare() result, fully rewritten
+        # before its next read) — see the class docstring contract.
+        app = np.add(app_pb, self._walk_pb, out=app_pb)
+        np.multiply(app, self._app_scale, out=app)
+        np.add(app, self._tx_tail, out=app)
+        return app, self._irq_arr, zc_frac
+
+    def rate_limits(
+        self,
+        rtt: float,
+        footprints: np.ndarray | None = None,
+        core_share: float = 1.0,
+        copy_stack: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-flow sender CPU saturation rates (bytes/s)."""
+        budget = self._core_budget * core_share
+        # Shared sub-expression of the copy and fallback paths (the
+        # scalar method evaluates it twice; once is bit-identical).
+        copy_stack = (
+            self.prepare(footprints) if copy_stack is None else copy_stack
+        )
+        batch_pb = self._limit_batch_pb
+        if not self._all_zc:
+            copy_limit = np.multiply(copy_stack, self._app_scale, out=self._lim_buf)
+            np.add(copy_limit, batch_pb, out=copy_limit)
+            np.maximum(copy_limit, 1e-9, out=copy_limit)
+            np.divide(budget, copy_limit, out=copy_limit)
+            if not self._any_zc:
+                return copy_limit
+
+        zc_pb = self._limit_zc_pb
+        zc_limit = self._zc_buf
+        if rtt <= 0:
+            zc_limit.fill(budget / max(zc_pb, 1e-9))
+        else:
+            capacity = self._max_inflight / rtt
+            r_all_zc = budget / max(zc_pb, 1e-9)
+            if r_all_zc <= capacity:
+                zc_limit.fill(r_all_zc)
+            else:
+                np.add(copy_stack, ZC_ATTEMPT_OVERHEAD, out=zc_limit)
+                np.multiply(zc_limit, self._app_scale, out=zc_limit)
+                np.add(zc_limit, batch_pb, out=zc_limit)  # fb_pb
+                np.maximum(zc_limit, 1e-9, out=zc_limit)
+                np.divide(budget - capacity * zc_pb, zc_limit, out=zc_limit)
+                np.add(zc_limit, capacity, out=zc_limit)
+        if self._all_zc:
+            return zc_limit
+        return np.where(self.zc_mask, zc_limit, copy_limit)
+
+
+class ReceiverCostBatch:
+    """Array evaluation of receiver costs across one host's flows."""
+
+    def __init__(self, models: list[CpuCostModel]) -> None:
+        m0 = models[0]
+        cpu = m0._cpu
+        self._cpu = cpu
+        self._app_scale = _uniform(m._app_scale for m in models)
+        self._irq_scale = _uniform(m._irq_scale for m in models)
+        self._batch_scale = _uniform(m._batch_scale for m in models)
+        self._send_block = _uniform(m.send_block for m in models)
+        self._mss = _uniform(m.geometry.mss for m in models)
+        self._gro_size = _uniform(m.geometry.gro_size for m in models)
+        self.skip_mask = np.array([m.skip_rx_copy for m in models])
+        pkt_cost = cpu.rx_pkt_cyc
+        copy_factor = 1.0
+        if m0.host.hw_gro_active():
+            pkt_cost *= m0.host.nic.hw_gro_residual
+            copy_factor = HW_GRO_COPY_FACTOR
+        self._pkt_cost = pkt_cost
+        self._copy_factor = copy_factor
+        # Scalar coefficients hoisted out of the per-tick call — pure
+        # functions of model constants, identical values.
+        self._mss_f = float(self._mss)
+        self._pkt_pb = pkt_cost / self._mss
+        self._half_walk = 0.5 * cpu.skb_walk_cyc
+        # cache_factor(0.0) is exactly 1.0 (0 / (0 + l3^2) == 0).
+        self._copy_stack = (
+            cpu.copy_cyc_per_byte * 1.0 * copy_factor + cpu.stack_cyc_per_byte
+        )
+        self._skip_pb = (cpu.tx_batch_cyc / self._send_block) * self._batch_scale
+        n = len(models)
+        self._no_skip = not bool(self.skip_mask.any())
+        self._all_skip = bool(self.skip_mask.all())
+        # Scratch buffers; results are valid until the next call.
+        self._gro_buf = np.empty(n)
+        self._irq_buf = np.empty(n)
+        self._app_buf = np.empty(n)
+
+    def costs(
+        self, rates: np.ndarray, rtt: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-flow (app cyc/B, irq cyc/B) arrays at footprint 0.
+
+        Elementwise IEEE-754 adds and multiplies are commutative, so
+        the ``x + c`` / ``c * x`` reorderings below reproduce the
+        scalar formulas bit-for-bit; ``out=`` reuse does not change
+        any rounding.
+        """
+        cpu = self._cpu
+        # SegmentGeometry.effective_gro_batch, elementwise.
+        gro = np.multiply(rates, 100e-6, out=self._gro_buf)
+        np.maximum(gro, self._mss_f, out=gro)
+        np.minimum(gro, self._gro_size, out=gro)
+
+        irq_pb = np.divide(cpu.rx_batch_cyc, gro, out=self._irq_buf)
+        np.add(irq_pb, self._pkt_pb, out=irq_pb)
+        np.add(irq_pb, RX_STACK_CYC_PER_BYTE, out=irq_pb)
+        np.multiply(irq_pb, self._irq_scale, out=irq_pb)
+
+        if self._all_skip:
+            app_pb = self._app_buf
+            app_pb.fill(self._skip_pb)
+            return app_pb, irq_pb
+        copy_pb = np.divide(self._half_walk, gro, out=self._app_buf)
+        np.add(copy_pb, self._copy_stack, out=copy_pb)
+        np.multiply(copy_pb, self._app_scale, out=copy_pb)
+        np.add(copy_pb, self._skip_pb, out=copy_pb)
+        if self._no_skip:
+            return copy_pb, irq_pb
+        return np.where(self.skip_mask, self._skip_pb, copy_pb), irq_pb

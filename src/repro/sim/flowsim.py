@@ -38,6 +38,7 @@ from repro.net.path import NetworkPath
 from repro.net.switch import SharedBufferQueue, SwitchModel
 from repro.sim.bottleneck import maxmin_allocate
 from repro.sim.cpumodel import CpuCostModel
+from repro.sim.kernels import make_kernel
 from repro.sim.lossmodel import BurstModel, concentrate_drops
 from repro.sim.metrics import MetricsAccumulator, RunResult
 from repro.sim.sanitizer import SimSanitizer
@@ -261,11 +262,26 @@ class FlowSimulator:
         metrics = MetricsAccumulator(n, prof.duration, prof.omit)
         base_rtt = self.path.rtt_sec
 
-        # Warm-started per-flow CPU limits (fixed point across ticks).
-        snd_limit = np.full(n, agg_tx)
-        rcv_limit = np.full(n, agg_rx_base)
+        budget_tx = self.sender.core_cycles_per_sec() * run_noise
+        budget_rx = self.receiver.core_cycles_per_sec() * run_noise
 
-        cwnd = np.array([cc.cwnd_bytes for cc in ccs])
+        # The tick kernel (scalar reference or vectorized fast path,
+        # selected via REPRO_SIM_KERNEL) owns the warm per-flow state —
+        # congestion windows and the damped receiver CPU limit — and the
+        # four per-flow hooks.  Everything else in the loop below is
+        # shared driver code: RNG draws, cross-flow reductions, queues,
+        # and trace emission, so the kernels are byte-interchangeable.
+        kern = make_kernel(
+            ccs=ccs,
+            send_models=send_models,
+            recv_models=recv_models,
+            run_noise=run_noise,
+            snd_app_share=snd_app_share,
+            rcv_app_share=rcv_app_share,
+            rcv_irq_share=rcv_irq_share,
+            budget_rx=budget_rx,
+            agg_rx_base=agg_rx_base,
+        )
         max_window = sockets.max_window
         prev_alloc = np.zeros(n)
         persistent_w = burst.persistent_weights(slacks)
@@ -274,8 +290,63 @@ class FlowSimulator:
         steps_per_bg = max(1, int(round(0.02 / dt)))  # resample bg every ~20 ms
         bg_sample = 0.0
 
-        budget_tx = self.sender.core_cycles_per_sec() * run_noise
-        budget_rx = self.receiver.core_cycles_per_sec() * run_noise
+        # Loop invariants, hoisted.  Every quantity below is a pure
+        # function of run-constant inputs (or of ``bg_sample``, which
+        # only changes in the resample branch), so the per-tick values
+        # are bit-identical to recomputing them inside the loop.
+        mss = geom_tx.mss
+        react10 = 10 * mss
+        fp_floor = 64 * geom_tx.gso_size
+        fp_cap = sockets.max_send_window * 2.0
+        l3_20 = 20.0 * self.receiver.cpu.l3_effective_bytes
+        n_exposure = min(1.0, n / 4.0)
+        physical = self.path.bottleneck.rate_bytes_per_sec
+        bg_mean = self.path.background.mean_bytes_per_sec
+        path_capacity = self.path.capacity
+        cap_floor = 0.05 * path_cap_good
+        cap_avg = max(cap_floor, min(path_capacity, physical - bg_mean) * eff)
+        capacity = min(cap_avg, agg_tx)
+        line1_den = max(
+            min(self.sender.nic.speed_bytes_per_sec, physical) * eff, 1.0
+        )
+        line2_den = max(physical * eff, 1.0)
+        buf1 = self.path.switch.shared_buffer_bytes
+        buf2 = self.receiver.rx_ring_bytes()
+        bg_active = self.path.background.active
+        flow_control = self.path.flow_control
+        cap_net = max(cap_floor, min(path_capacity, physical - bg_sample) * eff)
+        fill1 = max(0.0, 1.0 - cap_net / line1_den)
+        # Shared all-zero per-flow array for drop-free ticks (never
+        # mutated) and the matching empty loss index.
+        zeros = np.zeros(n)
+        empty_idx = np.zeros(0, dtype=np.intp)
+        zc_flows = [i for i in range(n) if send_models[i].zc_model is not None]
+        # ndarray.sum() dispatches to np.add.reduce; calling the ufunc
+        # directly skips a wrapper layer with identical pairwise bits.
+        asum = np.add.reduce
+        # With no trace bus and no sanitizer attached, an offer that a
+        # queue passes straight through (empty queue, arrivals within
+        # the drain) has no observable effect besides its return value,
+        # so the method call can be elided with the same numbers.
+        fast_q = bus is None and san is None
+        drained1 = cap_net * dt
+        # All-fq-paced runs draw burst randomness but multiply it away
+        # (slack 0); hoist that check out of the loop.
+        all_smooth = not bool(slacks.any())
+        # Per-tick scratch buffers.  Each is fully rewritten every tick
+        # before its first read, and nothing per-tick survives the tick
+        # through a buffer (``prev_alloc`` keeps the freshly allocated
+        # maxmin output, never scratch).  ``out=`` only changes where
+        # results land, never their bits.
+        wr_buf = np.empty(n)
+        foot_buf = np.empty(n)
+        caps_buf = np.empty(n)
+        sent_buf = np.empty(n)
+        drate_buf = np.empty(n)
+        acc_buf = np.empty(n)
+        mask_f1 = np.empty(n)
+        mask_b1 = np.empty(n, dtype=bool)
+        mask_b2 = np.empty(n, dtype=bool)
 
         if bus is not None:
             bus.emit(
@@ -290,56 +361,53 @@ class FlowSimulator:
                 flow_control=self.path.flow_control,
             )
 
-        now = 0.0
         rtt = base_rtt
         for step in range(n_ticks):
-            now += dt
+            # Closed form, not `now += dt`: a million accumulated float
+            # adds drift the clock by enough to flip boundary
+            # comparisons downstream (lint rule FLOAT002 flags the
+            # accumulating pattern in simulation code).
+            now = (step + 1) * dt
             if bus is not None:
                 bus.set_time(now)
             if ledger_bus is not None:
                 ledger_bus.set_time(now)
             if san is not None:
                 san.check_time(now)
-            if step % steps_per_bg == 0 and self.path.background.active:
+            if bg_active and step % steps_per_bg == 0:
                 bg_sample = float(self.path.background.sample(bg_rng, 1)[0])
+                cap_net = max(
+                    cap_floor, min(path_capacity, physical - bg_sample) * eff
+                )
+                fill1 = max(0.0, 1.0 - cap_net / line1_den)
+                drained1 = cap_net * dt
 
             queue_delay = q_switch.occupancy / max(q_switch.drain_rate, 1.0)
             rtt = base_rtt + queue_delay
 
             # --- per-flow caps -------------------------------------------
-            window_rate = cwnd / max(rtt, 1e-6)
-            pace = pace_eff.copy()
-            for i, cc in enumerate(ccs):
-                cc_rate = cc.pacing_rate(rtt)
-                if cc_rate is not None:
-                    pace[i] = min(pace[i], cc_rate)
+            cwnd = kern.cwnd
+            window_rate = np.divide(cwnd, max(rtt, 1e-6), out=wr_buf)
+            pace = kern.pacing(rtt, pace_eff)
 
             # Working set the sender actually touches: the in-flight
             # bytes (~rate*RTT) plus qdisc/socket slack — NOT the raw
             # cwnd, which can sit far above what an app-limited flow
             # uses (cwnd validation below keeps them close anyway).
-            inflight = prev_alloc * rtt
-            footprint = np.minimum(
-                cwnd, np.maximum(1.5 * inflight, 64 * geom_tx.gso_size)
-            )
-            footprint = np.minimum(footprint, sockets.max_send_window * 2.0)
-            for i in range(n):
-                snd_limit[i] = send_models[i].sender_cpu_rate_limit(
-                    rtt, footprint[i], core_share=snd_app_share
-                ) * run_noise
-                # Receiver limit: pb falls as the GRO batch fills, then
-                # is rate-independent; one damped step per tick converges.
-                rm = recv_models[i]
-                rcosts = rm.receiver_costs(max(rcv_limit[i], units.M), rtt)
-                app_lim = (
-                    budget_rx * rcv_app_share / max(rcosts.app_cyc_per_byte, 1e-9)
-                )
-                irq_lim = (
-                    budget_rx * rcv_irq_share / max(rcosts.irq_cyc_per_byte, 1e-9)
-                )
-                rcv_limit[i] = 0.5 * rcv_limit[i] + 0.5 * min(app_lim, irq_lim)
+            # (min/max are exact and commutative here — both operands
+            # are ordinary positive floats, so swapped-argument ties
+            # return identical bits; ``c * x`` rounds as ``x * c``.)
+            np.multiply(prev_alloc, rtt, out=foot_buf)
+            np.multiply(foot_buf, 1.5, out=foot_buf)
+            np.maximum(foot_buf, fp_floor, out=foot_buf)
+            np.minimum(foot_buf, cwnd, out=foot_buf)
+            footprint = np.minimum(foot_buf, fp_cap, out=foot_buf)
+            snd_limit, rcv_limit = kern.cpu_limits(rtt, footprint)
 
-            caps = np.minimum.reduce([window_rate, pace, snd_limit, rcv_limit])
+            # Same left-fold association as np.minimum.reduce([...]).
+            caps = np.minimum(window_rate, pace, out=caps_buf)
+            np.minimum(caps, snd_limit, out=caps)
+            np.minimum(caps, rcv_limit, out=caps)
 
             # --- shared capacity ----------------------------------------
             # The receiver's aggregate ceiling is deliberately NOT part
@@ -349,37 +417,35 @@ class FlowSimulator:
             # Exposure grows with the total receive working set and with
             # the number of competing receiver processes — one stream
             # cannot thrash the LLC the way eight iperf3 threads do.
-            total_foot = float(footprint.sum())
-            l3 = self.receiver.cpu.l3_effective_bytes
-            rx_exposure = min(1.0, total_foot / (20.0 * l3)) * min(1.0, n / 4.0)
+            # (Background traffic shares the *physical* link; the admin
+            # cap applies to test traffic only.  TCP adapts to the
+            # *average* background — the micro-burst sample drives the
+            # queue drain below, so spikes show up as queueing and
+            # loss, not as an instant, clairvoyant rate adjustment.)
+            total_foot = float(asum(footprint))
+            rx_exposure = min(1.0, total_foot / l3_20) * n_exposure
+            # One fused burst-model draw covers this tick's rx-ceiling
+            # noise, max-min weight jitter, and packet-train volumes —
+            # a single RNG call whose consumption order is part of the
+            # shared driver, hence identical across kernels.
+            noise_z, weights, trains = burst.tick_draw(
+                persistent_w, slacks, cwnd, smooth=all_smooth
+            )
             # The ceiling is noisy tick to tick (LLC/memory-controller
             # contention, softirq scheduling): flows operating close to
             # it keep clipping the dips, which is where the paper's
             # sustained WAN retransmit counts come from.
-            rx_noise = 1.0 + RX_CEILING_NOISE * rx_exposure * float(
-                np.clip(burst_rng.standard_normal(), -2.5, 2.5)
+            z = noise_z if -2.5 <= noise_z <= 2.5 else (
+                -2.5 if noise_z < -2.5 else 2.5
             )
+            rx_noise = 1.0 + RX_CEILING_NOISE * rx_exposure * z
             agg_rx = agg_rx_base * (1.0 - WAN_RX_AGG_PENALTY * rx_exposure) * rx_noise
-            # Background traffic shares the *physical* link; the admin
-            # cap applies to test traffic only.  TCP adapts to the
-            # *average* background (that is what its ACK clock measures)
-            # — the micro-burst sample drives the queue drain below, so
-            # spikes show up as queueing and loss, not as an instant,
-            # clairvoyant rate adjustment.
-            physical = self.path.bottleneck.rate_bytes_per_sec
-            bg_mean = self.path.background.mean_bytes_per_sec
-            cap_avg = max(
-                0.05 * path_cap_good,
-                min(self.path.capacity, physical - bg_mean) * eff,
-            )
-            cap_net = max(
-                0.05 * path_cap_good,
-                min(self.path.capacity, physical - bg_sample) * eff,
-            )
-            capacity = min(cap_avg, agg_tx)
 
-            weights = burst.tick_weights(persistent_w, slacks)
-            alloc = maxmin_allocate(caps, capacity, weights)
+            # Weights come out of the lognormal jitter (positive by
+            # construction), so the validation pass is skipped.  Always
+            # route through the module global (the allocator has its own
+            # uncongested fast path) so it stays swappable under test.
+            alloc = maxmin_allocate(caps, capacity, weights, validate=False)
 
             # --- queues + packet-train loss ------------------------------
             # Standing queues carry the *average* volume (sum of
@@ -391,67 +457,110 @@ class FlowSimulator:
             # into the buffer, and the part beyond the free headroom is
             # tail-dropped.  Train overflow is converted to a per-tick
             # drop volume by dt/rtt.
-            sent = alloc * dt  # goodput bytes actually emitted
-            trains = burst.train_volumes(slacks, cwnd)
+            sent = np.multiply(alloc, dt, out=sent_buf)  # goodput bytes emitted
             tick_per_rtt = dt / max(rtt, dt)
 
             q_switch.drain_rate = cap_net
             occ1_before = q_switch.occupancy
-            delivered1, dropped_std1 = q_switch.offer(float(sent.sum()), dt)
+            offered1 = float(asum(sent))
+            # Exact == 0.0 is intentional: offer() assigns occupancy
+            # = 0.0 exactly when the queue empties, and the elision is
+            # only valid in that exact state.
+            if fast_q and occ1_before == 0.0 and offered1 <= drained1:  # repro: noqa-FLOAT001
+                # offer() would serve everything from an empty queue:
+                # delivered = arrivals, no state change, nothing to
+                # trace.  Same numbers as the call, minus the call.
+                delivered1, dropped_std1 = offered1, 0.0
+            else:
+                delivered1, dropped_std1 = q_switch.offer(offered1, dt)
             if san is not None:
                 san.account_link(
                     "switch-buffer",
-                    offered=float(sent.sum()),
+                    offered=offered1,
                     delivered=delivered1,
                     dropped=dropped_std1,
                     queue_before=occ1_before,
                     queue_after=q_switch.occupancy,
                 )
-            line1 = min(
-                self.sender.nic.speed_bytes_per_sec, self.path.bottleneck.rate_bytes_per_sec
-            ) * eff
-            fill1 = max(0.0, 1.0 - cap_net / max(line1, 1.0))
-            headroom1 = max(
-                0.0, self.path.switch.shared_buffer_bytes - q_switch.occupancy
-            )
-            overflow1 = max(0.0, float(trains.sum()) * fill1 - headroom1)
-            drops1 = concentrate_drops(burst_rng, trains, overflow1 * tick_per_rtt)
-            drops1 += concentrate_drops(burst_rng, sent, dropped_std1)
+            # Drop-free ticks short-circuit to the shared zero array:
+            # ``concentrate_drops`` returns all-zeros without touching
+            # the RNG when its drop volume is 0, and adding a zero
+            # array to non-negative drops is a bitwise no-op, so the
+            # skipped calls cannot change any number downstream.
+            # ``all_smooth`` ticks have all-zero trains, so both
+            # overflow expressions reduce to max(0, -headroom) == 0;
+            # skipping the sums changes nothing.
+            if fill1 > 0.0 and not all_smooth:
+                headroom1 = max(0.0, buf1 - q_switch.occupancy)
+                overflow1 = max(0.0, float(asum(trains)) * fill1 - headroom1)
+            else:
+                overflow1 = 0.0
+            ov1 = overflow1 * tick_per_rtt
+            if ov1 > 0.0:
+                drops1 = concentrate_drops(burst_rng, trains, ov1)
+                if dropped_std1 > 0.0:
+                    drops1 += concentrate_drops(burst_rng, sent, dropped_std1)
+            elif dropped_std1 > 0.0:
+                drops1 = concentrate_drops(burst_rng, sent, dropped_std1)
+            else:
+                drops1 = zeros
 
             # Receiver NIC ring: drains at what the receiver actually
             # consumes; trains arrive at the path's bottleneck line rate.
-            rcv_drain = min(agg_rx, float(rcv_limit.sum()))
-            after1 = np.maximum(0.0, sent - drops1)
+            rcv_drain = min(agg_rx, float(asum(rcv_limit)))
+            after1 = sent if drops1 is zeros else np.maximum(0.0, sent - drops1)
             q_ring.drain_rate = rcv_drain
             occ2_before = q_ring.occupancy
-            delivered2, dropped_std2 = q_ring.offer(float(after1.sum()), dt)
+            # On drop-free ticks after1 IS sent, whose sum is offered1.
+            offered2 = offered1 if after1 is sent else float(asum(after1))
+            # Same exact-empty-state guard as the switch queue above.
+            if fast_q and occ2_before == 0.0 and offered2 <= rcv_drain * dt:  # repro: noqa-FLOAT001
+                delivered2, dropped_std2 = offered2, 0.0
+            else:
+                delivered2, dropped_std2 = q_ring.offer(offered2, dt)
             if san is not None:
                 san.account_link(
                     "rx-ring",
-                    offered=float(after1.sum()),
+                    offered=offered2,
                     delivered=delivered2,
                     dropped=dropped_std2,
                     queue_before=occ2_before,
                     queue_after=q_ring.occupancy,
-                    flow_control=self.path.flow_control,
+                    flow_control=flow_control,
                 )
-            if self.path.flow_control:
+            if flow_control:
                 # 802.3x pause frames: the overflow is held upstream,
                 # nothing is dropped at the ring.
-                drops2 = np.zeros(n)
+                drops2 = zeros
             else:
-                line2 = self.path.bottleneck.rate_bytes_per_sec * eff
-                fill2 = max(0.0, 1.0 - rcv_drain / max(line2, 1.0))
-                headroom2 = max(
-                    0.0, self.receiver.rx_ring_bytes() - q_ring.occupancy
+                fill2 = max(0.0, 1.0 - rcv_drain / line2_den)
+                trains_after = (
+                    trains if drops1 is zeros
+                    else np.maximum(0.0, trains - drops1)
                 )
-                trains_after = np.maximum(0.0, trains - drops1)
-                overflow2 = max(0.0, float(trains_after.sum()) * fill2 - headroom2)
-                drops2 = concentrate_drops(burst_rng, trains_after, overflow2 * tick_per_rtt)
-                drops2 += concentrate_drops(burst_rng, after1, dropped_std2)
+                if fill2 > 0.0 and not all_smooth:
+                    headroom2 = max(0.0, buf2 - q_ring.occupancy)
+                    overflow2 = max(
+                        0.0, float(asum(trains_after)) * fill2 - headroom2
+                    )
+                else:
+                    overflow2 = 0.0
+                ov2 = overflow2 * tick_per_rtt
+                if ov2 > 0.0:
+                    drops2 = concentrate_drops(burst_rng, trains_after, ov2)
+                    if dropped_std2 > 0.0:
+                        drops2 += concentrate_drops(burst_rng, after1, dropped_std2)
+                elif dropped_std2 > 0.0:
+                    drops2 = concentrate_drops(burst_rng, after1, dropped_std2)
+                else:
+                    drops2 = zeros
 
-            drops = drops1 + drops2
-            delivered = np.maximum(0.0, sent - drops)
+            if drops1 is zeros and drops2 is zeros:
+                drops = zeros
+                delivered = sent
+            else:
+                drops = drops1 + drops2
+                delivered = np.maximum(0.0, sent - drops)
             if san is not None:
                 san.check_non_negative("alloc", alloc)
                 san.check_non_negative("sent", sent)
@@ -484,64 +593,74 @@ class FlowSimulator:
                         ledger_bus.emit("flow", "flow.tick", **args)
 
             # --- congestion feedback ------------------------------------
-            loss_events = 0
-            retr_segments = float(drops.sum() / geom_tx.mss)
-            for i, cc in enumerate(ccs):
-                if drops[i] > LOSS_REACT_FRACTION * max(sent[i], 1.0):
-                    if want_cc:
-                        before = float(cc.cwnd_bytes)
-                        if cc.on_loss(now, rtt):
-                            loss_events += 1
-                            bus.emit(
-                                "cc",
-                                "cc.loss",
-                                flow=i,
-                                cwnd_before=before,
-                                cwnd_after=float(cc.cwnd_bytes),
-                                dropped=float(drops[i]),
-                                rtt=rtt,
-                            )
-                    elif cc.on_loss(now, rtt):
-                        loss_events += 1
-                # Congestion-window validation (RFC 7661): loss-based
-                # algorithms only grow while the window is what binds.
-                app_limited = (
-                    cc.needs_cwnd_validation
-                    and cwnd[i] > 1.5 * max(alloc[i] * rtt, 10 * geom_tx.mss)
-                    and window_rate[i] > 1.2 * alloc[i]
-                )
-                if app_limited:
-                    cc.on_app_limited(now, dt)
-                else:
-                    cc.on_tick(now, dt, delivered[i], rtt)
-                cc.clamp(max_window)
-                cwnd[i] = cc.cwnd_bytes
+            if drops is zeros:
+                # No drop volume: segments lost is exactly 0 and no flow
+                # can clear the (strictly positive) loss-react threshold.
+                retr_segments = 0.0
+                loss_idx = empty_idx
+            else:
+                retr_segments = float(asum(drops) / mss)
+                loss_idx = np.nonzero(
+                    drops > LOSS_REACT_FRACTION * np.maximum(sent, 1.0)
+                )[0]
+            # Congestion-window validation (RFC 7661): loss-based
+            # algorithms only grow while the window is what binds.  The
+            # mask reads this tick's pre-update windows, as the scalar
+            # loop did.
+            # Same left-fold ``(nv & a) & b`` as the expression form;
+            # `&` on bool arrays is logical_and, and the `c * x`
+            # commutations round identically.
+            np.multiply(alloc, rtt, out=mask_f1)
+            np.maximum(mask_f1, react10, out=mask_f1)
+            np.multiply(mask_f1, 1.5, out=mask_f1)
+            np.greater(cwnd, mask_f1, out=mask_b1)
+            np.logical_and(kern.needs_validation, mask_b1, out=mask_b1)
+            np.multiply(alloc, 1.2, out=mask_f1)
+            np.greater(window_rate, mask_f1, out=mask_b2)
+            al_mask = np.logical_and(mask_b1, mask_b2, out=mask_b1)
+            reacted = kern.cc_feedback(
+                now, dt, rtt, delivered, loss_idx, al_mask, max_window
+            )
+            loss_events = len(reacted)
+            if want_cc:
+                for i, before, after in reacted:
+                    bus.emit(
+                        "cc",
+                        "cc.loss",
+                        flow=i,
+                        cwnd_before=before,
+                        cwnd_after=after,
+                        dropped=float(drops[i]),
+                        rtt=rtt,
+                    )
             prev_alloc = alloc
 
             # --- CPU accounting ------------------------------------------
-            tx_app = tx_irq = rx_app = rx_irq = 0.0
-            zc_sum = 0.0
-            for i in range(n):
-                rate_i = alloc[i]
-                costs = send_models[i].sender_costs(rate_i, rtt, footprint[i])
-                tx_app += rate_i * costs.app_cyc_per_byte / budget_tx
-                tx_irq += rate_i * costs.irq_cyc_per_byte / budget_tx
-                zc_sum += costs.zc_fraction
-                drate = delivered[i] / dt
-                rcosts = recv_models[i].receiver_costs(drate, rtt)
-                rx_app += drate * rcosts.app_cyc_per_byte / budget_rx
-                rx_irq += drate * rcosts.irq_cyc_per_byte / budget_rx
-                if want_zc and send_models[i].zc_model is not None:
+            drate = np.divide(delivered, dt, out=drate_buf)
+            tx_app_pb, tx_irq_pb, zc_frac, rx_app_pb, rx_irq_pb = kern.cpu_costs(
+                alloc, drate, rtt, footprint
+            )
+            np.multiply(alloc, tx_app_pb, out=acc_buf)
+            tx_app = float(asum(acc_buf)) / budget_tx
+            np.multiply(alloc, tx_irq_pb, out=acc_buf)
+            tx_irq = float(asum(acc_buf)) / budget_tx
+            np.multiply(drate, rx_app_pb, out=acc_buf)
+            rx_app = float(asum(acc_buf)) / budget_rx
+            np.multiply(drate, rx_irq_pb, out=acc_buf)
+            rx_irq = float(asum(acc_buf)) / budget_rx
+            zc_sum = float(asum(zc_frac))
+            if want_zc:
+                for i in zc_flows:
                     # Edge-triggered: one event when the flow starts
-                    # falling back to copying (optmem exhausted), one
-                    # when it recovers.
+                    # falling back to copying (optmem exhausted),
+                    # one when it recovers.
                     bus.emit_edge(
                         ("zc", i),
                         "zerocopy",
                         "zc.fallback",
-                        bool(costs.zc_fraction < 0.999),
+                        bool(zc_frac[i] < 0.999),
                         flow=i,
-                        zc_fraction=round(float(costs.zc_fraction), 4),
+                        zc_fraction=round(float(zc_frac[i]), 4),
                     )
 
             if want_probe and step % probe_stride == 0:
@@ -558,9 +677,7 @@ class FlowSimulator:
                 bus.emit(
                     "probe",
                     "probe.nic",
-                    **nic_probe(
-                        q_switch, q_ring, flow_control=self.path.flow_control
-                    ),
+                    **nic_probe(q_switch, q_ring, flow_control=flow_control),
                 )
                 for i in range(n):
                     zc_model = send_models[i].zc_model
@@ -574,7 +691,7 @@ class FlowSimulator:
                             rtt=rtt,
                             send_rate=float(alloc[i]),
                             delivered_rate=float(delivered[i]) / dt,
-                            retrans_cum=float(drops_cum[i]) / geom_tx.mss,
+                            retrans_cum=float(drops_cum[i]) / mss,
                             zc_fraction=(
                                 None
                                 if zc_model is None
@@ -590,6 +707,11 @@ class FlowSimulator:
                 loss_events,
                 (tx_app / n, tx_irq / n, rx_app / n, rx_irq / n),
                 zc_sum / n,
+                # Drop-free ticks deliver exactly what was sent, whose
+                # sum was already taken for the switch offer.
+                delivered_sum=(
+                    offered1 if delivered is sent else float(asum(delivered))
+                ),
             )
 
         result = metrics.finalize()

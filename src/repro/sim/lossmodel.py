@@ -63,6 +63,9 @@ class BurstModel:
 
     rng: np.random.Generator
     sigma: float = BURST_SIGMA
+    #: Cached all-zero trains array returned by the smooth fast path of
+    #: :meth:`tick_draw`; consumers treat train volumes as read-only.
+    _zero_trains: np.ndarray | None = None
 
     def slack_for(self, paced_smooth: bool, pacing_enabled: bool, zerocopy: bool) -> float:
         """Burst slack for a flow configuration."""
@@ -112,6 +115,48 @@ class BurstModel:
         n = slacks.size
         noise = self.rng.lognormal(mean=0.0, sigma=0.1, size=n)
         return persistent * (1.0 + slacks * (noise - 1.0))
+
+    #: Lognormal sigma of the per-tick max-min weight jitter.
+    TICK_WEIGHT_SIGMA = 0.1
+
+    def tick_draw(
+        self,
+        persistent: np.ndarray,
+        slacks: np.ndarray,
+        cwnd_bytes: np.ndarray,
+        smooth: bool | None = None,
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """All of one tick's burst-model randomness in a single RNG call.
+
+        Returns ``(rx_noise_z, weights, trains)``: the standard-normal
+        draw behind the receiver-ceiling jitter, the per-tick max-min
+        weights (:meth:`tick_weights`), and the packet-train volumes
+        (:meth:`train_volumes`).  Fusing the three separate generator
+        calls into one ``standard_normal(2n + 1)`` both cuts per-tick
+        Python overhead (the hot loop makes exactly one RNG call) and
+        pins the consumption order in one place, which is what keeps
+        the scalar and vector kernels on identical random streams.
+
+        ``smooth`` asserts that every slack is 0 (callers may hoist the
+        check out of their loop; ``None`` means "check here").  With all
+        slacks 0 the weight jitter multiplies out to exactly 1.0 and the
+        train volumes to exactly +0.0 in IEEE-754, so the fast path
+        returns ``persistent`` and a zero array with identical bits —
+        after making the very same RNG draw, keeping the stream aligned.
+        """
+        n = slacks.size
+        z = self.rng.standard_normal(2 * n + 1)
+        if smooth is None:
+            smooth = not slacks.any()
+        if smooth:
+            if self._zero_trains is None or self._zero_trains.size != n:
+                self._zero_trains = np.zeros(n)
+            return float(z[0]), persistent, self._zero_trains
+        weights_x = np.exp(self.TICK_WEIGHT_SIGMA * z[1 : n + 1])
+        weights = persistent * (1.0 + slacks * (weights_x - 1.0))
+        trains_x = np.exp(-self.sigma**2 / 2.0 + self.sigma * z[n + 1 :])
+        trains = slacks * trains_x * TRAIN_FRACTION * cwnd_bytes
+        return float(z[0]), weights, trains
 
 
 def distribute_drops(

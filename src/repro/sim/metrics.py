@@ -78,9 +78,19 @@ class MetricsAccumulator:
         self._bytes = np.zeros(n_flows)
         self._retr = 0.0
         self._loss_events = 0
+        # Tick counters; the clock values are closed forms (ticks * dt)
+        # so a million-tick run accumulates zero float drift.
+        self._ticks = 0
+        self._measured_ticks = 0
         self._time = 0.0
         self._measured_time = 0.0
-        self._cpu_sums = np.zeros(4)  # tx app, tx irq, rx app, rx irq (core-sec)
+        # CPU core-seconds (tx app, tx irq, rx app, rx irq) as scalar
+        # accumulators: each lane is the same `sum += frac * dt` chain
+        # of IEEE adds the array version performed elementwise.
+        self._cpu_tx_app = 0.0
+        self._cpu_tx_irq = 0.0
+        self._cpu_rx_app = 0.0
+        self._cpu_rx_irq = 0.0
         self._zc_sum = 0.0
         self._interval_bytes = 0.0
         self._interval_marks: list[float] = []
@@ -94,19 +104,34 @@ class MetricsAccumulator:
         loss_events: int,
         cpu_core_fracs: tuple[float, float, float, float],
         zc_fraction: float,
+        delivered_sum: float | None = None,
     ) -> None:
         """Record one tick.  ``cpu_core_fracs`` are fractions of one core
-        busy this tick for (tx app, tx irq, rx app, rx irq)."""
-        self._time += dt
-        if self._time <= self.omit + 1e-9:  # epsilon absorbs float drift
+        busy this tick for (tx app, tx irq, rx app, rx irq).
+        ``delivered_sum``, when given, must equal
+        ``float(np.add.reduce(delivered))`` — callers that already hold
+        the sum pass it to skip the redundant reduction."""
+        self._ticks += 1
+        self._time = self._ticks * dt
+        # ticks * dt rounds to exactly `omit` at the boundary for every
+        # (tick, omit) pair in use, so no drift epsilon is needed: the
+        # closed form made the comparison exact.
+        if self._time <= self.omit:
             return
-        self._measured_time += dt
+        self._measured_ticks += 1
+        self._measured_time = self._measured_ticks * dt
         self._bytes += delivered
         self._retr += retr_segments
         self._loss_events += loss_events
-        self._cpu_sums += np.array(cpu_core_fracs) * dt
+        self._cpu_tx_app += cpu_core_fracs[0] * dt
+        self._cpu_tx_irq += cpu_core_fracs[1] * dt
+        self._cpu_rx_app += cpu_core_fracs[2] * dt
+        self._cpu_rx_irq += cpu_core_fracs[3] * dt
         self._zc_sum += zc_fraction * dt
-        self._interval_bytes += float(delivered.sum())
+        # ndarray.sum() dispatches to np.add.reduce; same pairwise bits.
+        if delivered_sum is None:
+            delivered_sum = float(np.add.reduce(delivered))
+        self._interval_bytes += delivered_sum
         if self._time >= self._next_interval:
             self._interval_marks.append(self._interval_bytes)
             self._interval_bytes = 0.0
@@ -114,7 +139,17 @@ class MetricsAccumulator:
 
     def finalize(self) -> RunResult:
         t = max(self._measured_time, 1e-9)
-        cpu = self._cpu_sums / t
+        cpu = (
+            np.array(
+                [
+                    self._cpu_tx_app,
+                    self._cpu_tx_irq,
+                    self._cpu_rx_app,
+                    self._cpu_rx_irq,
+                ]
+            )
+            / t
+        )
         return RunResult(
             duration=self.duration,
             omit=self.omit,

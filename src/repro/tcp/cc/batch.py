@@ -1,0 +1,393 @@
+"""Batched congestion-control state for the vectorized tick kernel.
+
+The scalar simulator keeps one :class:`~repro.tcp.cc.base.CongestionControl`
+object per flow and advances them in a Python loop every tick.  For the
+vector kernel (``REPRO_SIM_KERNEL=vector``) this module groups flows by
+algorithm and keeps each group's state in flat numpy arrays, so a tick
+touches every window with O(1) Python-level work.
+
+Byte-parity discipline
+----------------------
+The arrays must produce *bit-identical* trajectories to the scalar
+objects, because golden digests and trace ``events_digest`` values are
+compared across kernels.  Three rules make that provable:
+
+* every formula is a literal transcription of the scalar method with
+  the same association (e.g. ``C * (d * d * d)`` — see
+  :meth:`~repro.tcp.cc.cubic.Cubic._w_cubic_seg` — because elementwise
+  float64 ``+ - * /`` round identically in numpy ufuncs and CPython);
+* rare per-event work (loss reactions, which need a real cube root)
+  stays scalar: it loops over the handful of affected flows running the
+  same arithmetic the object method runs;
+* algorithms whose state does not vectorize (BBR's windowed-max deques)
+  fall back to the scalar objects inside an :class:`_ObjectGroup`, so
+  they are not merely equivalent but literally the same code.
+
+Flow-local event order is preserved (loss -> tick -> clamp per flow and
+flows are independent), so reordering the loops across flows cannot
+change any number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tcp.cc.base import CongestionControl
+from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.reno import Reno
+
+__all__ = ["CcBatch"]
+
+
+class _ArrayGroup:
+    """Shared slow-start machinery for array-backed algorithm groups."""
+
+    def __init__(self, idx: np.ndarray, ccs: list[CongestionControl]) -> None:
+        g = len(ccs)
+        self.idx = idx
+        #: True when this group holds every flow in natural order, so
+        #: per-flow inputs can be used directly instead of gathered and
+        #: the group window array can back the full ``CcBatch.cwnd``.
+        self.full = False
+        self.mss = ccs[0].mss
+        self.cwnd = np.array([cc.state.cwnd_bytes for cc in ccs])
+        self.ssthresh = np.array([cc.state.ssthresh_bytes for cc in ccs])
+        self.in_ss = np.array([cc.state.in_slow_start for cc in ccs])
+        self.any_ss = bool(self.in_ss.any())
+        self.last_loss = np.full(g, float("-inf"))
+        self.loss_events = np.zeros(g, dtype=int)
+
+    def pacing(self, rtt: float, pace: np.ndarray) -> None:
+        return  # loss-based algorithms are window-limited (pacing_rate None)
+
+    def _slow_start(self, delivered: np.ndarray, ss_idx: np.ndarray) -> np.ndarray:
+        """Advance slow start for ``ss_idx``; returns the exiting subset.
+
+        Mirrors ``CongestionControl._slow_start_tick``: cwnd grows by the
+        ACKed bytes and collapses onto ssthresh on crossing.
+        """
+        self.cwnd[ss_idx] += delivered[ss_idx]
+        ex = ss_idx[self.cwnd[ss_idx] >= self.ssthresh[ss_idx]]
+        if ex.size:
+            self.cwnd[ex] = self.ssthresh[ex]
+            self.in_ss[ex] = False
+            self.any_ss = bool(self.in_ss.any())
+        return ex
+
+    def _loss_gate(self, now: float, rtt: float, pos: int) -> bool:
+        """Rate limit mirroring ``CongestionControl.on_loss``."""
+        if now - self.last_loss[pos] < CongestionControl.LOSS_REACTION_RTTS * rtt:
+            return False
+        self.last_loss[pos] = now
+        self.loss_events[pos] += 1
+        return True
+
+    def clamp(self, max_window: float) -> None:
+        np.minimum(self.cwnd, max_window, out=self.cwnd)
+
+    def sync(self, cwnd_full: np.ndarray) -> None:
+        if cwnd_full is self.cwnd:
+            return  # full group: the batch shares this very array
+        cwnd_full[self.idx] = self.cwnd
+
+
+#: Cubic's TCP-friendly Reno-tracking slope, 3(1-β)/(1+β) — the same
+#: scalar expression ``Cubic.on_tick`` evaluates, precomputed once.
+_CUBIC_ALPHA = 3.0 * (1.0 - Cubic.BETA) / (1.0 + Cubic.BETA)
+
+
+class _CubicBatch(_ArrayGroup):
+    """Array transcription of :class:`~repro.tcp.cc.cubic.Cubic`."""
+
+    def __init__(self, idx: np.ndarray, ccs: list[Cubic]) -> None:
+        super().__init__(idx, ccs)
+        g = len(ccs)
+        self.w_max = np.zeros(g)
+        self.k = np.zeros(g)
+        # NaN encodes the scalar model's ``_epoch_start is None``; the
+        # bool array and count mirror it so the hot path never needs a
+        # per-tick isnan scan.
+        self.epoch = np.full(g, np.nan)
+        self.epoch_open = np.zeros(g, dtype=bool)
+        self.n_open = 0
+        self.w_est = np.zeros(g)
+        # Steady-state scratch buffers (out= targets only move where
+        # results land, never their bits).
+        self._t1 = np.empty(g)
+        self._t2 = np.empty(g)
+
+    def _open_epoch(self, now: float, sel: np.ndarray) -> None:
+        """Epoch open at a slow-start exit: w_start == w_max, so the
+        scalar ``delta ** (1/3)`` is exactly 0.0 and no cbrt is needed."""
+        w = self.cwnd[sel] / self.mss
+        self.w_max[sel] = w
+        self.k[sel] = 0.0
+        self.epoch[sel] = now
+        self.epoch_open[sel] = True
+        self.n_open += int(sel.size)
+        self.w_est[sel] = w
+
+    def tick(self, now: float, dt: float, rtt: float,
+             delivered: np.ndarray, al_mask: np.ndarray) -> None:
+        full = self.full
+        d = delivered if full else delivered[self.idx]
+        al = al_mask if full else al_mask[self.idx]
+        any_al = bool(al.any())
+        g = self.cwnd.size
+        if not self.any_ss and not any_al and self.n_open == g:
+            # Steady state: the whole group is in congestion avoidance
+            # with open epochs — same formulas (left-to-right, with
+            # commutative swaps like ``x * C`` for ``C * x`` that round
+            # identically), no gathers, scatters, or allocations.
+            b1, b2 = self._t1, self._t2
+            np.subtract(now, self.epoch, out=b1)  # t
+            np.subtract(b1, self.k, out=b1)  # dd
+            np.multiply(b1, b1, out=b2)
+            np.multiply(b2, b1, out=b2)  # dd**3
+            np.multiply(b2, Cubic.C, out=b2)
+            np.add(b2, self.w_max, out=b2)  # target
+            if rtt > 0:
+                # min(cwnd) > 0 iff every cwnd > 0 (no NaNs here); one
+                # reduce is cheaper than a compare plus .all().
+                if float(np.minimum.reduce(self.cwnd)) > 0.0:
+                    np.divide(d, self.cwnd, out=b1)
+                    np.multiply(b1, _CUBIC_ALPHA, out=b1)
+                    np.add(self.w_est, b1, out=self.w_est)
+                else:
+                    pi = np.nonzero(self.cwnd > 0)[0]
+                    self.w_est[pi] += _CUBIC_ALPHA * (d[pi] / self.cwnd[pi])
+            np.maximum(b2, self.w_est, out=b2)
+            np.multiply(b2, self.mss, out=b2)
+            # where(new > cw, new, cw) == maximum(new, cw) bit-for-bit
+            # (both operands are ordinary positive floats).
+            np.maximum(b2, self.cwnd, out=self.cwnd)
+            return
+        if any_al and self.n_open == g and al.all():
+            # Whole group app-limited with open epochs: no flow runs the
+            # growth step, and the slide mask equals ``al`` (all true) —
+            # a masked += with an all-true mask adds the same bits
+            # elementwise.
+            np.add(self.epoch, dt, out=self.epoch)
+            return
+        run = ~al
+        if self.any_ss:
+            ss = run & self.in_ss
+            if ss.any():
+                ex = self._slow_start(d, np.nonzero(ss)[0])
+                if ex.size:
+                    self._open_epoch(now, ex)
+            gi = np.nonzero(run & ~self.in_ss)[0]
+        else:
+            gi = np.nonzero(run)[0]
+        if gi.size:
+            if self.n_open < g:
+                need = gi[~self.epoch_open[gi]]
+                if need.size:
+                    self._open_epoch(now, need)
+            t = now - self.epoch[gi]
+            dd = t - self.k[gi]
+            target = Cubic.C * (dd * dd * dd) + self.w_max[gi]
+            if rtt > 0:
+                pi = gi[self.cwnd[gi] > 0]
+                self.w_est[pi] += _CUBIC_ALPHA * (d[pi] / self.cwnd[pi])
+            new_bytes = np.maximum(target, self.w_est[gi]) * self.mss
+            cw = self.cwnd[gi]
+            self.cwnd[gi] = np.where(new_bytes > cw, new_bytes, cw)
+        if any_al:
+            slide = al & self.epoch_open
+            if slide.any():
+                # Cubic.on_app_limited: the epoch origin slides with
+                # app-limited wall time (legitimate duration integral).
+                self.epoch[slide] += dt  # repro: noqa-FLOAT002
+
+    def loss_one(self, now: float, rtt: float, pos: int):
+        """Scalar transcription of ``Cubic._react_to_loss`` for one flow."""
+        if not self._loss_gate(now, rtt, pos):
+            return None
+        before = float(self.cwnd[pos])
+        w_seg = self.cwnd[pos] / self.mss
+        if w_seg < self.w_max[pos]:
+            w_max = w_seg * (1.0 + Cubic.BETA) / 2.0
+        else:
+            w_max = w_seg
+        self.cwnd[pos] = max(2 * self.mss, self.cwnd[pos] * Cubic.BETA)
+        self.ssthresh[pos] = self.cwnd[pos]
+        if self.in_ss[pos]:
+            self.in_ss[pos] = False
+            self.any_ss = bool(self.in_ss.any())
+        w_start = self.cwnd[pos] / self.mss
+        self.w_max[pos] = w_max
+        delta = max(0.0, (w_max - w_start) / Cubic.C)
+        self.k[pos] = delta ** (1.0 / 3.0)
+        self.epoch[pos] = now
+        if not self.epoch_open[pos]:
+            self.epoch_open[pos] = True
+            self.n_open += 1
+        self.w_est[pos] = w_start
+        return before, float(self.cwnd[pos])
+
+
+class _RenoBatch(_ArrayGroup):
+    """Array transcription of :class:`~repro.tcp.cc.reno.Reno`."""
+
+    def tick(self, now: float, dt: float, rtt: float,
+             delivered: np.ndarray, al_mask: np.ndarray) -> None:
+        full = self.full
+        d = delivered if full else delivered[self.idx]
+        al = al_mask if full else al_mask[self.idx]
+        run = ~al
+        # Reno returns after a slow-start tick even when it exits, so the
+        # avoidance set is fixed *before* the slow-start advance.
+        if self.any_ss:
+            ca = run & ~self.in_ss
+            ss = run & self.in_ss
+            if ss.any():
+                self._slow_start(d, np.nonzero(ss)[0])
+        else:
+            ca = run
+        if rtt > 0:
+            ci = np.nonzero(ca)[0]
+            ci = ci[self.cwnd[ci] > 0]
+            if ci.size:
+                cw = self.cwnd[ci]
+                self.cwnd[ci] = cw + self.mss * (d[ci] / cw)
+
+    def loss_one(self, now: float, rtt: float, pos: int):
+        if not self._loss_gate(now, rtt, pos):
+            return None
+        before = float(self.cwnd[pos])
+        self.ssthresh[pos] = max(2 * self.mss, self.cwnd[pos] * Reno.BETA)
+        self.cwnd[pos] = self.ssthresh[pos]
+        if self.in_ss[pos]:
+            self.in_ss[pos] = False
+            self.any_ss = bool(self.in_ss.any())
+        return before, float(self.cwnd[pos])
+
+
+class _ObjectGroup:
+    """Fallback: flows advanced through their scalar CC objects.
+
+    BBR's windowed-max filters and phase wheels are deque/state-machine
+    shaped; batching them buys nothing and risks divergence.  Running
+    the objects directly makes parity trivial — it *is* the scalar path.
+    """
+
+    def __init__(self, idx: np.ndarray, ccs: list[CongestionControl]) -> None:
+        self.idx = idx
+        self.ccs = ccs
+
+    def pacing(self, rtt: float, pace: np.ndarray) -> None:
+        for pos, i in enumerate(self.idx):
+            rate = self.ccs[pos].pacing_rate(rtt)
+            if rate is not None:
+                pace[i] = min(pace[i], rate)
+
+    def tick(self, now: float, dt: float, rtt: float,
+             delivered: np.ndarray, al_mask: np.ndarray) -> None:
+        for pos, i in enumerate(self.idx):
+            cc = self.ccs[pos]
+            if al_mask[i]:
+                cc.on_app_limited(now, dt)
+            else:
+                cc.on_tick(now, dt, delivered[i], rtt)
+
+    def loss_one(self, now: float, rtt: float, pos: int):
+        cc = self.ccs[pos]
+        before = float(cc.cwnd_bytes)
+        if cc.on_loss(now, rtt):
+            return before, float(cc.cwnd_bytes)
+        return None
+
+    def clamp(self, max_window: float) -> None:
+        for cc in self.ccs:
+            cc.clamp(max_window)
+
+    def sync(self, cwnd_full: np.ndarray) -> None:
+        for pos, i in enumerate(self.idx):
+            cwnd_full[i] = self.ccs[pos].cwnd_bytes
+
+
+class CcBatch:
+    """Batched congestion feedback over a mixed set of flows."""
+
+    def __init__(self, ccs: list[CongestionControl]) -> None:
+        self.cwnd = np.array([cc.cwnd_bytes for cc in ccs])
+        self.needs_validation = np.array(
+            [cc.needs_cwnd_validation for cc in ccs]
+        )
+        cubic: list[int] = []
+        reno: list[int] = []
+        other: list[int] = []
+        for i, cc in enumerate(ccs):
+            if type(cc) is Cubic:
+                cubic.append(i)
+            elif type(cc) is Reno:
+                reno.append(i)
+            else:
+                other.append(i)
+        self._groups: list = []
+        if cubic:
+            self._groups.append(
+                _CubicBatch(np.array(cubic), [ccs[i] for i in cubic])
+            )
+        if reno:
+            self._groups.append(
+                _RenoBatch(np.array(reno), [ccs[i] for i in reno])
+            )
+        if other:
+            self._groups.append(
+                _ObjectGroup(np.array(other), [ccs[i] for i in other])
+            )
+        # flow index -> (owning group, position within the group)
+        self._owner: dict[int, tuple] = {}
+        for grp in self._groups:
+            for pos, i in enumerate(grp.idx):
+                self._owner[int(i)] = (grp, pos)
+        #: Whether any flow imposes its own pacing rate (only scalar
+        #: object CCs like BBR do); lets the kernel skip the fold.
+        self.self_paced = any(
+            isinstance(grp, _ObjectGroup) for grp in self._groups
+        )
+        # Homogeneous common case: one array group holding every flow
+        # in natural order.  The group's state array then backs
+        # ``self.cwnd`` directly — per-flow inputs need no gather, the
+        # window sync no scatter.
+        if len(self._groups) == 1 and isinstance(self._groups[0], _ArrayGroup):
+            grp = self._groups[0]
+            grp.full = True
+            self.cwnd = grp.cwnd
+
+    def pacing(self, rtt: float, pace: np.ndarray) -> None:
+        """Fold self-imposed (BBR) pacing rates into ``pace`` in place."""
+        for grp in self._groups:
+            grp.pacing(rtt, pace)
+
+    def feedback(
+        self,
+        now: float,
+        dt: float,
+        rtt: float,
+        delivered: np.ndarray,
+        loss_idx: np.ndarray,
+        al_mask: np.ndarray,
+        max_window: float,
+    ) -> list[tuple[int, float, float]]:
+        """One tick of congestion feedback for every flow.
+
+        Applies loss reactions for ``loss_idx`` (ascending), then the
+        window advance (tick or app-limited freeze), then the socket
+        clamp — the same flow-local order as the scalar loop.  Returns
+        ``(flow, cwnd_before, cwnd_after)`` per *reacted* loss, for the
+        driver's ``cc.loss`` trace events.
+        """
+        reacted: list[tuple[int, float, float]] = []
+        for i in loss_idx:
+            grp, pos = self._owner[int(i)]
+            res = grp.loss_one(now, rtt, pos)
+            if res is not None:
+                reacted.append((int(i), res[0], res[1]))
+        for grp in self._groups:
+            grp.tick(now, dt, rtt, delivered, al_mask)
+            grp.clamp(max_window)
+            grp.sync(self.cwnd)
+        return reacted

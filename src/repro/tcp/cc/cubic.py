@@ -45,7 +45,12 @@ class Cubic(CongestionControl):
     # ------------------------------------------------------------------
 
     def _w_cubic_seg(self, t: float) -> float:
-        return self.C * (t - self._k) ** 3 + self._w_max_seg
+        # Written as an explicit product (not ``** 3``) so the batched
+        # kernel (repro.tcp.cc.batch) can mirror the arithmetic bit for
+        # bit: numpy's integer-power ufunc and libm's pow round the cube
+        # differently by 1 ulp, which would break kernel byte-parity.
+        d = t - self._k
+        return self.C * (d * d * d) + self._w_max_seg
 
     def _open_epoch(self, now: float, w_max_seg: float, w_start_seg: float) -> None:
         """Start a cubic epoch: W grows from ``w_start`` toward ``w_max``.
@@ -87,7 +92,9 @@ class Cubic(CongestionControl):
         """Freeze the cubic clock while app-limited: W(t) is a function
         of time-in-epoch, so the epoch origin slides forward with us."""
         if self._epoch_start is not None:
-            self._epoch_start += dt
+            # Legitimate duration integral: the epoch *origin* slides
+            # with app-limited wall time; there is no closed form.
+            self._epoch_start += dt  # repro: noqa-FLOAT002
 
     def _react_to_loss(self, now: float, rtt: float) -> None:
         st = self.state

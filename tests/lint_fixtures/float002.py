@@ -1,0 +1,17 @@
+"""Fixture: FLOAT002 — simulation time accumulated with ``+= dt``.
+
+Both accumulations below must be flagged by FLOAT002 and by no other
+rule: one adds a bare ``dt`` name, one an attribute tick duration.
+"""
+
+
+class Clock:
+    def __init__(self, profile) -> None:
+        self.now = 0.0
+        self.profile = profile
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def advance_one_tick(self) -> None:
+        self.now += self.profile.tick

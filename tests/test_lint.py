@@ -34,6 +34,7 @@ RULE_FIXTURES = {
     "UNIT001": FIXTURES / "unit001.py",
     "UNIT002": FIXTURES / "unit002.py",
     "FLOAT001": FIXTURES / "float001.py",
+    "FLOAT002": FIXTURES / "float002.py",
     "EXP001": FIXTURES / "exp001_project",
 }
 
@@ -45,6 +46,7 @@ EXPECTED_COUNTS = {
     "UNIT001": 2,  # 1e9 literal + `* 8`
     "UNIT002": 2,  # decimal compare + decimal assign on byte sysctls
     "FLOAT001": 1,
+    "FLOAT002": 2,  # bare `+= dt` + attribute `+= profile.tick`
     "EXP001": 2,  # unregistered + unbenchmarked
 }
 

@@ -75,3 +75,25 @@ class TestCpuUtil:
     def test_total_can_exceed_100(self):
         u = CpuUtil(app_pct=95.0, irq_pct=40.0)
         assert u.total_pct == pytest.approx(135.0)
+
+
+class TestClosedFormClock:
+    def test_million_ticks_no_drift_no_epsilon(self):
+        """Regression for the `now += dt` clock-drift bug: a million
+        repeated float adds of dt=1e-4 drift the clock by ~1e-9 s,
+        enough to flip the omit-boundary comparison by a whole tick.
+        The accumulator derives its clocks as closed forms (ticks*dt),
+        so every assertion below is EXACT equality — no epsilon."""
+        dt = 1e-4
+        acc = MetricsAccumulator(n_flows=1, duration=100.0, omit=50.0)
+        delivered = np.array([10.0])  # bytes per tick
+        for _ in range(1_000_000):
+            acc.record_tick(dt, delivered, 0.0, 0, (0.0, 0.0, 0.0, 0.0), 0.0)
+        # Exactly half the ticks fall inside the omit window: the tick
+        # ending at t = 500000 * 1e-4 lands on exactly 50.0.
+        assert acc._measured_ticks == 500_000
+        assert acc._measured_time == 50.0
+        assert acc._time == 100.0
+        res = acc.finalize()
+        # 500000 exact adds of 10.0 bytes over exactly 50 s.
+        assert res.per_flow_goodput[0] == 1e5

@@ -132,6 +132,22 @@ class TestFlowControlState:
         fc.update(0.9, 0.01)
         assert fc.total_paused_sec > 0
 
+    def test_paused_time_equals_integral_of_returned_fractions(self):
+        """Regression: the resume tick's partial pause (0.3 of a tick)
+        was returned to the simulator but never added to
+        ``total_paused_sec``, undercounting Table-III-style paused-time
+        evidence.  The invariant now: accounted pause time is exactly
+        the integral of every returned fraction."""
+        fc = FlowControlState(enabled=True)
+        dt = 0.01
+        # Ring-fill trajectory driving pause -> hold -> resume twice.
+        fills = [0.5, 0.9, 0.8, 0.6, 0.3, 0.2, 0.95, 0.5, 0.35, 0.1]
+        integral = 0.0
+        for fill in fills:
+            integral += dt * fc.update(fill, dt)
+        assert fc.pause_events == 2
+        assert fc.total_paused_sec == integral
+
 
 class TestBackgroundTraffic:
     def test_none_is_zero(self):

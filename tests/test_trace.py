@@ -337,7 +337,7 @@ class TestLedgerLive:
         # ledger can see that.
         from repro.sim import flowsim as flowsim_mod
 
-        def greedy_allocate(caps, capacity, weights=None):
+        def greedy_allocate(caps, capacity, weights=None, *, validate=True):
             return np.full_like(np.asarray(caps, dtype=float), capacity)
 
         monkeypatch.setattr(flowsim_mod, "maxmin_allocate", greedy_allocate)
