@@ -9,10 +9,13 @@ Six subcommands mirror the ways people use this package::
     repro trace     fig09 --spill traces/ [--profile paper]
     repro trace     --diff a.trace.jsonl b.trace.jsonl
     repro advise    --testbed esnet --path wan --streams 8
-    repro lint      src/ [--format json] [--select DET001,UNIT001]
+    repro lint      src/ [--format json|sarif] [--select DET001,UNIT001]
+    repro lint      --deep src/ [--baseline lint_baseline.json [--update-baseline]]
+    repro lint      --codes | --explain RNG001 | --list-rules
 
 Each prints to stdout; exit status is 0 on success (``lint`` exits 1
-when it finds violations, ``run --expect-cached`` exits 1 when any
+when it finds violations — or, with ``--baseline``, when the findings
+drift from the baseline in either direction, ``run --expect-cached`` exits 1 when any
 experiment had to execute, ``trace --validate`` exits 1 on a malformed
 trace, ``trace --diff`` exits 1 when the traces diverge, 2 on usage
 errors).  ``iperf3``, ``experiment``, ``run``, and
@@ -185,13 +188,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
                         help="files or directories (default: src)")
-    p_lint.add_argument("--format", dest="fmt", choices=["text", "json"],
-                        default="text")
+    p_lint.add_argument("--format", dest="fmt",
+                        choices=["text", "json", "sarif"], default="text")
     p_lint.add_argument("--select", default=None, metavar="CODES",
                         help="comma-separated rule codes to run "
                         "(default: all)")
+    p_lint.add_argument("--deep", action="store_true",
+                        help="also run the whole-program dataflow rules "
+                        "(RNG001, PURE001, SHARD001, IMP001)")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="compare findings against a committed "
+                        "baseline; new findings AND stale entries both "
+                        "fail (exit 1)")
+    p_lint.add_argument("--update-baseline", action="store_true",
+                        help="with --baseline: rewrite FILE from the "
+                        "current findings and exit 0")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
+    p_lint.add_argument("--codes", action="store_true",
+                        help="list every registered rule code with its "
+                        "one-line summary and exit")
+    p_lint.add_argument("--explain", metavar="CODE",
+                        help="print one rule's full rationale and exit")
 
     # -- repro advise -------------------------------------------------------
     p_adv = sub.add_parser("advise", help="tuning advice for a host/path")
@@ -417,18 +435,63 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.lint import all_rules, lint_paths, render_json, render_text
+    from repro.lint import (
+        all_rules,
+        compare_baseline,
+        get_rule,
+        lint_paths,
+        render_json,
+        render_sarif,
+        render_text,
+        write_baseline,
+    )
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.code}  {rule.name}")
+            tag = " [deep]" if rule.deep else ""
+            print(f"{rule.code}  {rule.name}{tag}")
             print(f"    {rule.description}")
         return 0
+    if args.codes:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary()}")
+        return 0
+    if args.explain:
+        try:
+            rule = get_rule(args.explain.strip())
+        except KeyError as exc:
+            raise ReproError(str(exc.args[0])) from None
+        print(f"{rule.code} ({rule.name})"
+              f"{' — deep rule, runs under --deep' if rule.deep else ''}")
+        print()
+        print(rule.explain())
+        return 0
+    if args.update_baseline and not args.baseline:
+        raise ReproError("--update-baseline needs --baseline FILE")
     select = None
     if args.select:
         select = [c.strip() for c in args.select.split(",") if c.strip()]
-    violations = lint_paths(args.paths or ["src"], select=select)
-    render = render_json if args.fmt == "json" else render_text
+    violations = lint_paths(
+        args.paths or ["src"], select=select, deep=args.deep
+    )
+    if args.baseline and args.update_baseline:
+        count = write_baseline(violations, args.baseline)
+        print(f"wrote {args.baseline}: {count} tracked finding(s)")
+        return 0
+    render = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.fmt]
+    if args.baseline:
+        diff = compare_baseline(violations, args.baseline)
+        if args.fmt == "text":
+            print(diff.render())
+        else:
+            # Machine formats report the *drift* (what CI should act
+            # on), not the accepted baseline population.
+            print(render(sorted(diff.new)))
+        return 0 if diff.clean else 1
     print(render(violations))
     return 1 if violations else 0
 

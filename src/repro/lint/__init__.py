@@ -11,9 +11,20 @@ cannot enforce by construction:
 This package is an AST-based checker that enforces them on every commit.
 Rules are small classes registered by code (``DET001``, ``UNIT001``, …);
 the runner walks files, applies the rules, honours per-line
-``# repro: noqa-<CODE>`` suppressions, and renders text or JSON.  The
-``repro lint`` CLI subcommand (see :mod:`repro.cli`) is a thin wrapper
-around :func:`repro.lint.runner.lint_paths`.
+``# repro: noqa-<CODE>`` suppressions, and renders text, JSON, or SARIF.
+The ``repro lint`` CLI subcommand (see :mod:`repro.cli`) is a thin
+wrapper around :func:`repro.lint.runner.lint_paths`.
+
+On top of the per-file rules sits a whole-program layer
+(``repro lint --deep``): :mod:`repro.lint.graph` builds a project-wide
+symbol table and import graph, :mod:`repro.lint.dataflow` resolves
+string provenance and scopes over it, and the deep rule family —
+``RNG001`` (stream-label provenance), ``PURE001`` (kernel tick-path
+purity), ``SHARD001`` (shard-safe reductions), ``IMP001`` (import
+hygiene) — checks the cross-module invariants that sharded campaigns
+depend on.  Pre-existing deep findings live in the committed
+``lint_baseline.json`` (see :mod:`repro.lint.baseline`); CI fails on
+drift in either direction.
 
 The companion *runtime* checks live in :mod:`repro.sim.sanitizer`.
 """
@@ -31,11 +42,26 @@ from repro.lint.core import (
 )
 
 # Importing the rule modules registers their rules.
-from repro.lint import rules_determinism  # noqa: F401  (registration side effect)
+from repro.lint import graph  # noqa: F401  (registration side effect: IMP001)
+from repro.lint import rules_determinism  # noqa: F401
 from repro.lint import rules_experiments  # noqa: F401
 from repro.lint import rules_float  # noqa: F401
+from repro.lint import rules_purity  # noqa: F401
+from repro.lint import rules_rng  # noqa: F401
+from repro.lint import rules_shard  # noqa: F401
 from repro.lint import rules_units  # noqa: F401
-from repro.lint.runner import lint_paths, render_json, render_text
+from repro.lint.baseline import (
+    BaselineDiff,
+    compare_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.runner import (
+    lint_paths,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 __all__ = [
     "Violation",
@@ -48,4 +74,9 @@ __all__ = [
     "lint_paths",
     "render_text",
     "render_json",
+    "render_sarif",
+    "BaselineDiff",
+    "compare_baseline",
+    "load_baseline",
+    "write_baseline",
 ]

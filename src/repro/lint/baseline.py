@@ -1,0 +1,158 @@
+"""Deep-lint baseline: tracked-not-fatal findings, drift-fatal CI.
+
+``repro lint --deep`` lands on a tree with pre-existing findings (the
+``sim`` -> ``trace`` import edges, the batch steppers' in-place fold
+protocols).  Failing CI on them would force a big-bang refactor; hiding
+them would lose them.  The baseline is the middle path: a committed
+JSON file (``lint_baseline.json``) listing every accepted finding.
+
+Comparison is exact and bidirectional:
+
+* a finding not in the baseline is **new** — the commit introduced a
+  regression (or must consciously extend the baseline);
+* a baseline entry with no matching finding is **stale** — the code it
+  tracked was fixed or moved, and the entry must be dropped so the
+  baseline never accumulates dead weight.
+
+Either direction fails; ``repro lint --deep --update-baseline``
+regenerates the file.  Paths are stored relative to the baseline file's
+directory, so the file is location-independent and diffs stay readable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.errors import ReproError
+from repro.lint.core import Violation
+
+__all__ = ["BaselineDiff", "load_baseline", "compare_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+def _normalize(path: str, root: Path) -> str:
+    """Path as stored in the baseline: relative to its directory."""
+    try:
+        rel = Path(path).resolve().relative_to(root.resolve())
+    except ValueError:
+        return Path(path).as_posix()
+    return rel.as_posix()
+
+
+def _key(entry: dict) -> tuple:
+    return (entry["path"], entry["line"], entry["code"], entry["message"])
+
+
+def _violation_entry(v: Violation, root: Path) -> dict:
+    return {
+        "path": _normalize(v.path, root),
+        "line": v.line,
+        "code": v.code,
+        "message": v.message,
+    }
+
+
+@dataclass
+class BaselineDiff:
+    """Outcome of checking findings against a baseline."""
+
+    matched: int
+    new: list[Violation] = field(default_factory=list)
+    stale: list[dict] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for v in self.new:
+            lines.append(f"new:   {v.render()}")
+        for entry in self.stale:
+            lines.append(
+                f"stale: {entry['path']}:{entry['line']}: {entry['code']} "
+                f"{entry['message']} (baselined finding no longer present; "
+                f"remove it from the baseline)"
+            )
+        if self.clean:
+            lines.append(
+                f"baseline: {self.matched} tracked finding(s), no drift"
+            )
+        else:
+            lines.append(
+                f"baseline drift: {len(self.new)} new, "
+                f"{len(self.stale)} stale "
+                f"({self.matched} matched); regenerate with "
+                f"--update-baseline if the change is intentional"
+            )
+        return "\n".join(lines)
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    path = Path(path)
+    if not path.is_file():
+        raise ReproError(f"baseline file does not exist: {path}")
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ReproError(f"baseline {path} has no 'findings' key")
+    return list(doc["findings"])
+
+
+def compare_baseline(
+    violations: Sequence[Violation], baseline_path: str | Path
+) -> BaselineDiff:
+    """Match findings against the baseline; anything unmatched is drift."""
+    baseline_path = Path(baseline_path)
+    root = baseline_path.parent
+    entries = load_baseline(baseline_path)
+    remaining: dict[tuple, int] = {}
+    for entry in entries:
+        key = _key(entry)
+        remaining[key] = remaining.get(key, 0) + 1
+    new: list[Violation] = []
+    matched = 0
+    for v in sorted(violations):
+        key = _key(_violation_entry(v, root))
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            new.append(v)
+    stale = [
+        dict(zip(("path", "line", "code", "message"), key))
+        for key, count in sorted(remaining.items())
+        for _ in range(count)
+    ]
+    return BaselineDiff(matched=matched, new=new, stale=stale)
+
+
+def write_baseline(
+    violations: Sequence[Violation], baseline_path: str | Path
+) -> int:
+    """Write the findings as the new baseline; returns the entry count."""
+    baseline_path = Path(baseline_path)
+    entries = sorted(
+        (_violation_entry(v, baseline_path.parent) for v in violations),
+        key=_key,
+    )
+    doc = {
+        "version": _VERSION,
+        "comment": (
+            "Accepted deep-lint findings (repro lint --deep). CI fails on "
+            "drift in either direction; regenerate with "
+            "`repro lint --deep src/ --baseline lint_baseline.json "
+            "--update-baseline`."
+        ),
+        "findings": entries,
+    }
+    baseline_path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

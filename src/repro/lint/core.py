@@ -14,6 +14,7 @@ what it suppresses, so greps for a code find its waivers too.
 from __future__ import annotations
 
 import ast
+import inspect
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -140,9 +141,24 @@ class Rule:
     code: str = ""
     name: str = ""
     description: str = ""
+    #: Deep rules (whole-program dataflow) only run under ``--deep`` or
+    #: when selected explicitly — they are priced for CI, not for the
+    #: save-hook loop the per-file rules serve.
+    deep: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         raise NotImplementedError
+
+    def summary(self) -> str:
+        """One-line summary: the first line of the rule's docstring."""
+        doc = type(self).__doc__ or ""
+        first = doc.strip().splitlines()[0].strip() if doc.strip() else ""
+        return first or self.description.strip()
+
+    def explain(self) -> str:
+        """Full rationale: the rule's docstring, else its description."""
+        doc = inspect.cleandoc(type(self).__doc__ or "")
+        return doc or self.description
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Rule {self.code} {self.name}>"

@@ -1,0 +1,275 @@
+"""Lightweight dataflow for the deep rules: string provenance & taint.
+
+This is deliberately not a full abstract interpreter.  The deep rules
+need three narrow capabilities, each conservative (an unresolved value
+is reported as such, never guessed):
+
+* **string resolution** (:func:`resolve_str`) — statically derive the
+  value of a string expression: literals, single-assignment local and
+  module names, ``+`` concatenation, and f-strings.  F-strings resolve
+  to a :class:`StrValue` carrying the longest constant *prefix* even
+  when a formatted field is dynamic, which is how RNG001 recognises
+  ``f"task:{label}"`` as a namespaced label;
+* **reaching definitions** (:func:`local_env`, :func:`module_env`) —
+  name -> value environments where a name participates only if it has
+  exactly one reaching assignment (multiple textual assignments make it
+  ``UNKNOWN``; correctness over coverage);
+* **scope classification** (:class:`FunctionScope`) — the local names
+  of a function (parameters, assignments, loop and comprehension
+  targets), so a rule can tell a local read from a module-global read.
+
+The one-hop call-graph layer lives with its consumer (RNG001 in
+:mod:`repro.lint.rules_rng`): when a label expression is a bare
+parameter, the rule resolves the matching argument at every call site
+found through :meth:`repro.lint.graph.ProjectGraph.call_sites`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.lint.graph import ModuleInfo
+
+__all__ = [
+    "StrValue",
+    "UNKNOWN",
+    "resolve_str",
+    "local_env",
+    "module_env",
+    "FunctionScope",
+    "is_dict_or_set_expr",
+]
+
+
+@dataclass(frozen=True)
+class StrValue:
+    """Result of resolving a string expression.
+
+    ``complete`` means ``prefix`` is the whole value.  An incomplete
+    result still carries the longest statically-known leading constant
+    (possibly empty) — enough to recognise namespaced dynamic labels.
+    """
+
+    prefix: str
+    complete: bool
+
+    @property
+    def value(self) -> str | None:
+        return self.prefix if self.complete else None
+
+    def __add__(self, other: "StrValue") -> "StrValue":
+        if not self.complete:
+            return self
+        return StrValue(self.prefix + other.prefix, other.complete)
+
+
+#: The bottom element: nothing statically known about the value.
+UNKNOWN = StrValue("", False)
+
+
+def resolve_str(
+    node: ast.expr, env: Mapping[str, StrValue] | None = None
+) -> StrValue:
+    """Statically resolve a string expression against ``env``."""
+    env = env or {}
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            return StrValue(node.value, True)
+        return UNKNOWN
+    if isinstance(node, ast.Name):
+        return env.get(node.id, UNKNOWN)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return resolve_str(node.left, env) + resolve_str(node.right, env)
+    if isinstance(node, ast.JoinedStr):
+        out = StrValue("", True)
+        for part in node.values:
+            if isinstance(part, ast.Constant):
+                out = out + StrValue(str(part.value), True)
+            elif isinstance(part, ast.FormattedValue):
+                # Only plain interpolation and !s keep the value's text;
+                # !r/!a and format specs rewrite it.
+                if part.format_spec is not None or part.conversion not in (-1, 115):
+                    out = out + UNKNOWN
+                else:
+                    out = out + resolve_str(part.value, env)
+            else:
+                out = out + UNKNOWN
+            if not out.complete:
+                break
+        return out
+    return UNKNOWN
+
+
+def _collect_env(stmts: list[ast.stmt]) -> dict[str, StrValue]:
+    """Name -> resolved string for single-assignment names in ``stmts``.
+
+    Two passes: count textual stores per name (any second store, an
+    augmented assignment, or a loop/with target demotes the name to
+    UNKNOWN), then resolve the single assignments in source order so
+    chains (``a = "x"; b = a + ":y"``) resolve.
+    """
+    stores: dict[str, int] = {}
+    assigns: list[tuple[str, ast.expr]] = []
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                name = node.targets[0].id
+                stores[name] = stores.get(name, 0) + 1
+                assigns.append((name, node.value))
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                name = node.target.id
+                stores[name] = stores.get(name, 0) + 1
+                if node.value is not None:
+                    assigns.append((name, node.value))
+            else:
+                for target in _other_store_targets(node):
+                    stores[target] = stores.get(target, 0) + 2
+    env: dict[str, StrValue] = {}
+    for name, value in assigns:
+        if stores.get(name, 0) != 1:
+            continue
+        resolved = resolve_str(value, env)
+        if resolved is not UNKNOWN:
+            env[name] = resolved
+    return env
+
+
+def _other_store_targets(node: ast.AST) -> list[str]:
+    """Names stored by constructs other than plain assignment."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.AugAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.For):
+        targets = [node.target]
+    elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+        targets = [node.optional_vars]
+    elif isinstance(node, ast.comprehension):
+        targets = [node.target]
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return [node.name]
+    names: list[str] = []
+    for t in targets:
+        for leaf in ast.walk(t):
+            if isinstance(leaf, ast.Name):
+                names.append(leaf.id)
+    return names
+
+
+def local_env(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    outer: Mapping[str, StrValue] | None = None,
+) -> dict[str, StrValue]:
+    """String environment for a function body, over ``outer`` (module) env.
+
+    Parameters shadow outer names (their values are call-site facts, not
+    module facts), as does any locally stored name.
+    """
+    env = dict(outer or {})
+    scope = FunctionScope(func)
+    for name in scope.locals:
+        env.pop(name, None)
+    env.update(_collect_env(list(func.body)))
+    return env
+
+
+def module_env(info: ModuleInfo) -> dict[str, StrValue]:
+    """String environment of a module's top-level constants."""
+    env: dict[str, StrValue] = {}
+    for name, binding in sorted(info.bindings.items()):
+        if binding.kind == "constant" and binding.value is not None:
+            resolved = resolve_str(binding.value, env)
+            if resolved.complete:
+                env[name] = resolved
+    return env
+
+
+class FunctionScope:
+    """Local-name classification for one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        args = func.args
+        self.params: list[str] = [
+            a.arg
+            for a in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        ]
+        stored: set[str] = set()
+        declared_global: set[str] = set()
+        for stmt in func.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Global, ast.Nonlocal)):
+                    declared_global.update(node.names)
+                elif isinstance(node, (ast.Assign,)):
+                    for target in node.targets:
+                        for leaf in ast.walk(target):
+                            if isinstance(leaf, ast.Name):
+                                stored.add(leaf.id)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    if isinstance(node.target, ast.Name):
+                        stored.add(node.target.id)
+                else:
+                    stored.update(_other_store_targets(node))
+        self.declared_global = declared_global
+        #: Names that resolve locally inside the body (params + stores),
+        #: minus names routed to module scope by a ``global`` statement.
+        self.locals: set[str] = (set(self.params) | stored) - declared_global
+
+    def is_param(self, name: str) -> bool:
+        return name in self.params
+
+    def param_index(self, name: str) -> int | None:
+        """Positional index of a parameter, skipping ``self``/``cls``."""
+        params = self.params
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        try:
+            return params.index(name)
+        except ValueError:
+            return None
+
+
+#: ``.keys()/.values()/.items()`` peel off to the underlying mapping.
+_VIEW_METHODS = ("keys", "values", "items")
+
+
+def _strip_views(node: ast.expr) -> ast.expr:
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _VIEW_METHODS
+        and not node.args
+        and not node.keywords
+    ):
+        node = node.func.value
+    return node
+
+
+def is_dict_or_set_expr(
+    node: ast.expr, bindings: Mapping[str, str] | None = None
+) -> bool:
+    """Does this expression (or the name it reads) denote a dict or set?
+
+    ``bindings`` maps local/module names known to be dict- or set-valued
+    (from single-assignment inference) to the kind string; view calls
+    (``d.values()``) are peeled first.
+    """
+    node = _strip_views(node)
+    if isinstance(node, (ast.Set, ast.SetComp, ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset", "dict")
+    if isinstance(node, ast.Name) and bindings is not None:
+        return node.id in bindings
+    return False

@@ -1,0 +1,540 @@
+"""Project-wide symbol table and import graph for the deep lint rules.
+
+The per-file rules (DET/UNIT/FLOAT) see one AST at a time.  The deep
+rules (RNG001, PURE001, SHARD001, IMP001) need facts that only exist at
+the project level: which module a name comes from, which class a base
+name resolves to, which modules import which.  :class:`ProjectGraph`
+computes those facts once per lint run and every deep rule reads them.
+
+Three layers, built in one pass over the linted file set:
+
+* **module table** — every file becomes a :class:`ModuleInfo` keyed by
+  its dotted module name (``repro.sim.flowsim``; files outside any
+  ``repro`` package use their stem, so lint fixtures participate);
+* **symbol table** — per module, every top-level binding classified as
+  ``import`` / ``function`` / ``class`` / ``constant`` (assigned once,
+  immutable-looking value) / ``mutable`` (reassigned, augmented, or
+  written through a ``global`` statement anywhere in the module);
+* **import graph** — edges between in-project modules, with the source
+  line of each edge, plus Tarjan SCCs for cycle detection and base-class
+  resolution across modules (``class MyKernel(kernels.TickKernel)``).
+
+Everything is derived from the ASTs alone — no imports are executed, so
+linting a broken or cyclic tree is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lint.core import (
+    FileContext,
+    ProjectRule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+__all__ = [
+    "Binding",
+    "ImportEdge",
+    "ModuleInfo",
+    "ProjectGraph",
+    "ImportHygieneRule",
+]
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One module-level name: how it was bound and whether it mutates."""
+
+    name: str
+    kind: str  # "import" | "function" | "class" | "constant" | "mutable"
+    lineno: int
+    #: For imports: the dotted target the local name refers to
+    #: (``np`` -> ``numpy``, ``TraceBus`` -> ``repro.trace.bus.TraceBus``).
+    target: str | None = None
+    #: For single-assignment bindings: the bound value expression.
+    value: ast.expr | None = None
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement: source module -> target dotted module.
+
+    ``nested`` marks imports inside a function or method body.  They
+    still execute (so layering rules must see them) but they are the
+    standard way to *break* a cycle, so cycle detection skips them.
+    """
+
+    source: str
+    target: str
+    lineno: int
+    col: int
+    nested: bool = False
+
+
+def _module_name(ctx: FileContext) -> str:
+    """Dotted module name for a file (fixtures fall back to the stem)."""
+    rp = ctx.repro_parts
+    if rp is None:
+        return ctx.path.stem
+    parts = ("repro",) + rp
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + (ctx.path.stem,)
+    return ".".join(parts)
+
+
+def _is_immutable_value(node: ast.expr) -> bool:
+    """Value expressions that cannot be mutated through the binding."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Tuple):
+        return all(_is_immutable_value(e) for e in node.elts)
+    if isinstance(node, ast.UnaryOp):
+        return _is_immutable_value(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_immutable_value(node.left) and _is_immutable_value(node.right)
+    if isinstance(node, ast.Call):
+        fn = dotted_name(node.func)
+        return fn in ("frozenset", "re.compile") and all(
+            _is_immutable_value(a) for a in node.args
+        )
+    # Attribute chains (Cubic.BETA, np.inf) read someone else's state;
+    # treat the binding itself as constant — purity checks the *read*.
+    if isinstance(node, (ast.Attribute, ast.Name)):
+        return True
+    return False
+
+
+def _assign_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    return []
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the deep rules need to know about one module."""
+
+    name: str
+    ctx: FileContext
+    imports: list[ImportEdge] = field(default_factory=list)
+    #: local name -> dotted target of the import that bound it.
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    bindings: dict[str, Binding] = field(default_factory=dict)
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """Package the module lives in (itself, for ``__init__``)."""
+        if self.ctx.path.name == "__init__.py":
+            return self.name
+        return self.name.rpartition(".")[0]
+
+    def resolve(self, local_name: str) -> str | None:
+        """Dotted project-level name a local name refers to, if imported."""
+        head, _, tail = local_name.partition(".")
+        target = self.import_aliases.get(head)
+        if target is None:
+            return None
+        return f"{target}.{tail}" if tail else target
+
+
+class _ModuleBuilder(ast.NodeVisitor):
+    """Single AST walk filling in a :class:`ModuleInfo`."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._store_counts: dict[str, int] = {}
+        self._global_written: set[str] = set()
+        self._values: dict[str, ast.expr] = {}
+        self._lines: dict[str, int] = {}
+        self._top_level_imports: set[int] = set()
+
+    def build(self) -> ModuleInfo:
+        info = self.info
+        for stmt in info.ctx.tree.body:
+            self._top_level(stmt)
+        # Function bodies can rebind module names via ``global``, and
+        # function-local imports still create (nested) edges.
+        for node in ast.walk(info.ctx.tree):
+            if isinstance(node, ast.Global):
+                self._global_written.update(node.names)
+            elif isinstance(node, ast.Import):
+                if id(node) in self._top_level_imports:
+                    continue
+                for alias in node.names:
+                    info.imports.append(
+                        ImportEdge(
+                            info.name,
+                            alias.name,
+                            node.lineno,
+                            node.col_offset,
+                            nested=True,
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if id(node) in self._top_level_imports:
+                    continue
+                base = self._resolve_from(node)
+                if base is not None:
+                    info.imports.append(
+                        ImportEdge(
+                            info.name,
+                            base,
+                            node.lineno,
+                            node.col_offset,
+                            nested=True,
+                        )
+                    )
+        for name, count in sorted(self._store_counts.items()):
+            mutable = count > 1 or name in self._global_written
+            value = self._values.get(name)
+            if not mutable and value is not None:
+                mutable = not _is_immutable_value(value)
+            info.bindings[name] = Binding(
+                name=name,
+                kind="mutable" if mutable else "constant",
+                lineno=self._lines.get(name, 1),
+                value=value,
+            )
+        # ``global``-written names with no top-level assignment at all
+        # are still module state (kernels.py's ``_forced`` pattern).
+        for name in sorted(self._global_written - set(self._store_counts)):
+            info.bindings[name] = Binding(name=name, kind="mutable", lineno=1)
+        return info
+
+    # -- top-level statement classification ----------------------------
+
+    def _top_level(self, stmt: ast.stmt) -> None:
+        info = self.info
+        if isinstance(stmt, ast.Import):
+            self._top_level_imports.add(id(stmt))
+            for alias in stmt.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else alias.name.partition(".")[0]
+                info.import_aliases[local] = alias.name if alias.asname else target
+                info.bindings[local] = Binding(
+                    local, "import", stmt.lineno, target=alias.name
+                )
+                info.imports.append(
+                    ImportEdge(info.name, alias.name, stmt.lineno, stmt.col_offset)
+                )
+        elif isinstance(stmt, ast.ImportFrom):
+            self._top_level_imports.add(id(stmt))
+            base = self._resolve_from(stmt)
+            if base is not None:
+                info.imports.append(
+                    ImportEdge(info.name, base, stmt.lineno, stmt.col_offset)
+                )
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    target = f"{base}.{alias.name}"
+                    info.import_aliases[local] = target
+                    info.bindings[local] = Binding(
+                        local, "import", stmt.lineno, target=target
+                    )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = stmt  # type: ignore[assignment]
+            info.bindings[stmt.name] = Binding(stmt.name, "function", stmt.lineno)
+        elif isinstance(stmt, ast.ClassDef):
+            info.classes[stmt.name] = stmt
+            info.bindings[stmt.name] = Binding(stmt.name, "class", stmt.lineno)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(stmt, "value", None)
+            for target in _assign_targets(stmt):
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        n = leaf.id
+                        count = 2 if isinstance(stmt, ast.AugAssign) else 1
+                        self._store_counts[n] = (
+                            self._store_counts.get(n, 0) + count
+                        )
+                        self._lines.setdefault(n, stmt.lineno)
+                        if value is not None:
+                            self._values.setdefault(n, value)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._top_level(sub)
+
+    def _resolve_from(self, stmt: ast.ImportFrom) -> str | None:
+        if stmt.level == 0:
+            return stmt.module
+        # Relative import: climb from the containing package.
+        parts = self.info.package.split(".") if self.info.package else []
+        if stmt.level - 1 > len(parts):
+            return None
+        base_parts = parts[: len(parts) - (stmt.level - 1)]
+        if stmt.module:
+            base_parts.append(stmt.module)
+        return ".".join(base_parts) if base_parts else None
+
+
+class ProjectGraph:
+    """The whole linted file set, resolved: modules, symbols, imports."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+
+    @classmethod
+    def build(cls, ctxs: Iterable[FileContext]) -> "ProjectGraph":
+        modules: dict[str, ModuleInfo] = {}
+        for ctx in sorted(ctxs, key=lambda c: str(c.path)):
+            info = _ModuleBuilder(ModuleInfo(_module_name(ctx), ctx)).build()
+            # First file wins on a name clash (two fixtures sharing a
+            # stem); deterministic because ctxs are path-sorted.
+            modules.setdefault(info.name, info)
+        return cls(modules)
+
+    # -- import graph ---------------------------------------------------
+
+    def project_edges(self) -> list[ImportEdge]:
+        """Import edges whose source and target are both in-project.
+
+        ``from repro.trace import bus`` targets ``repro.trace`` — the
+        edge is narrowed to the most specific module in the project, so
+        package ``__init__`` indirection does not hide an edge.
+        """
+        edges: list[ImportEdge] = []
+        for info in self.modules.values():
+            for edge in info.imports:
+                target = self._narrow(edge)
+                if target is not None and target != edge.source:
+                    edges.append(
+                        ImportEdge(
+                            edge.source,
+                            target,
+                            edge.lineno,
+                            edge.col,
+                            nested=edge.nested,
+                        )
+                    )
+        return edges
+
+    def _narrow(self, edge: ImportEdge) -> str | None:
+        if edge.target in self.modules:
+            return edge.target
+        # ``from pkg import name`` where pkg.name is itself a module.
+        for alias, target in self.modules[edge.source].import_aliases.items():
+            if target.startswith(edge.target + ".") and target in self.modules:
+                return target
+        # Prefix match: importing a package we only know members of.
+        prefix = edge.target + "."
+        hits = sorted(m for m in self.modules if m.startswith(prefix))
+        return hits[0] if hits else None
+
+    def cycles(self) -> list[list[str]]:
+        """Strongly connected components with more than one module."""
+        adjacency: dict[str, list[str]] = {m: [] for m in self.modules}
+        for edge in self.project_edges():
+            # A function-local import is the sanctioned cycle-breaker:
+            # it runs after module init, so it cannot deadlock imports.
+            if edge.source in adjacency and not edge.nested:
+                adjacency[edge.source].append(edge.target)
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+
+        def strongconnect(v: str) -> None:
+            # Iterative Tarjan: recursion depth tracks import-chain
+            # length, which real trees can make deep.
+            work = [(v, iter(adjacency[v]))]
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = low[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(adjacency[w])))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        low[node] = min(low[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.append(w)
+                        if w == node:
+                            break
+                    if len(scc) > 1:
+                        sccs.append(sorted(scc))
+
+        for module in sorted(adjacency):
+            if module not in index:
+                strongconnect(module)
+        return sorted(sccs)
+
+    # -- class resolution ----------------------------------------------
+
+    def base_names(self, module: str, cls: ast.ClassDef) -> Iterator[str]:
+        """Transitive base-class names of ``cls``, project-resolved.
+
+        Yields both the spelled name of every base (``TickKernel``,
+        ``kernels.TickKernel``) and — when a base resolves to a class
+        defined in a linted module — its fully-qualified project name
+        (``repro.sim.kernels.TickKernel``), recursing through it.
+        """
+        seen: set[tuple[str, str]] = set()
+        work: list[tuple[str, ast.ClassDef]] = [(module, cls)]
+        while work:
+            mod_name, node = work.pop()
+            info = self.modules.get(mod_name)
+            for base in node.bases:
+                spelled = dotted_name(base)
+                if spelled is None:
+                    continue
+                yield spelled
+                resolved = self._resolve_class(info, spelled)
+                if resolved is None or resolved in seen:
+                    continue
+                seen.add(resolved)
+                target_mod, target_cls = resolved
+                yield f"{target_mod}.{target_cls}"
+                work.append(
+                    (target_mod, self.modules[target_mod].classes[target_cls])
+                )
+
+    def _resolve_class(
+        self, info: ModuleInfo | None, spelled: str
+    ) -> tuple[str, str] | None:
+        if info is None:
+            return None
+        if "." not in spelled and spelled in info.classes:
+            return (info.name, spelled)
+        dotted = info.resolve(spelled)
+        if dotted is None:
+            return None
+        mod, _, cls = dotted.rpartition(".")
+        if mod in self.modules and cls in self.modules[mod].classes:
+            return (mod, cls)
+        return None
+
+    # -- call sites -----------------------------------------------------
+
+    def call_sites(self, func_name: str) -> Iterator[tuple[ModuleInfo, ast.Call]]:
+        """Every call in the project whose callee is named ``func_name``.
+
+        Matches both ``func(...)`` and ``obj.func(...)`` spellings —
+        one-hop, name-based call-graph resolution, deliberately
+        over-approximate (extra sites only make the analysis stricter).
+        """
+        for name in sorted(self.modules):
+            info = self.modules[name]
+            for node in ast.walk(info.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                if isinstance(fn, ast.Name) and fn.id == func_name:
+                    yield info, node
+                elif isinstance(fn, ast.Attribute) and fn.attr == func_name:
+                    yield info, node
+
+
+#: Layering contract: ``sim`` is the bottom of the stack and may not
+#: reach up into orchestration (``runner``) or observability (``trace``).
+_SIM_PREFIX = "repro.sim"
+_FORBIDDEN_TARGETS = ("repro.runner", "repro.trace")
+
+
+@register
+class ImportHygieneRule(ProjectRule):
+    """IMP001: no import cycles, and no ``sim`` -> ``runner``/``trace`` edges.
+
+    Sharded campaigns (ROADMAP item 1) ship the ``sim`` package into
+    worker processes; every upward import from ``sim`` drags the
+    orchestration or observability layer (and its ambient state) into
+    the shard image.  Cycles additionally make module initialisation
+    order depend on which entry point ran first — a classic source of
+    "works from the CLI, breaks under pytest" divergence.  The rule
+    walks the project import graph: Tarjan SCCs for cycles, plus a
+    layering check that ``repro.sim.*`` never imports ``repro.runner.*``
+    or ``repro.trace.*`` (function-local imports count — they still
+    execute inside the shard).
+    """
+
+    code = "IMP001"
+    name = "import-hygiene"
+    deep = True
+    description = (
+        "Import cycles and sim->runner/sim->trace back-edges couple the "
+        "shardable simulation core to orchestration state; keep `sim` "
+        "importable on its own."
+    )
+
+    def check_project(
+        self, ctxs: Iterable[FileContext]
+    ) -> Iterator[Violation]:
+        graph = ProjectGraph.build(ctxs)
+        yield from self._check(graph)
+
+    def _check(self, graph: ProjectGraph) -> Iterator[Violation]:
+        edges = graph.project_edges()
+        for scc in graph.cycles():
+            members = set(scc)
+            loop = " -> ".join(scc + [scc[0]])
+            for edge in edges:
+                if edge.nested:
+                    continue
+                if edge.source in members and edge.target in members:
+                    ctx = graph.modules[edge.source].ctx
+                    yield Violation(
+                        path=str(ctx.path),
+                        line=edge.lineno,
+                        col=edge.col + 1,
+                        code=self.code,
+                        message=(
+                            f"import of {edge.target} closes an import "
+                            f"cycle ({loop}); break the cycle"
+                        ),
+                    )
+        for info in graph.modules.values():
+            if not _in_layer(info.name, _SIM_PREFIX):
+                continue
+            for edge in info.imports:
+                for forbidden in _FORBIDDEN_TARGETS:
+                    if _in_layer(edge.target, forbidden):
+                        yield Violation(
+                            path=str(info.ctx.path),
+                            line=edge.lineno,
+                            col=edge.col + 1,
+                            code=self.code,
+                            message=(
+                                f"{info.name} (simulation core) imports "
+                                f"{edge.target}: sim may not depend on "
+                                f"{forbidden.split('.')[1]}; invert the "
+                                f"dependency (inject it from the driver)"
+                            ),
+                        )
+
+
+def _in_layer(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")

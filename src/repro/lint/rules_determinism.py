@@ -78,6 +78,17 @@ def _matches(name: str, entry: str) -> bool:
 
 @register
 class WallClockAndGlobalRandomRule(Rule):
+    """DET001: no wall-clock reads or process-global randomness.
+
+    Every number the pipeline produces must replay bit-for-bit from one
+    seed.  ``time.time()``/``datetime.now()`` fold the host's clock into
+    results, and the ``random`` module / numpy's module-level generators
+    carry process-global state that any import can perturb.  Route time
+    through the simulation clock and randomness through
+    ``RngFactory.stream(label, rep)``; only ``core/rng.py`` may touch
+    seed machinery.
+    """
+
     code = "DET001"
     name = "no-wall-clock-or-global-randomness"
     description = (
@@ -157,6 +168,15 @@ def _is_bare_set(node: ast.expr) -> bool:
 
 @register
 class UnstableOrderingRule(Rule):
+    """DET002: no ordering by hash()/id() and no bare-set iteration.
+
+    ``hash()`` is salted per process for strings, ``id()`` follows the
+    allocator, and a bare set iterates in hash order — all three give a
+    different sequence on every run, which poisons any scheduler or
+    reduction that consumes the order.  Sort by an explicit stable key,
+    or wrap the set in ``sorted(...)`` before iterating.
+    """
+
     code = "DET002"
     name = "no-hash-id-or-set-ordering"
     description = (
@@ -262,6 +282,15 @@ def _strip_view(node: ast.expr) -> ast.expr:
 
 @register
 class AmbientStateIterationRule(Rule):
+    """DET003: never enumerate the process environment.
+
+    Iterating ``os.environ`` (or a dict copied from it) folds whatever
+    the machine happens to export into program behaviour — a different
+    result set per shell, CI runner, and host.  Reading a *named*
+    variable with ``os.environ.get(...)`` is fine; enumeration is the
+    poison.
+    """
+
     code = "DET003"
     name = "no-ambient-state-iteration"
     description = (

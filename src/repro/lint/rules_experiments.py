@@ -37,6 +37,16 @@ def _find_repo_root(experiments_dir: Path) -> Path | None:
 
 @register
 class ExperimentCoverageRule(ProjectRule):
+    """EXP001: every fig module registered and benchmarked.
+
+    An ``experiments/fig*.py`` module missing from
+    ``experiments/registry.py`` cannot be run by ``repro experiment``
+    and silently drops out of EXPERIMENTS.md; one without a
+    ``benchmarks/test_bench_<figNN>*`` file stops being exercised.
+    Modules reproducing several figures need a benchmark per ``figNN``
+    token.
+    """
+
     code = "EXP001"
     name = "experiment-registry-and-benchmark-coverage"
     description = (

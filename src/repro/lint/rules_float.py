@@ -54,6 +54,13 @@ def _is_arithmetic(node: ast.expr) -> bool:
 
 @register
 class FloatEqualityRule(Rule):
+    """FLOAT001: no exact ==/!= between float expressions.
+
+    Exact float equality in simulation math is either dead code or a
+    platform-dependent branch.  Compare with a tolerance
+    (``abs(a - b) < eps``) or restructure onto integers.
+    """
+
     code = "FLOAT001"
     name = "no-float-equality"
     description = (
@@ -97,6 +104,14 @@ def _is_tick_operand(node: ast.expr) -> bool:
 
 @register
 class SimTimeAccumulationRule(Rule):
+    """FLOAT002: no accumulating simulation time with ``+= dt``.
+
+    A million accumulated float adds drift the clock by enough to flip
+    boundary comparisons; derive time as a closed form
+    (``(step + 1) * dt``).  Genuine duration integrals carry a
+    ``# repro: noqa-FLOAT002``.
+    """
+
     code = "FLOAT002"
     name = "no-sim-time-accumulation"
     description = (

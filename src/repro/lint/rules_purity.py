@@ -1,0 +1,237 @@
+"""PURE001 — tick-path kernel purity.
+
+The tick kernels (:mod:`repro.sim.kernels`) and the batched CC steppers
+(:mod:`repro.tcp.cc.batch`) are the code that sharded campaigns will run
+inside worker processes, thousands of flows per shard.  Byte-parity
+across shard counts holds only if a kernel's outputs are a function of
+its constructor arguments and per-tick inputs — nothing ambient.  A
+single ``os.environ`` read or module-global flag inside a tick path
+means two shards can compute different bytes from identical inputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.core import (
+    FileContext,
+    ProjectRule,
+    Violation,
+    dotted_name,
+    register,
+)
+from repro.lint.dataflow import FunctionScope
+from repro.lint.graph import ModuleInfo, ProjectGraph
+
+__all__ = ["KernelPurityRule"]
+
+#: Class names that mark a tick-path kernel wherever they appear in a
+#: base chain (resolved through the project graph when possible).
+_KERNEL_BASES = frozenset({"TickKernel", "ScalarKernel", "VectorKernel"})
+_KERNEL_HOME = "repro.sim.kernels"
+
+#: Modules whose classes are tick paths wholesale (the batched steppers).
+_BATCH_MODULES = frozenset({"repro.tcp.cc.batch"})
+
+#: Mutating method names: calling one on a module-level object is a
+#: write to module state even without an assignment statement.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "popitem",
+        "sort",
+        "reverse",
+        "fill",
+    }
+)
+
+
+def _is_environ_access(node: ast.AST) -> bool:
+    """``os.environ`` attribute chains and ``os.getenv(...)`` calls."""
+    if isinstance(node, ast.Attribute) and node.attr == "environ":
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and (
+            name == "getenv" or name.endswith(".getenv")
+        ):
+            return True
+    return False
+
+
+@register
+class KernelPurityRule(ProjectRule):
+    """PURE001: kernel tick paths may not touch ambient or module state.
+
+    A *tick path* is any method (except ``__init__``) of a kernel class
+    — a class whose transitive base chain reaches
+    ``repro.sim.kernels.TickKernel`` (``ScalarKernel``/``VectorKernel``
+    included), resolved through the project import graph so subclasses
+    in other modules and in fixtures are caught — or of any class in
+    ``repro.tcp.cc.batch``.  Inside a tick path the rule flags:
+
+    * reads of ``os.environ`` / ``os.getenv`` (ambient configuration —
+      kernel selection must happen before the kernel is built);
+    * ``global``/``nonlocal`` declarations and stores to module-level
+      names (hidden cross-shard channels);
+    * reads of *mutable* module state — names the symbol table saw
+      reassigned or ``global``-written anywhere in their module.
+      Imports, functions, classes, and assigned-once constants are
+      fine: they are the same bits in every shard.
+    * mutating method calls (``append``/``update``/…) and subscript
+      stores on module-level names — writes that hide behind a method.
+
+    ``__init__`` is exempt: construction happens in the driver, once,
+    before any shard forks.
+    """
+
+    code = "PURE001"
+    name = "kernel-tick-path-purity"
+    deep = True
+    description = (
+        "Tick-path methods of kernel/batch classes may not read or "
+        "write module globals, os.environ, or other non-parameter "
+        "mutable state; a kernel's bytes must be a function of its "
+        "inputs alone."
+    )
+
+    def check_project(
+        self, ctxs: Iterable[FileContext]
+    ) -> Iterator[Violation]:
+        graph = ProjectGraph.build(ctxs)
+        for name in sorted(graph.modules):
+            info = graph.modules[name]
+            for cls_name in sorted(info.classes):
+                cls = info.classes[cls_name]
+                if not self._is_kernel_class(graph, info, cls):
+                    continue
+                for stmt in cls.body:
+                    if not isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if stmt.name == "__init__":
+                        continue
+                    yield from self._check_method(info, cls, stmt)
+
+    # -- scope ----------------------------------------------------------
+
+    def _is_kernel_class(
+        self, graph: ProjectGraph, info: ModuleInfo, cls: ast.ClassDef
+    ) -> bool:
+        if info.name in _BATCH_MODULES:
+            return True
+        if info.name == _KERNEL_HOME and cls.name in _KERNEL_BASES:
+            return True
+        for base in graph.base_names(info.name, cls):
+            tail = base.rpartition(".")[2]
+            if tail in _KERNEL_BASES:
+                return True
+        return False
+
+    # -- method body ----------------------------------------------------
+
+    def _check_method(
+        self, info: ModuleInfo, cls: ast.ClassDef, method: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        ctx = info.ctx
+        scope = FunctionScope(method)
+        where = f"{cls.name}.{method.name}"
+
+        def module_binding(name: str):
+            if name in scope.locals:
+                return None
+            return info.bindings.get(name)
+
+        for node in ast.walk(method):
+            if _is_environ_access(node):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"kernel tick path {where} reads the process "
+                    f"environment; kernel selection and configuration "
+                    f"must be resolved before construction",
+                )
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"kernel tick path {where} declares "
+                    f"{'global' if isinstance(node, ast.Global) else 'nonlocal'} "
+                    f"{', '.join(node.names)}: module state is a hidden "
+                    f"cross-shard channel",
+                )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    leaf = target
+                    while isinstance(leaf, (ast.Subscript, ast.Attribute)):
+                        if (
+                            isinstance(leaf.value, ast.Name)
+                            and module_binding(leaf.value.id) is not None
+                        ):
+                            yield ctx.violation(
+                                node,
+                                self.code,
+                                f"kernel tick path {where} writes into "
+                                f"module-level {leaf.value.id!r}",
+                            )
+                        leaf = leaf.value
+                    if (
+                        isinstance(leaf, ast.Name)
+                        and not isinstance(target, (ast.Attribute, ast.Subscript))
+                        and module_binding(leaf.id) is not None
+                    ):
+                        yield ctx.violation(
+                            node,
+                            self.code,
+                            f"kernel tick path {where} rebinds "
+                            f"module-level {leaf.id!r}",
+                        )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                binding = module_binding(node.id)
+                if binding is not None and binding.kind == "mutable":
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        f"kernel tick path {where} reads mutable module "
+                        f"state {node.id!r} (reassigned at module scope); "
+                        f"pass it in as a constructor argument instead",
+                    )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                base = node.func.value
+                binding = (
+                    module_binding(base.id)
+                    if isinstance(base, ast.Name)
+                    else None
+                )
+                # Only module-level *data* can be mutated through a
+                # method; calls on imports (np.add, math.fsum) are ufuncs
+                # and functions, not container mutations.
+                if (
+                    node.func.attr in _MUTATING_METHODS
+                    and binding is not None
+                    and binding.kind in ("constant", "mutable")
+                ):
+                    yield ctx.violation(
+                        node,
+                        self.code,
+                        f"kernel tick path {where} mutates module-level "
+                        f"{base.id!r} via .{node.func.attr}()",
+                    )

@@ -1,0 +1,277 @@
+"""RNG001 — stream-label provenance and static crc32 collision freedom.
+
+:class:`repro.core.rng.RngFactory` derives every random stream from a
+string label hashed with ``zlib.crc32``.  The factory raises at runtime
+when two different labels collide, but only for labels that the *same*
+factory instance happens to see in the *same* process — a sharded
+campaign (ROADMAP item 1) builds one factory per shard, so a collision
+between labels used in different shards sails through every runtime
+guard and silently correlates "independent" streams across the run.
+
+RNG001 closes that hole statically: every ``.stream(...)`` /
+``.fork(...)`` label in the project must be **statically derivable**,
+and the derived label population must be **globally collision-free**
+under the same crc32 scheme the factory uses.
+"""
+
+from __future__ import annotations
+
+import ast
+import zlib
+from typing import Iterable, Iterator
+
+from repro.lint.core import (
+    FileContext,
+    ProjectRule,
+    Violation,
+    register,
+)
+from repro.lint.dataflow import (
+    UNKNOWN,
+    FunctionScope,
+    StrValue,
+    local_env,
+    module_env,
+    resolve_str,
+)
+from repro.lint.graph import ModuleInfo, ProjectGraph
+
+__all__ = ["RngStreamProvenanceRule"]
+
+
+def _crc32(label: str) -> int:
+    # Mirrors repro.core.rng.label_entropy; duplicated here so the lint
+    # package stays importable without pulling in numpy-backed modules.
+    return zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _enclosing_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef | None]]:
+    """Yield (node, innermost enclosing function) for every AST node."""
+    def walk(node: ast.AST, func) -> Iterator[tuple[ast.AST, ast.AST | None]]:
+        for child in ast.iter_child_nodes(node):
+            inner = (
+                child
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else func
+            )
+            yield child, inner
+            yield from walk(child, inner)
+
+    yield from walk(tree, None)  # type: ignore[misc]
+
+
+class _LabelSite:
+    """One resolved label occurrence: where it is, what it says."""
+
+    def __init__(
+        self, kind: str, label: str, ctx: FileContext, node: ast.AST
+    ) -> None:
+        self.kind = kind
+        self.label = label
+        self.ctx = ctx
+        self.line = getattr(node, "lineno", 1)
+        self.node = node
+
+    @property
+    def where(self) -> str:
+        return f"{self.ctx.path}:{self.line}"
+
+
+@register
+class RngStreamProvenanceRule(ProjectRule):
+    """RNG001: every RNG stream/fork label statically derivable & collision-free.
+
+    For each ``*.stream(label, ...)`` and ``*.fork(label)`` call the rule
+    resolves the label through the dataflow layer: string literals,
+    single-assignment local/module constants, ``+`` concatenation, and
+    f-strings.  Three outcomes:
+
+    * **fully static** — the label joins the project-wide population;
+      any two distinct labels mapping to the same crc32 entropy are
+      flagged at both sites (streams and forks check against separate
+      pools, mirroring ``RngFactory``'s separate owner registries);
+    * **namespaced dynamic** — an f-string whose constant prefix ends in
+      ``":"`` (``f"task:{label}"``) is accepted: the namespace isolates
+      it from every static label, and the runtime collision guard covers
+      clashes within the namespace.  Two *different* call sites sharing
+      one namespace prefix are flagged — they would silently share the
+      namespace;
+    * **anything else** — flagged as not statically derivable.  When the
+      label is a bare parameter of the enclosing function, the rule first
+      tries one call-graph hop: if every project call site passes a
+      statically derivable label, those labels are checked instead.
+    """
+
+    code = "RNG001"
+    name = "rng-stream-label-provenance"
+    deep = True
+    description = (
+        "RNG stream/fork labels must be statically derivable (literal, "
+        "resolved constant, or 'prefix:'-namespaced f-string) and "
+        "globally collision-free under the crc32 label scheme."
+    )
+
+    def check_project(
+        self, ctxs: Iterable[FileContext]
+    ) -> Iterator[Violation]:
+        graph = ProjectGraph.build(ctxs)
+        sites: list[_LabelSite] = []
+        namespaces: dict[tuple[str, str], _LabelSite] = {}
+        violations: list[Violation] = []
+        for name in sorted(graph.modules):
+            info = graph.modules[name]
+            if info.name == "repro.core.rng":
+                continue  # the factory itself (docstring examples aside)
+            menv = module_env(info)
+            for node, func in _enclosing_functions(info.ctx.tree):
+                call = self._label_call(node)
+                if call is None:
+                    continue
+                kind, label_expr = call
+                env = local_env(func, menv) if func is not None else menv
+                resolved = resolve_str(label_expr, env)
+                if resolved.complete:
+                    sites.append(
+                        _LabelSite(kind, resolved.value, info.ctx, node)
+                    )
+                    continue
+                if resolved.prefix.endswith(":"):
+                    key = (kind, resolved.prefix)
+                    first = namespaces.get(key)
+                    site = _LabelSite(kind, resolved.prefix, info.ctx, node)
+                    if first is not None:
+                        violations.append(
+                            info.ctx.violation(
+                                node,
+                                self.code,
+                                f"dynamic {kind} labels at {first.where} and "
+                                f"here share the namespace "
+                                f"{resolved.prefix!r}; two sites feeding one "
+                                f"namespace can collide at runtime — give "
+                                f"each site its own prefix",
+                            )
+                        )
+                    else:
+                        namespaces[key] = site
+                    continue
+                hop = self._call_graph_hop(
+                    graph, info, func, label_expr, kind, node
+                )
+                if hop is None:
+                    violations.append(
+                        info.ctx.violation(
+                            node,
+                            self.code,
+                            f"RNG {kind} label is not statically derivable; "
+                            f"use a string literal, a resolvable constant, "
+                            f"or an f-string with a constant 'prefix:' "
+                            f"namespace",
+                        )
+                    )
+                else:
+                    sites.extend(hop)
+        violations.extend(self._collisions(sites))
+        yield from sorted(violations)
+
+    # -- pieces ---------------------------------------------------------
+
+    @staticmethod
+    def _label_call(node: ast.AST) -> tuple[str, ast.expr] | None:
+        """Match ``obj.stream(label, ...)`` / ``obj.fork(label)`` calls."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("stream", "fork")
+        ):
+            return None
+        kind = node.func.attr
+        if node.args:
+            return kind, node.args[0]
+        for kw in node.keywords:
+            if kw.arg == "label":
+                return kind, kw.value
+        return None
+
+    def _call_graph_hop(
+        self,
+        graph: ProjectGraph,
+        info: ModuleInfo,
+        func: ast.FunctionDef | ast.AsyncFunctionDef | None,
+        label_expr: ast.expr,
+        kind: str,
+        node: ast.AST,
+    ) -> list[_LabelSite] | None:
+        """Resolve a parameter-valued label at the function's call sites.
+
+        Returns the resolved sites, or None when the label is not a bare
+        parameter or any call site stays dynamic.
+        """
+        if func is None or not isinstance(label_expr, ast.Name):
+            return None
+        scope = FunctionScope(func)
+        if not scope.is_param(label_expr.id):
+            return None
+        index = scope.param_index(label_expr.id)
+        resolved: list[_LabelSite] = []
+        found_any = False
+        for caller_info, call in graph.call_sites(func.name):
+            if call is node:
+                continue
+            found_any = True
+            arg = self._argument(call, index, label_expr.id)
+            if arg is None:
+                return None
+            caller_env = self._env_at(caller_info, call)
+            value = resolve_str(arg, caller_env)
+            if not value.complete:
+                return None
+            resolved.append(_LabelSite(kind, value.value, caller_info.ctx, call))
+        return resolved if found_any else None
+
+    @staticmethod
+    def _argument(
+        call: ast.Call, index: int | None, name: str
+    ) -> ast.expr | None:
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        if index is not None and index < len(call.args):
+            return call.args[index]
+        return None
+
+    @staticmethod
+    def _env_at(info: ModuleInfo, call: ast.Call) -> dict[str, StrValue]:
+        menv = module_env(info)
+        for node, func in _enclosing_functions(info.ctx.tree):
+            if node is call and func is not None:
+                return local_env(func, menv)
+        return menv
+
+    def _collisions(self, sites: list[_LabelSite]) -> Iterator[Violation]:
+        pools: dict[str, dict[int, _LabelSite]] = {"stream": {}, "fork": {}}
+        seen_labels: dict[str, set[str]] = {"stream": set(), "fork": set()}
+        for site in sites:
+            pool = pools[site.kind]
+            if site.label in seen_labels[site.kind]:
+                continue  # same label reused — same stream by design
+            seen_labels[site.kind].add(site.label)
+            entropy = _crc32(site.label)
+            owner = pool.get(entropy)
+            if owner is None:
+                pool[entropy] = site
+                continue
+            for a, b in ((owner, site), (site, owner)):
+                yield Violation(
+                    path=str(a.ctx.path),
+                    line=a.line,
+                    col=getattr(a.node, "col_offset", 0) + 1,
+                    code=self.code,
+                    message=(
+                        f"{a.kind} label {a.label!r} crc32-collides with "
+                        f"{b.label!r} (at {b.where}): both map to entropy "
+                        f"{entropy}, so the two streams would be "
+                        f"identical — rename one label"
+                    ),
+                )

@@ -55,6 +55,15 @@ def _is_number(node: ast.expr) -> bool:
 
 @register
 class MagicUnitConstantRule(Rule):
+    """UNIT001: no magic unit constants in simulation math.
+
+    Bare ``1e9``/``1e6``/``1024`` literals and ``* 8`` factors hide unit
+    conversions inside formulas — the classic factor-of-8 and
+    1000-vs-1024 bug class.  Convert through ``repro.core.units``
+    helpers (``units.G``, ``units.KB``, ``gbps()``, ...) so every
+    conversion happens at one audited boundary.
+    """
+
     code = "UNIT001"
     name = "no-magic-unit-constants"
     description = (
@@ -146,6 +155,14 @@ def _terminal_name(node: ast.expr) -> str | None:
 
 @register
 class DecimalByteSysctlRule(Rule):
+    """UNIT002: no decimal-round literals on byte-count sysctls.
+
+    Byte-count sysctls (``optmem_max``, ``rmem_max``, ``tcp_wmem``, ...)
+    have binary-round canonical values; writing ``2000000`` for "2 MB"
+    silently undersizes the buffer by ~5%.  Use ``units.MB``/``units.KB``
+    (binary) or the exact kernel value.
+    """
+
     code = "UNIT002"
     name = "no-decimal-byte-sysctls"
     description = (

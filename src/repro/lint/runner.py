@@ -5,6 +5,19 @@ both use it): collect ``.py`` files, run every registered per-file rule
 and then every project rule, drop ``# repro: noqa-<CODE>``-suppressed
 findings, and return the survivors sorted by position.
 
+Deep rules (``rule.deep``, the whole-program dataflow family) only run
+when ``deep=True`` or when their code is selected explicitly — so the
+default ``repro lint src/`` stays cheap and the committed-baseline
+workflow owns the deep findings.
+
+Discovery is deterministic (paths sorted as strings) and, when
+*expanding a directory*, prunes non-production subtrees — ``tests``,
+``benchmarks``, ``examples``, and the rule fixtures in
+``lint_fixtures`` — so ``repro lint .`` at the repo root is clean and
+stable.  Targeting one of those trees explicitly (``repro lint
+tests/lint_fixtures/det001.py`` or a fixture directory) still lints it:
+pruning applies only to directories *below* the expansion root.
+
 Files that fail to parse yield a single ``PARSE001`` violation rather
 than aborting the run — a broken file should show up in the report next
 to everything else.
@@ -20,14 +33,29 @@ from repro.core.errors import ReproError
 from repro.lint.core import (
     FileContext,
     ProjectRule,
+    Rule,
     Violation,
     all_rules,
     suppressed,
 )
 
-__all__ = ["iter_python_files", "lint_paths", "render_text", "render_json"]
+__all__ = [
+    "iter_python_files",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "render_sarif",
+]
 
+#: Cache/VCS directories: never linted, wherever they appear.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+#: Subtrees pruned during directory *expansion* only (explicit targets
+#: win): test/bench/example code legitimately breaks the src invariants,
+#: and lint_fixtures exists to violate them.
+_EXCLUDED_SUBTREES = frozenset(
+    {"tests", "benchmarks", "examples", "lint_fixtures"}
+)
 
 
 def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -40,28 +68,48 @@ def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
                 found.add(path)
         elif path.is_dir():
             for sub in path.rglob("*.py"):
-                if not any(part in _SKIP_DIRS for part in sub.parts):
-                    found.add(sub)
+                if any(part in _SKIP_DIRS for part in sub.parts):
+                    continue
+                below_root = sub.relative_to(path).parts[:-1]
+                if any(
+                    part in _EXCLUDED_SUBTREES or part.startswith(".")
+                    for part in below_root
+                ):
+                    continue
+                found.add(sub)
         else:
             raise ReproError(f"lint path does not exist: {path}")
-    return sorted(found)
+    return sorted(found, key=str)
 
 
-def lint_paths(
-    paths: Sequence[str | Path], select: Iterable[str] | None = None
-) -> list[Violation]:
-    """Lint ``paths`` with all (or ``select``-ed) rules; return violations."""
+def _select_rules(
+    select: Iterable[str] | None, deep: bool
+) -> list[Rule]:
     wanted = set(select) if select is not None else None
-    rules = [
-        r for r in all_rules() if wanted is None or r.code in wanted
-    ]
     if wanted is not None:
+        rules = [r for r in all_rules() if r.code in wanted]
         unknown = wanted - {r.code for r in rules}
         if unknown:
             raise ReproError(
                 f"unknown lint rule code(s): {sorted(unknown)}; "
                 f"have {[r.code for r in all_rules()]}"
             )
+        return rules
+    return [r for r in all_rules() if deep or not r.deep]
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    *,
+    deep: bool = False,
+) -> list[Violation]:
+    """Lint ``paths``; return violations.
+
+    ``select`` restricts to the named codes (deep or not); without it,
+    ``deep`` controls whether the whole-program rules join the run.
+    """
+    rules = _select_rules(select, deep)
 
     ctxs: list[FileContext] = []
     violations: list[Violation] = []
@@ -118,3 +166,63 @@ def render_json(violations: Sequence[Violation]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    """SARIF 2.1.0 report (what code-scanning UIs ingest).
+
+    One run, one ``repro-lint`` driver; every registered rule appears in
+    the rule table so suppressed-to-zero codes still show up as present.
+    """
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary()},
+            "fullDescription": {"text": rule.description},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": v.code,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(v.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": v.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/repro#invariants--linting"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

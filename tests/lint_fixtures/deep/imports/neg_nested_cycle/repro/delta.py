@@ -1,0 +1,7 @@
+"""IMP001 negative (2/2): a deferred import is the sanctioned cycle-breaker."""
+
+
+def helper():
+    from repro.gamma import entry
+
+    return entry

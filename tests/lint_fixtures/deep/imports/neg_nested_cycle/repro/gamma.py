@@ -1,0 +1,7 @@
+"""IMP001 negative (1/2): top-level half of a would-be cycle."""
+
+from repro.delta import helper
+
+
+def entry():
+    return helper

@@ -1,0 +1,7 @@
+"""IMP001 negative: the orchestration layer may import sim."""
+
+from repro.sim.engine import step
+
+
+def run():
+    return step

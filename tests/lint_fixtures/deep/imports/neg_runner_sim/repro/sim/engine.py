@@ -1,0 +1,5 @@
+"""IMP001 negative companion: the imported simulation module."""
+
+
+def step():
+    return 0

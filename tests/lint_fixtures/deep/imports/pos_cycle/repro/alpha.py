@@ -1,0 +1,7 @@
+"""IMP001 positive (1/2): half of a two-module import cycle."""
+
+from repro.beta import helper
+
+
+def entry():
+    return helper()

@@ -1,0 +1,7 @@
+"""IMP001 positive (2/2): the edge that closes the cycle."""
+
+from repro.alpha import entry
+
+
+def helper():
+    return entry

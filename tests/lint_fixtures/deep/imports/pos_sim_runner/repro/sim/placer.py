@@ -1,0 +1,7 @@
+"""IMP001 positive: simulation core importing the orchestration layer."""
+
+from repro.runner.scheduler import Scheduler
+
+
+def place(flows):
+    return Scheduler, flows

@@ -1,0 +1,7 @@
+"""IMP001 positive: simulation core importing the trace layer."""
+
+from repro.trace.bus import TraceBus
+
+
+def engine(recorder):
+    return TraceBus, recorder

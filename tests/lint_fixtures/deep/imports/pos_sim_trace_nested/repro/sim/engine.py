@@ -1,0 +1,7 @@
+"""IMP001 positive: a function-local trace import still runs in the shard."""
+
+
+def attach(recorder):
+    from repro.trace.bus import TraceBus
+
+    return TraceBus, recorder

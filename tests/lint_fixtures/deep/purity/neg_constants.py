@@ -1,0 +1,12 @@
+"""PURE001 negative: reading constants and imports is pure."""
+
+import math
+
+from repro.sim.kernels import VectorKernel
+
+_BETA = 0.7
+
+
+class SteadyKernel(VectorKernel):
+    def step(self, state):
+        return math.floor(state * _BETA)

@@ -1,0 +1,15 @@
+"""PURE001 negative: ``__init__`` may read configuration; ``step`` stays pure."""
+
+import os
+
+from repro.sim.kernels import ScalarKernel
+
+_WINDOW_SCALE = 2.0
+
+
+class ConfiguredKernel(ScalarKernel):
+    def __init__(self):
+        self.fast = bool(os.environ.get("REPRO_FAST"))
+
+    def step(self, state):
+        return state * _WINDOW_SCALE

@@ -1,0 +1,11 @@
+"""PURE001 negative: non-kernel classes are outside the rule's scope."""
+
+import os
+
+_MODE = "fast"
+_MODE = "slow"
+
+
+class Configurator:
+    def refresh(self):
+        return os.environ.get("REPRO_MODE", _MODE)

@@ -1,0 +1,12 @@
+"""PURE001 positive: a tick path reads the process environment."""
+
+import os
+
+from repro.sim.kernels import ScalarKernel
+
+
+class EnvGatedKernel(ScalarKernel):
+    def step(self, state):
+        if os.environ.get("REPRO_FORCE_SCALAR"):
+            return state
+        return state

@@ -1,0 +1,12 @@
+"""PURE001 positive: a tick path rebinds module state via ``global``."""
+
+from repro.sim.kernels import VectorKernel
+
+_step_count = 0
+
+
+class CountingKernel(VectorKernel):
+    def step(self, state):
+        global _step_count
+        _step_count = _step_count + 1
+        return state

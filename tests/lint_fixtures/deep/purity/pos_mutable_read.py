@@ -1,0 +1,13 @@
+"""PURE001 positive: a tick path reads reassigned module state."""
+
+from repro.sim.kernels import ScalarKernel
+
+_MODE = "fast"
+_MODE = "slow"
+
+
+class ModeKernel(ScalarKernel):
+    def step(self, state):
+        if _MODE == "slow":
+            return state
+        return state

@@ -1,0 +1,11 @@
+"""PURE001 positive: a tick path mutates a module-level container."""
+
+from repro.sim.kernels import VectorKernel
+
+_CACHE = {}
+
+
+class CachingKernel(VectorKernel):
+    def step(self, state):
+        _CACHE.update(last=state)
+        return state

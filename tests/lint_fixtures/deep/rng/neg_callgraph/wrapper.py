@@ -1,0 +1,9 @@
+"""RNG001 negative: a parameter label resolved through one call-graph hop."""
+
+
+def make_stream(factory, label):
+    return factory.stream(label)
+
+
+def build(factory):
+    return make_stream(factory, "wrapped-fixture")

@@ -1,0 +1,10 @@
+"""RNG001 negative: literal and constant labels, no collisions."""
+
+HOST_LABEL = "hostjitter-fixture"
+
+
+def streams(factory):
+    a = factory.stream(HOST_LABEL)
+    b = factory.stream("burst-fixture")
+    c = factory.fork("fork-fixture")
+    return a, b, c

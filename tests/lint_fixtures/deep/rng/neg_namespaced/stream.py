@@ -1,0 +1,5 @@
+"""RNG001 negative: a single site owning a ``prefix:`` namespace."""
+
+
+def task_stream(factory, name):
+    return factory.stream(f"taskfix:{name}")

@@ -1,0 +1,5 @@
+"""RNG001 positive (2/2): "buckeroo" and "plumless" share crc32 1306201125."""
+
+
+def seed_burst(factory):
+    return factory.stream("buckeroo")

@@ -1,0 +1,5 @@
+"""RNG001 positive (1/2): this label crc32-collides with buckeroo_entropy.py."""
+
+
+def seed_host(factory):
+    return factory.stream("plumless")

@@ -1,0 +1,5 @@
+"""RNG001 positive: label built from a runtime value, no namespace."""
+
+
+def jitter(factory, flow_id):
+    return factory.stream("flow" + flow_id)

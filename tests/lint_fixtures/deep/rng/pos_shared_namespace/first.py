@@ -1,0 +1,5 @@
+"""RNG001 positive (1/2): two sites feed the same dynamic namespace."""
+
+
+def stream_for(factory, ident):
+    return factory.stream(f"shard:{ident}")

@@ -1,0 +1,5 @@
+"""RNG001 positive (2/2): the second site sharing the ``shard:`` namespace."""
+
+
+def stream_other(factory, ident):
+    return factory.stream(f"shard:{ident}")

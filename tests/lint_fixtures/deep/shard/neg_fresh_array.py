@@ -1,0 +1,8 @@
+"""SHARD001 negative: writing into a locally created array is fine."""
+
+
+def doubled(rates):
+    fresh = list(rates)
+    for i in range(len(fresh)):
+        fresh[i] = fresh[i] * 2.0
+    return fresh

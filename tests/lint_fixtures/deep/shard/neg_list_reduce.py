@@ -1,0 +1,7 @@
+"""SHARD001 negative: positional containers reduce in index order."""
+
+
+def fold_list(samples):
+    partials = [1.0, 2.5, 4.0]
+    fresh = [s * 2.0 for s in samples]
+    return sum(partials) + sum(fresh)

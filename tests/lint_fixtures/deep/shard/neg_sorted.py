@@ -1,0 +1,9 @@
+"""SHARD001 negative: ``sorted(...)`` makes the fold order explicit."""
+
+
+def fold_sorted():
+    total = 0.0
+    counts = {"a": 1.0, "b": 2.0}
+    for value in sorted(counts.values()):
+        total += value
+    return total + sum(sorted(counts))

@@ -1,0 +1,9 @@
+"""SHARD001 positive: ``+=`` accumulation inside a loop over a dict."""
+
+
+def fold_goodput():
+    total = 0.0
+    counts = {"a": 1.0, "b": 2.0}
+    for value in counts.values():
+        total += value
+    return total

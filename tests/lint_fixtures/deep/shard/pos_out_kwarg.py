@@ -1,0 +1,8 @@
+"""SHARD001 positive: ufunc ``out=`` targeting a parameter."""
+
+import numpy as np
+
+
+def scale_in_place(rates, scale):
+    np.multiply(rates, scale, out=rates)
+    return rates

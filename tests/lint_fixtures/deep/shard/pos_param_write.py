@@ -1,0 +1,7 @@
+"""SHARD001 positive: subscript store into a caller-owned array."""
+
+
+def apply_pacing(rates, scale):
+    for i in range(len(rates)):
+        rates[i] = rates[i] * scale
+    return rates

@@ -1,0 +1,10 @@
+"""SHARD001 positive: ``sum`` over a name the dataflow resolved to a set.
+
+DET002's syntactic check only sees literal set displays in iteration
+position; the dataflow layer follows the binding.
+"""
+
+
+def total_rtt():
+    pending = {3.0, 5.0, 7.0}
+    return sum(pending)
