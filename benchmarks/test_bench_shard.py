@@ -1,0 +1,103 @@
+"""Sharded-simulator throughput bench: ticks/sec at 10k flows.
+
+Times a massive-flow campaign (10,000 cubic flows on the 54 ms AmLight
+path) through the sharded engine at 1 in-process shard and at 4
+process shards, asserts the two stay byte-identical (the bench is
+meaningless if they diverge), and refreshes ``BENCH_7.json`` at the
+repo root with the measured ticks/sec trajectory.
+
+The committed numbers are the perf contract: the single-shard engine
+must sustain ``MIN_TICKS_PER_SEC`` on this campaign (set ~3x below a
+quiet machine's measurement to absorb shared-CI noise; the JSON
+records the quiet-machine numbers).  Run with::
+
+    pytest benchmarks/test_bench_shard.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.rng import RngFactory
+from repro.sim.flowsim import FlowSpec, SimProfile
+from repro.sim.shard import FlowPopulation, ShardedFlowSimulator
+
+from repro.testbeds.amlight import AmLightTestbed
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_7.json"
+
+N_FLOWS = 10_000
+PROFILE = SimProfile(duration=2.0, tick=0.008, omit=0.5)
+SEED = 2024
+TRIALS = 3
+#: In-test floor on the 1-shard engine, ticks of 10k-flow simulation
+#: per wall-clock second; the committed JSON holds quiet-machine data.
+MIN_TICKS_PER_SEC = 40.0
+
+
+def _run_campaign(shards: int, mode: str):
+    """One timed campaign; returns (seconds, result)."""
+    tb = AmLightTestbed(kernel="6.8")
+    snd, rcv = tb.host_pair()
+    sim = ShardedFlowSimulator(
+        snd, rcv, tb.path("wan54"),
+        FlowPopulation.uniform(FlowSpec(), N_FLOWS),
+        PROFILE, RngFactory(SEED), shards=shards, mode=mode,
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    return time.perf_counter() - start, result
+
+
+def test_bench_shard_ticks_per_sec_and_parity():
+    n_ticks = int(round(PROFILE.duration / PROFILE.tick))
+
+    # Warm both transports (imports, allocator, fork machinery).
+    _run_campaign(1, "inproc")
+    _run_campaign(4, "process")
+
+    one_times, four_times = [], []
+    for _ in range(TRIALS):
+        e1, r1 = _run_campaign(1, "inproc")
+        e4, r4 = _run_campaign(4, "process")
+        one_times.append(e1)
+        four_times.append(e4)
+        assert np.array_equal(r1.per_flow_goodput, r4.per_flow_goodput)
+        assert r1.retransmit_segments == r4.retransmit_segments
+        assert r1.loss_events == r4.loss_events
+
+    best_one = min(one_times)
+    best_four = min(four_times)
+    tps_one = n_ticks / best_one
+    tps_four = n_ticks / best_four
+
+    entry = {
+        "bench": "shard-ticks",
+        "campaign": {
+            "testbed": "amlight",
+            "path": "wan54",
+            "flows": N_FLOWS,
+            "duration_sec": PROFILE.duration,
+            "tick_sec": PROFILE.tick,
+            "seed": SEED,
+        },
+        "trials": TRIALS,
+        "ticks": n_ticks,
+        "one_shard_sec": round(best_one, 4),
+        "four_shard_sec": round(best_four, 4),
+        "ticks_per_sec_1shard": round(tps_one, 1),
+        "ticks_per_sec_4shard": round(tps_four, 1),
+    }
+    BENCH_PATH.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    print(f"\n1-shard {best_one*1e3:.0f} ms ({tps_one:.0f} ticks/s) | "
+          f"4-shard {best_four*1e3:.0f} ms ({tps_four:.0f} ticks/s) "
+          f"-> {BENCH_PATH.name}")
+
+    assert tps_one >= MIN_TICKS_PER_SEC, (
+        f"1-shard engine sustained {tps_one:.1f} ticks/s at {N_FLOWS} "
+        f"flows, below the {MIN_TICKS_PER_SEC} ticks/s floor"
+    )

@@ -5,6 +5,7 @@ Six subcommands mirror the ways people use this package::
     repro iperf3    --testbed amlight --path wan54 --zerocopy --fq-rate 50
     repro experiment fig09 [--paper] [--markdown out.md]
     repro run       [exp_id ...|--all] --jobs 4 [--no-cache] [--cache-dir D]
+    repro run       scale-flows --shards 4 [--no-cache]
     repro trace     fig09 --out fig09.trace.json [--interval 0.1] [--csv f.csv]
     repro trace     fig09 --spill traces/ [--profile paper]
     repro trace     --diff a.trace.jsonl b.trace.jsonl
@@ -119,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="enable runtime invariant checks "
                        "(= REPRO_SANITIZE=1)")
+    p_run.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="pin the sharded simulator's worker count "
+                       "(default: $REPRO_SIM_SHARDS or 1); results are "
+                       "byte-identical for every N")
     p_run.add_argument("--trace", action="store_true",
                        help="record trace events for every task and "
                        "persist Perfetto artifacts next to the cache")
@@ -172,6 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="harness fidelity (default bench)")
     p_trace.add_argument("-j", "--jobs", type=int, default=1,
                          help="worker processes (default 1 = in-process)")
+    p_trace.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="pin the sharded simulator's worker count "
+                         "(traces are byte-identical for every N)")
     p_trace.add_argument("--validate", action="store_true",
                          help="schema-check the exported trace; exit 1 "
                          "on problems")
@@ -298,6 +306,7 @@ def _cmd_run(args) -> int:
         use_cache=not args.no_cache,
         cache_dir=Path(args.cache_dir) if args.cache_dir else None,
         trace=trace_spec,
+        shards=args.shards,
     )
     report = run_experiments(
         args.exp_ids or None, config=config, runner=runner
@@ -384,7 +393,9 @@ def _cmd_trace(args) -> int:
         config = replace(config, seed=args.seed)
     # Traced campaigns never read the cache, and the CLI writes its own
     # artifact (--out), so skip the cache machinery entirely.
-    runner = RunnerConfig(jobs=args.jobs, use_cache=False, trace=spec)
+    runner = RunnerConfig(
+        jobs=args.jobs, use_cache=False, trace=spec, shards=args.shards
+    )
     report = run_experiments([args.exp_id], config=config, runner=runner)
     task = report.by_id(args.exp_id)
     print(task.result.render())

@@ -24,10 +24,12 @@ from repro.experiments.fig07_cpu_intel import Fig07CpuIntel
 from repro.experiments.fig08_cpu_amd import Fig08CpuAmd
 from repro.experiments.fig09_optmem import Fig09OptmemSweep
 from repro.experiments.fig10_multi_esnet import Fig10MultiStreamESnet
+from repro.experiments.fig11_heavy_tail import Fig11HeavyTailAmLight
 from repro.experiments.fig11_multi_amlight import Fig11MultiStreamAmLight
 from repro.experiments.fig12_fig13_kernels import Fig12KernelsESnet, Fig13KernelsAmLight
 from repro.experiments.future_work import FutureBigTcpZerocopy, FutureHwGro
 from repro.experiments.pitfalls import IommuPitfall, PacingOverflowPitfall
+from repro.experiments.scaling import FlowCountScaling
 from repro.experiments.tables import Table1ESnetLan, Table2ESnetWan, Table3FlowControl
 from repro.tools.harness import HarnessConfig
 
@@ -58,6 +60,8 @@ _CLASSES: list[type[Experiment]] = [
     AblationCache,
     AblationBurst,
     AblationFallback,
+    Fig11HeavyTailAmLight,
+    FlowCountScaling,
 ]
 
 REGISTRY: dict[str, type[Experiment]] = {cls.exp_id: cls for cls in _CLASSES}

@@ -1,0 +1,110 @@
+"""Flow-count scaling campaign: fairness and retransmit rate vs N.
+
+The paper's multi-stream experiments stop at 8 parallel iperf3 flows —
+the regime a pair of DTN hosts can drive.  R&E backbone links carry
+*aggregates* of thousands to hundreds of thousands of flows, and the
+questions that matter at that scale are different: does max-min
+fairness survive the flow count, and how fast does the per-second
+retransmit rate grow as each flow's bandwidth share (and hence cwnd)
+shrinks toward the loss-recovery floor?
+
+This campaign sweeps ``N in (16, 1000, 10000, 100000)`` identical cubic
+flows over the four AmLight RTTs through the sharded simulator
+(:class:`~repro.sim.shard.ShardedFlowSimulator`), reporting Jain's
+fairness index and the post-omit retransmit rate.  The shard count is
+deliberately *not* pinned: results are byte-identical for any
+``--shards`` selection (the shard-parity invariant), which is exactly
+what the parity CI job exercises by diffing this experiment's digest
+across ``--shards 1/2/4``.
+
+Per-cell cost control (all deterministic functions of the config, so
+digests stay well defined): the measured window and the warm-up omit
+both shrink by ``min(1, 1000 / N)`` with ``8 * tick`` / ``16 * tick``
+floors — statistics averaged over 100k flows converge in far less
+wall-clock than an 8-flow throughput mean, and the aggregate reaches
+its operating point in a few ticks when each flow's share is tiny —
+and cells above 1000 flows run a single repetition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import RngFactory
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.sim.flowsim import FlowSpec, SimProfile
+from repro.sim.shard import FlowPopulation, ShardedFlowSimulator
+from repro.testbeds.amlight import AmLightTestbed
+from repro.tools.harness import HarnessConfig
+
+__all__ = ["FlowCountScaling"]
+
+PATHS = ("lan", "wan25", "wan54", "wan104")
+FLOW_COUNTS = (16, 1000, 10000, 100000)
+
+
+def _jain_index(goodput: np.ndarray) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), 1.0 = equal."""
+    total = float(goodput.sum())
+    squares = float(np.square(goodput).sum())
+    if squares <= 0.0:
+        return 1.0
+    return total * total / (goodput.size * squares)
+
+
+def _cell_profile(config: HarnessConfig, n_flows: int) -> SimProfile:
+    scale = min(1.0, 1000.0 / n_flows)
+    window = max((config.duration - config.omit) * scale, 8.0 * config.tick)
+    omit = max(config.omit * scale, 16.0 * config.tick)
+    return SimProfile(duration=omit + window, tick=config.tick, omit=omit)
+
+
+class FlowCountScaling(Experiment):
+    exp_id = "scale-flows"
+    title = "Fairness and retransmit rate vs flow count (sharded, AmLight)"
+    paper_ref = "Section 5 multi-stream results, extrapolated in N"
+    expectation = (
+        "max-min fairness stays near 1 at every N; retransmit rate climbs "
+        "with N as per-flow shares shrink, and falls with RTT at high N "
+        "(long paths slow the cwnd overshoot-recovery cadence)"
+    )
+
+    def run(self, config: HarnessConfig | None = None) -> ExperimentResult:
+        config = config or HarnessConfig.bench()
+        result = self._result(
+            ["path", "n_flows", "gbps", "fairness", "retr_rate"],
+            notes="sharded campaign; digest is invariant to --shards",
+        )
+        tb = AmLightTestbed(kernel="6.8")
+        snd, rcv = tb.host_pair()
+        rng = RngFactory(seed=config.seed)
+        for path_name in PATHS:
+            path = tb.path(path_name)
+            for n_flows in FLOW_COUNTS:
+                profile = _cell_profile(config, n_flows)
+                reps = config.repetitions if n_flows <= 1000 else 1
+                sim = ShardedFlowSimulator(
+                    snd,
+                    rcv,
+                    path,
+                    FlowPopulation.uniform(FlowSpec(), n_flows),
+                    profile=profile,
+                    rng=rng.fork(f"scale:{path_name}:{n_flows}"),
+                )
+                gbps = []
+                fairness = []
+                retr_rate = []
+                for rep in range(reps):
+                    run = sim.run(rep)
+                    gbps.append(run.total_gbps)
+                    fairness.append(_jain_index(run.per_flow_goodput))
+                    window = run.duration - run.omit
+                    retr_rate.append(run.retransmit_segments / window)
+                result.add_row(
+                    path=path_name,
+                    n_flows=n_flows,
+                    gbps=float(np.mean(gbps)),
+                    fairness=float(np.mean(fairness)),
+                    retr_rate=float(np.mean(retr_rate)),
+                )
+        return result

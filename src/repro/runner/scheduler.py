@@ -64,10 +64,16 @@ class RunnerConfig:
     #: Where to persist per-task trace artifacts; ``None`` puts them
     #: under the cache directory's ``traces/`` subtree.
     trace_dir: Path | None = None
+    #: When set, every task pins the sharded simulator to this many
+    #: shard workers (``repro run --shards N``); ``None`` leaves the
+    #: ambient ``REPRO_SIM_SHARDS`` selection in force.
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise RunnerError("need jobs >= 1")
+        if self.shards is not None and self.shards < 1:
+            raise RunnerError("need shards >= 1")
         if self.max_attempts < 1:
             raise RunnerError("need max_attempts >= 1")
         if self.retry_backoff < 0:
@@ -311,6 +317,12 @@ def run_experiments(
     config = config or HarnessConfig.bench()
     runner = runner or RunnerConfig()
     specs = [
-        TaskSpec(exp_id=exp_id, config=config, trace=runner.trace) for exp_id in ids
+        TaskSpec(
+            exp_id=exp_id,
+            config=config,
+            trace=runner.trace,
+            shards=runner.shards,
+        )
+        for exp_id in ids
     ]
     return run_tasks(specs, runner)

@@ -59,6 +59,12 @@ class TaskSpec:
     #: read the result cache (cached payloads carry no events), though
     #: their results are still stored — tracing does not change them.
     trace: TraceSpec | None = None
+    #: When set, the worker pins the sharded-simulator worker count
+    #: (:func:`repro.sim.shard.forced_shards`) for the run.  Deliberately
+    #: absent from the label and cache key: sharded results are
+    #: byte-identical for every shard count (the parity invariant), so a
+    #: cached 1-shard row set *is* the 4-shard row set.
+    shards: int | None = None
 
     @property
     def label(self) -> str:

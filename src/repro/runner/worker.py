@@ -9,6 +9,7 @@ shape flows back from a subprocess, an in-process run, and a cache hit.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 
@@ -40,6 +41,19 @@ def _maybe_crash(exp_id: str) -> None:
         os._exit(17)
 
 
+def _shard_scope(spec: TaskSpec):
+    """Pin the sharded-simulator worker count for this task, if any.
+
+    Single-use (``forced_shards`` is a generator context manager), so
+    each call site builds a fresh scope.
+    """
+    if spec.shards is None:
+        return contextlib.nullcontext()
+    from repro.sim.shard import forced_shards
+
+    return forced_shards(spec.shards)
+
+
 def execute_task(spec: TaskSpec) -> dict:
     """Run one experiment and return ``{"result": ..., "elapsed": ...}``.
 
@@ -60,7 +74,8 @@ def execute_task(spec: TaskSpec) -> dict:
     start = time.perf_counter()  # repro: noqa-DET001
     trace_payload = None
     if spec.trace is None:
-        result = run_experiment(spec.exp_id, spec.config)
+        with _shard_scope(spec):
+            result = run_experiment(spec.exp_id, spec.config)
     else:
         from repro.trace.bus import TraceBus, tracing
         from repro.trace.events import events_digest
@@ -74,7 +89,7 @@ def execute_task(spec: TaskSpec) -> dict:
             },
         )
         bus = TraceBus(sinks=[sink], probe_interval=spec.trace.interval)
-        with tracing(bus):
+        with _shard_scope(spec), tracing(bus):
             result = run_experiment(spec.exp_id, spec.config)
         if spec.trace.spill_dir is not None:
             # Spill mode: events already live on disk as a JSONL stream;

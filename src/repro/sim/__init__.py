@@ -7,6 +7,15 @@ from repro.sim.lossmodel import BurstModel, distribute_drops
 from repro.sim.metrics import CpuUtil, MetricsAccumulator, RunResult
 from repro.sim.sanitizer import SanitizerViolation, SimSanitizer, sanitized
 from repro.sim.sanitizer import enabled as sanitizer_enabled
+from repro.sim.shard import (
+    FlowPopulation,
+    ShardCrashError,
+    ShardedFlowSimulator,
+    ShardPlan,
+    force_shards,
+    forced_shards,
+    shard_count,
+)
 
 __all__ = [
     "SimSanitizer",
@@ -25,4 +34,11 @@ __all__ = [
     "MetricsAccumulator",
     "RunResult",
     "CpuUtil",
+    "FlowPopulation",
+    "ShardPlan",
+    "ShardCrashError",
+    "ShardedFlowSimulator",
+    "shard_count",
+    "force_shards",
+    "forced_shards",
 ]

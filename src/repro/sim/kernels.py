@@ -277,11 +277,52 @@ class VectorKernel(TickKernel):
 
     def __init__(self, ccs, send_models, recv_models, **kwargs) -> None:
         super().__init__(ccs, send_models, recv_models, **kwargs)
-        self.batch = CcBatch(ccs)
+        self._bind(CcBatch(ccs))
+
+    @classmethod
+    def from_batch(
+        cls,
+        batch: CcBatch,
+        send_models: list[CpuCostModel],
+        recv_models: list[CpuCostModel],
+        *,
+        run_noise: float,
+        snd_app_share: float,
+        rcv_app_share: float,
+        rcv_irq_share: float,
+        budget_rx: float,
+        agg_rx_base: float,
+    ) -> "VectorKernel":
+        """Build from a prebuilt :class:`CcBatch`, no per-flow CC objects.
+
+        The sharded massive-flow path constructs its congestion state
+        via :meth:`CcBatch.from_kinds` (one template per algorithm);
+        this constructor accepts that batch directly, skipping the
+        O(flows) object scans in :meth:`TickKernel.__init__`.
+        """
+        self = cls.__new__(cls)
+        self.n = int(batch.cwnd.size)
+        self.ccs = []
+        self.send_models = send_models
+        self.recv_models = recv_models
+        self.run_noise = run_noise
+        self.snd_app_share = snd_app_share
+        self.rcv_app_share = rcv_app_share
+        self.rcv_irq_share = rcv_irq_share
+        self.budget_rx = budget_rx
+        self.needs_validation = batch.needs_validation
+        self.snd_limit = np.zeros(self.n)
+        self.rcv_limit = np.full(self.n, agg_rx_base)
+        self._bind(batch)
+        return self
+
+    def _bind(self, batch: CcBatch) -> None:
+        """Attach the CC batch and (re)build the per-run scratch state."""
+        self.batch = batch
         # The batch owns the authoritative window array.
         self.cwnd = self.batch.cwnd
-        self.sender = SenderCostBatch(send_models)
-        self.receiver = ReceiverCostBatch(recv_models)
+        self.sender = SenderCostBatch(self.send_models)
+        self.receiver = ReceiverCostBatch(self.recv_models)
         # Precomputed scalar coefficients (same association as the
         # scalar kernel's left-to-right evaluation).
         self._budget_app = self.budget_rx * self.rcv_app_share

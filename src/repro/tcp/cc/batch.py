@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.errors import ConfigurationError
 from repro.tcp.cc.base import CongestionControl
 from repro.tcp.cc.cubic import Cubic
 from repro.tcp.cc.reno import Reno
@@ -56,6 +57,31 @@ class _ArrayGroup:
         self.any_ss = bool(self.in_ss.any())
         self.last_loss = np.full(g, float("-inf"))
         self.loss_events = np.zeros(g, dtype=int)
+
+    @classmethod
+    def _from_template(
+        cls, idx: np.ndarray, template: CongestionControl
+    ) -> "_ArrayGroup":
+        """Build a group by replicating one template CC's initial state.
+
+        The per-object constructor reads identical freshly-constructed
+        state from every object of a kind, so replicating one template's
+        values produces the same arrays without materializing one Python
+        CC object per flow — the massive-flow (sharded) path relies on
+        this to stay O(kinds) rather than O(flows) at setup.
+        """
+        self = cls.__new__(cls)
+        g = int(idx.size)
+        self.idx = idx
+        self.full = False
+        self.mss = template.mss
+        self.cwnd = np.full(g, float(template.state.cwnd_bytes))
+        self.ssthresh = np.full(g, float(template.state.ssthresh_bytes))
+        self.in_ss = np.full(g, bool(template.state.in_slow_start))
+        self.any_ss = bool(self.in_ss.any())
+        self.last_loss = np.full(g, float("-inf"))
+        self.loss_events = np.zeros(g, dtype=int)
+        return self
 
     def pacing(self, rtt: float, pace: np.ndarray) -> None:
         return  # loss-based algorithms are window-limited (pacing_rate None)
@@ -101,7 +127,15 @@ class _CubicBatch(_ArrayGroup):
 
     def __init__(self, idx: np.ndarray, ccs: list[Cubic]) -> None:
         super().__init__(idx, ccs)
-        g = len(ccs)
+        self._init_cubic_state(len(ccs))
+
+    @classmethod
+    def _from_template(cls, idx: np.ndarray, template: Cubic) -> "_CubicBatch":
+        self = super()._from_template(idx, template)
+        self._init_cubic_state(int(idx.size))
+        return self
+
+    def _init_cubic_state(self, g: int) -> None:
         self.w_max = np.zeros(g)
         self.k = np.zeros(g)
         # NaN encodes the scalar model's ``_epoch_start is None``; the
@@ -356,6 +390,58 @@ class CcBatch:
             grp = self._groups[0]
             grp.full = True
             self.cwnd = grp.cwnd
+
+    @classmethod
+    def from_kinds(cls, kinds: list[str], mss: float) -> "CcBatch":
+        """Build a batch from per-flow algorithm *names* via templates.
+
+        The object constructor above needs one Python CC object per
+        flow; at sharded campaign scale (10k–1M flows) that is the
+        setup bottleneck.  Freshly-constructed CCs of a kind are
+        interchangeable, so one template per kind supplies the initial
+        state (:meth:`_ArrayGroup._from_template`) and group membership
+        comes straight from the name list.  Only the array-backed
+        algorithms are supported — object-group CCs (BBR) would need
+        per-flow objects, defeating the point.
+        """
+        from repro.tcp.cc import make_cc
+
+        self = cls.__new__(cls)
+        n = len(kinds)
+        if n == 0:
+            raise ConfigurationError("need at least one flow")
+        group_types = {"cubic": _CubicBatch, "reno": _RenoBatch}
+        by_kind: dict[str, list[int]] = {}
+        for i, kind in enumerate(kinds):
+            if kind not in group_types:
+                raise ConfigurationError(
+                    f"cc {kind!r} does not support template batching; "
+                    f"choose one of {sorted(group_types)}"
+                )
+            by_kind.setdefault(kind, []).append(i)
+        self.cwnd = np.empty(n)
+        self.needs_validation = np.empty(n, dtype=bool)
+        self._groups = []
+        # Same group order as the object constructor: cubic, then reno.
+        for kind in ("cubic", "reno"):
+            idx = by_kind.get(kind)
+            if not idx:
+                continue
+            template = make_cc(kind, mss=mss)
+            grp = group_types[kind]._from_template(np.array(idx), template)
+            self._groups.append(grp)
+            self.cwnd[idx] = template.cwnd_bytes
+            self.needs_validation[idx] = template.needs_cwnd_validation
+        self._owner = {}
+        for grp in self._groups:
+            for pos, i in enumerate(grp.idx):
+                self._owner[int(i)] = (grp, pos)
+        self.self_paced = False
+        if len(self._groups) == 1:
+            grp = self._groups[0]
+            grp.full = True
+            self.cwnd = grp.cwnd
+        return self
 
     def pacing(self, rtt: float, pace: np.ndarray) -> None:
         """Fold self-imposed (BBR) pacing rates into ``pace`` in place."""

@@ -13,6 +13,12 @@ from __future__ import annotations
 
 COVERED: dict[str, list[str]] = {}
 
+#: The decorated objects themselves, so the coverage meta-test can
+#: check *what kind* of thing asserts each expectation — a tagged
+#: helper function would satisfy the name registry while pytest never
+#: collects it.
+ASSERTERS: dict[str, list[object]] = {}
+
 
 def asserts_expectation(*exp_ids: str):
     """Mark a test class/function as asserting these experiments' claims."""
@@ -20,6 +26,7 @@ def asserts_expectation(*exp_ids: str):
     def mark(obj):
         for exp_id in exp_ids:
             COVERED.setdefault(exp_id, []).append(obj.__qualname__)
+            ASSERTERS.setdefault(exp_id, []).append(obj)
         return obj
 
     return mark

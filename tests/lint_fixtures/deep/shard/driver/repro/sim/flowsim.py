@@ -1,0 +1,18 @@
+"""SHARD001 driver exemption: only ``run`` in sim/flowsim.py is exempt.
+
+The ``repro/sim/`` path segments make this fixture resolve as the
+driver module; the sanctioned ``run`` loop may fold into caller arrays,
+but every *other* function in the module is ordinary shardable code.
+"""
+
+
+def run(goodput, delivered, elapsed):
+    for i in range(len(goodput)):
+        goodput[i] = delivered[i] / elapsed
+    return goodput
+
+
+def helper_fold(pace, scale):
+    for i in range(len(pace)):
+        pace[i] = pace[i] * scale
+    return pace

@@ -9,11 +9,13 @@ point at an experiment that no longer exists.
 
 from __future__ import annotations
 
+import inspect
+
 from repro.experiments import all_experiment_ids
 from repro.experiments.registry import REGISTRY
 
 import tests.test_paper_shapes  # noqa: F401  — populates COVERED
-from tests._expectations import COVERED
+from tests._expectations import ASSERTERS, COVERED
 
 
 def test_every_expectation_is_asserted():
@@ -28,6 +30,30 @@ def test_every_expectation_is_asserted():
 def test_no_stale_coverage_tags():
     stale = sorted(set(COVERED) - set(all_experiment_ids()))
     assert not stale, f"coverage tags for unregistered experiments: {stale}"
+
+
+def test_expectations_are_asserted_by_test_classes():
+    """Coverage must come from pytest-collectable test *classes* with
+    real test methods.  A tagged module-level helper would satisfy the
+    name registry while pytest never runs it; a class with no
+    ``test_*`` methods would collect as zero tests."""
+    for exp_id, objs in sorted(ASSERTERS.items()):
+        for obj in objs:
+            assert inspect.isclass(obj) and obj.__name__.startswith(
+                "Test"
+            ), (
+                f"{exp_id!r} is asserted by {obj!r}, which pytest will "
+                "not collect as a test class"
+            )
+            methods = [
+                name
+                for name, member in vars(obj).items()
+                if name.startswith("test_") and callable(member)
+            ]
+            assert methods, (
+                f"{exp_id!r} is asserted by class {obj.__qualname__} "
+                "with no test_* methods — it collects as zero tests"
+            )
 
 
 def test_every_experiment_declares_an_expectation():

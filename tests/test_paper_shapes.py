@@ -567,6 +567,90 @@ class TestBurstBufferAblationClaims:
         assert finite["gbps"] < 0.8 * infinite["gbps"]
 
 
+@asserts_expectation("fig11-heavy")
+class TestFig11HeavyTailClaims:
+    """Pareto background at the same mean: elephants break WAN pacing."""
+
+    def test_lan_unaffected_by_tail_swap(self, campaign_result):
+        """No background on the LAN path, so swapping its *model* is a
+        no-op: lan rows track fig11's within run-label noise."""
+        heavy = campaign_result("fig11-heavy")
+        base = campaign_result("fig11")
+        for config in ("default", "zc-unpaced", "zc+9G"):
+            h = one_row(heavy, path="lan", config=config)
+            b = one_row(base, path="lan", config=config)
+            assert h["gbps"] == pytest.approx(b["gbps"], rel=0.05), config
+            assert h["retr"] == 0
+
+    def test_paced_still_beats_unpaced_on_wan(self, campaign_result):
+        res = campaign_result("fig11-heavy")
+        for path in ("wan25", "wan54", "wan104"):
+            unpaced = one_row(res, path=path, config="zc-unpaced")
+            paced = one_row(res, path=path, config="zc+9G")
+            assert paced["gbps"] > unpaced["gbps"] + 10, path
+
+    def test_unpaced_zerocopy_misses_max_on_wan(self, campaign_result):
+        res = campaign_result("fig11-heavy")
+        for path in ("wan25", "wan54", "wan104"):
+            row = one_row(res, path=path, config="zc-unpaced")
+            assert row["gbps"] < 45, path  # 8 x 9G pacing reaches ~72
+            assert row["retr"] > 1000, path
+
+    def test_elephant_bursts_break_pacing_cleanliness(self, campaign_result):
+        """Under the lognormal model, 9G pacing pins ~72 Gbps with tiny
+        stdev on every WAN path (fig11).  Infinite-variance bursts at
+        the *same mean* drag the paced aggregate below that and make it
+        visibly noisy — pacing cannot absorb elephants."""
+        heavy = campaign_result("fig11-heavy")
+        base = campaign_result("fig11")
+        for path in ("wan25", "wan54", "wan104"):
+            h = one_row(heavy, path=path, config="zc+9G")
+            b = one_row(base, path=path, config="zc+9G")
+            assert h["gbps"] < 0.9 * b["gbps"], path
+            assert h["stdev"] > 1.0, path
+
+
+@asserts_expectation("scale-flows")
+class TestFlowCountScalingClaims:
+    """Sharded campaigns: fairness and retransmit cadence vs N."""
+
+    PATHS = ("lan", "wan25", "wan54", "wan104")
+    COUNTS = (16, 1000, 10000, 100000)
+
+    def test_fairness_near_one_at_every_scale(self, campaign_result):
+        res = campaign_result("scale-flows")
+        for row in res.rows:
+            assert 0.85 < row["fairness"] <= 1.0, (
+                row["path"], row["n_flows"])
+
+    def test_retransmit_rate_climbs_with_flow_count(self, campaign_result):
+        res = campaign_result("scale-flows")
+        for path in self.PATHS:
+            rates = [one_row(res, path=path, n_flows=n)["retr_rate"]
+                     for n in self.COUNTS]
+            assert all(a < b for a, b in zip(rates, rates[1:])), (
+                path, rates)
+
+    def test_long_rtt_slows_the_retransmit_cadence(self, campaign_result):
+        """At high N each flow's share is tiny and every cwnd hovers at
+        the loss floor; the overshoot-recovery cycle then runs at a
+        rate set by the RTT, so longer paths retransmit *less* per
+        second."""
+        res = campaign_result("scale-flows")
+        for n in (10000, 100000):
+            rates = [one_row(res, path=p, n_flows=n)["retr_rate"]
+                     for p in self.PATHS]
+            assert all(a > b for a, b in zip(rates, rates[1:])), (
+                n, rates)
+
+    def test_aggregate_throughput_stays_in_band(self, campaign_result):
+        """Fair sharing, not collapse: the aggregate holds the paths'
+        usual 45-65 Gbps operating band at every flow count."""
+        res = campaign_result("scale-flows")
+        for row in res.rows:
+            assert 40 < row["gbps"] < 70, (row["path"], row["n_flows"])
+
+
 @asserts_expectation("abl-fallback")
 class TestFallbackAblationClaims:
     """1MB optmem_max throttles long-RTT zerocopy via copy fallback."""
