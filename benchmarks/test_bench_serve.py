@@ -1,0 +1,180 @@
+"""Load bench for the ``repro serve`` daemon: warm-hit rps and p99.
+
+Drives a live server (real sockets, real worker pool) through three
+deterministic phases and refreshes ``BENCH_8.json`` at the repo root:
+
+1. **warm** — a handful of cold configs execute once, paying pool
+   build + first-run cost and populating the cache;
+2. **coalesce burst** — ``BURST`` concurrent submissions of one fresh
+   config; exactly one may execute, the rest must ride it (the bench
+   fails if single-flight breaks, because then the numbers measure the
+   wrong machine);
+3. **hit replay** — ``REPLAY`` cache-hit requests over persistent
+   connections, their order drawn from a seeded ``RngFactory`` stream
+   so every run issues the identical sequence.  Requests/sec and p99
+   latency come from this phase.
+
+The committed JSON records quiet-machine numbers; the in-test floors
+(``MIN_RPS``, ``MAX_P99_MS``) sit far below/above them to absorb
+shared-CI noise.  Run with::
+
+    pytest benchmarks/test_bench_serve.py -s
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import http.client
+import json
+import time
+from pathlib import Path
+
+from repro.core.rng import RngFactory
+from repro.serve import ServeClient, ServeConfig, running_server
+from repro.tools.harness import HarnessConfig
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_8.json"
+
+BASE_CONFIG = HarnessConfig(
+    repetitions=2, duration=4.0, omit=1.0, tick=0.008, seed=2024
+)
+EXP_ID = "var"
+WARM_KEYS = 4  # distinct configs executed cold in phase 1
+BURST = 8  # concurrent identical submissions in phase 2
+REPLAY = 400  # warm-hit requests timed in phase 3
+CONNECTIONS = 2  # persistent connections sharing the replay
+SEED = 2024
+#: Floors on the warm-hit phase (quiet machines measure far better;
+#: the committed JSON holds the real numbers).
+MIN_RPS = 100.0
+MAX_P99_MS = 100.0
+
+
+def _replay_worker(host: str, port: int, bodies: list[bytes]) -> list[float]:
+    """Issue ``bodies`` on one persistent connection; per-request secs."""
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    latencies = []
+    try:
+        for body in bodies:
+            start = time.perf_counter()
+            conn.request(
+                "POST", "/experiments", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            reply = conn.getresponse()
+            payload = reply.read()
+            latencies.append(time.perf_counter() - start)
+            assert reply.status == 200, payload
+            assert b'"cached":true' in payload
+    finally:
+        conn.close()
+    return latencies
+
+
+def test_bench_serve_rps_and_p99(tmp_path):
+    config = ServeConfig(port=0, workers=2, cache_dir=tmp_path / "cache")
+    with running_server(config) as server:
+        client = ServeClient(config.host, server.port)
+
+        # -- phase 1: warm the pool and the cache -------------------------
+        warm_configs = [
+            dataclasses.replace(BASE_CONFIG, seed=BASE_CONFIG.seed + i)
+            for i in range(WARM_KEYS)
+        ]
+        warm_start = time.perf_counter()
+        digests = [
+            client.submit(EXP_ID, config=c)["digest"] for c in warm_configs
+        ]
+        warm_elapsed = time.perf_counter() - warm_start
+        assert len(set(digests)) == WARM_KEYS  # distinct seeds, distinct rows
+
+        # -- phase 2: coalesce burst --------------------------------------
+        burst_config = dataclasses.replace(
+            BASE_CONFIG, seed=BASE_CONFIG.seed + 1000
+        )
+        with concurrent.futures.ThreadPoolExecutor(BURST) as pool:
+            futs = [
+                pool.submit(client.submit, EXP_ID, burst_config)
+                for _ in range(BURST)
+            ]
+            docs = [f.result() for f in futs]
+        assert len({d["digest"] for d in docs}) == 1
+        coalesced = sum(1 for d in docs if d["coalesced"])
+        stats = client.stats()
+        assert coalesced == BURST - 1, (
+            f"expected {BURST - 1} of {BURST} identical in-flight requests "
+            f"to coalesce, got {coalesced} (stats: {stats})"
+        )
+
+        # -- phase 3: timed warm-hit replay -------------------------------
+        picks = RngFactory(seed=SEED).stream("bench:serve-replay")
+        bodies = [
+            json.dumps(
+                {
+                    "exp_id": EXP_ID,
+                    "config": warm_configs[
+                        int(picks.integers(0, WARM_KEYS))
+                    ].to_dict(),
+                }
+            ).encode("utf-8")
+            for _ in range(REPLAY)
+        ]
+        shares = [bodies[i::CONNECTIONS] for i in range(CONNECTIONS)]
+        replay_start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(CONNECTIONS) as pool:
+            latencies = [
+                sec
+                for chunk in pool.map(
+                    lambda share: _replay_worker(
+                        config.host, server.port, share
+                    ),
+                    shares,
+                )
+                for sec in chunk
+            ]
+        replay_elapsed = time.perf_counter() - replay_start
+        stats = client.stats()
+
+    rps = REPLAY / replay_elapsed
+    latencies.sort()
+    p50_ms = latencies[len(latencies) // 2] * 1e3
+    p99_ms = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))] * 1e3
+
+    entry = {
+        "bench": "serve-load",
+        "campaign": {
+            "exp_id": EXP_ID,
+            "base_config": BASE_CONFIG.to_dict(),
+            "warm_keys": WARM_KEYS,
+            "burst": BURST,
+            "replay_requests": REPLAY,
+            "connections": CONNECTIONS,
+            "workers": config.workers,
+            "seed": SEED,
+        },
+        "warm_sec": round(warm_elapsed, 4),
+        "replay_sec": round(replay_elapsed, 4),
+        "requests_per_sec": round(rps, 1),
+        "p50_ms": round(p50_ms, 3),
+        "p99_ms": round(p99_ms, 3),
+        "coalesced": coalesced,
+        "hits": stats["hits"],
+        "dispatched": stats["dispatched"],
+    }
+    BENCH_PATH.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\nwarm {warm_elapsed:.2f}s | replay {REPLAY} reqs in "
+        f"{replay_elapsed:.2f}s ({rps:.0f} rps, p50 {p50_ms:.1f} ms, "
+        f"p99 {p99_ms:.1f} ms) | {coalesced}/{BURST - 1} coalesced "
+        f"-> {BENCH_PATH.name}"
+    )
+
+    # Replay answers came from the cache, not the pool.
+    assert stats["dispatched"] == WARM_KEYS + 1
+    assert rps >= MIN_RPS, (
+        f"warm-hit path sustained {rps:.0f} rps, below the {MIN_RPS} floor"
+    )
+    assert p99_ms <= MAX_P99_MS, (
+        f"warm-hit p99 was {p99_ms:.1f} ms, above the {MAX_P99_MS} ms ceiling"
+    )

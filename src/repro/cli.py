@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Six subcommands mirror the ways people use this package::
+Seven subcommands mirror the ways people use this package::
 
     repro iperf3    --testbed amlight --path wan54 --zerocopy --fq-rate 50
     repro experiment fig09 [--paper] [--markdown out.md]
     repro run       [exp_id ...|--all] --jobs 4 [--no-cache] [--cache-dir D]
     repro run       scale-flows --shards 4 [--no-cache]
+    repro serve     [--port 8472] [--workers 4] [--cache-dir D]
+    repro serve     --check [--url HOST:PORT] [--exp fig09]
     repro trace     fig09 --out fig09.trace.json [--interval 0.1] [--csv f.csv]
     repro trace     fig09 --spill traces/ [--profile paper]
     repro trace     --diff a.trace.jsonl b.trace.jsonl
@@ -131,6 +133,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --trace: stream each task's events to "
                        "a JSONL file in DIR (bounded memory) instead of "
                        "buffering them in the worker")
+
+    # -- repro serve ------------------------------------------------------
+    p_serve = sub.add_parser(
+        "serve",
+        help="always-warm experiment service over HTTP",
+        description="Asyncio daemon fronting the content-addressed "
+        "result cache and a persistent pre-warmed worker pool.  "
+        "POST /experiments submits a config and returns the result "
+        "digest (identical in-flight configs coalesce onto one run); "
+        "GET /results/<digest> serves stored results in O(1); "
+        "GET /traces/<digest>/tail streams spilled trace events over "
+        "SSE.  A digest served by the daemon is byte-identical to the "
+        "digest `repro run` produces for the same config.",
+    )
+    p_serve.add_argument("--host", default=None,
+                         help="bind address (default $REPRO_SERVE_HOST "
+                         "or 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port; 0 picks an ephemeral one "
+                         "(default $REPRO_SERVE_PORT or 8472)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="persistent pool size (default "
+                         "$REPRO_SERVE_WORKERS or 2)")
+    p_serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cache location (default $REPRO_CACHE_DIR "
+                         "or .repro_cache)")
+    p_serve.add_argument("--trace-dir", metavar="DIR", default=None,
+                         help="where traced runs spill JSONL streams "
+                         "(default <cache>/serve-traces)")
+    p_serve.add_argument("--check", action="store_true",
+                         help="self-test: POST an experiment twice plus "
+                         "concurrent duplicates, assert cache-hit + "
+                         "coalescing via /stats, and compare the served "
+                         "digest against a direct in-process run")
+    p_serve.add_argument("--url", metavar="HOST:PORT", default=None,
+                         help="with --check: test an already-running "
+                         "daemon instead of starting a private one")
+    p_serve.add_argument("--exp", default="fig09", metavar="EXP_ID",
+                         help="experiment the check submits "
+                         "(default fig09)")
+    p_serve.add_argument("--profile", choices=["quick", "bench", "paper"],
+                         default="quick",
+                         help="harness fidelity for --check "
+                         "(default quick)")
+    p_serve.add_argument("--digest-out", metavar="FILE", default=None,
+                         help="with --check: write the served digest to "
+                         "FILE (lets CI cmp it against repro run)")
 
     # -- repro trace ------------------------------------------------------
     p_trace = sub.add_parser(
@@ -523,6 +572,149 @@ def _cmd_advise(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.serve import ServeConfig
+
+    config = ServeConfig.from_env(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        trace_dir=Path(args.trace_dir) if args.trace_dir else None,
+    )
+    if args.check:
+        return _serve_check(args, config)
+    import asyncio
+
+    from repro.serve import ExperimentServer
+
+    server = ExperimentServer(config)
+
+    async def _main() -> None:
+        await server.start()
+        print(
+            f"repro serve: listening on http://{config.host}:{server.port} "
+            f"(workers={config.workers}, cache={server.cache.root})"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0
+
+
+def _serve_check(args, config) -> int:
+    """Self-test against a live daemon (started privately unless --url).
+
+    Exercises the full acceptance contract: health, an uncached POST,
+    a warm re-POST that must hit the cache, a pair of concurrent
+    duplicate POSTs that must coalesce onto one run, /stats counters
+    backing all of the above, and digest parity against a direct
+    in-process ``run_experiment``.
+    """
+    import concurrent.futures
+    import contextlib
+    import dataclasses
+
+    from repro.serve import ServeClient, running_server
+
+    harness = {
+        "quick": HarnessConfig.quick,
+        "bench": HarnessConfig.bench,
+        "paper": HarnessConfig.paper,
+    }[args.profile]()
+
+    failures: list[str] = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        mark = "ok" if ok else "FAIL"
+        print(f"  [{mark}] {label}: {detail}")
+        if not ok:
+            failures.append(label)
+
+    with contextlib.ExitStack() as stack:
+        if args.url:
+            host, _, port = args.url.rpartition(":")
+            if not host or not port.isdigit():
+                raise ReproError(f"--url wants HOST:PORT, got {args.url!r}")
+            client = ServeClient(host, int(port))
+        else:
+            server = stack.enter_context(running_server(config))
+            client = ServeClient(config.host, server.port)
+        print(f"repro serve --check against {client.host}:{client.port}")
+        health = client.healthz()
+        check("healthz", health.get("ok") is True, str(health))
+
+        first = client.submit(args.exp, config=harness)
+        check(
+            "cold submit",
+            bool(first.get("digest")),
+            f"digest {first.get('digest', '')[:12]} "
+            f"cached={first.get('cached')}",
+        )
+        second = client.submit(args.exp, config=harness)
+        check(
+            "warm re-submit",
+            second.get("cached") is True
+            and second.get("digest") == first.get("digest"),
+            f"cached={second.get('cached')}",
+        )
+
+        # Concurrent duplicates on a fresh config so neither can be a
+        # plain cache hit: exactly one should run, the other coalesce.
+        dup = dataclasses.replace(harness, seed=harness.seed + 1)
+        with concurrent.futures.ThreadPoolExecutor(2) as pool:
+            futs = [pool.submit(client.submit, args.exp, dup)
+                    for _ in range(2)]
+            docs = [f.result() for f in futs]
+        check(
+            "coalesced duplicates",
+            sum(1 for d in docs if d.get("coalesced")) == 1
+            and docs[0]["digest"] == docs[1]["digest"],
+            f"coalesced flags "
+            f"{sorted(bool(d.get('coalesced')) for d in docs)}",
+        )
+
+        stats = client.stats()
+        check(
+            "stats counters",
+            stats.get("hits", 0) >= 1 and stats.get("coalesced", 0) >= 1,
+            f"hits={stats.get('hits')} misses={stats.get('misses')} "
+            f"coalesced={stats.get('coalesced')}",
+        )
+
+        stored = client.result(first["digest"])
+        direct = run_experiment(args.exp, config=harness)
+        parity = (
+            direct.digest() == first["digest"]
+            and stored["result"] == direct.to_dict()
+        )
+        check(
+            "digest parity vs direct run",
+            parity,
+            f"served {first['digest'][:12]} "
+            f"direct {direct.digest()[:12]}",
+        )
+
+        if args.digest_out:
+            with open(args.digest_out, "w") as fh:
+                fh.write(first["digest"] + "\n")
+            print(f"  wrote digest to {args.digest_out}")
+
+    if failures:
+        print(f"serve check FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("serve check passed")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -538,6 +730,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_lint(args)
         if args.command == "advise":
             return _cmd_advise(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         raise AssertionError("unreachable")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

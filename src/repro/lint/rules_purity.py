@@ -34,6 +34,14 @@ _KERNEL_HOME = "repro.sim.kernels"
 #: Modules whose classes are tick paths wholesale (the batched steppers).
 _BATCH_MODULES = frozenset({"repro.tcp.cc.batch"})
 
+#: The daemon package: every ``repro.serve`` module is environment-pure
+#: except the startup-config reader.  A handler that consults
+#: ``os.environ`` answers differently depending on who exported what —
+#: the served digest must be a function of the request and the
+#: :class:`~repro.serve.config.ServeConfig` the daemon booted with.
+_SERVE_PREFIX = "repro.serve"
+_SERVE_CONFIG_MODULE = "repro.serve.config"
+
 #: Mutating method names: calling one on a module-level object is a
 #: write to module state even without an assignment statement.
 _MUTATING_METHODS = frozenset(
@@ -93,6 +101,13 @@ class KernelPurityRule(ProjectRule):
 
     ``__init__`` is exempt: construction happens in the driver, once,
     before any shard forks.
+
+    The rule also covers the ``repro serve`` daemon: any module under
+    ``repro.serve`` *except* ``repro.serve.config`` (the sanctioned
+    startup-configuration reader) may not read ``os.environ`` /
+    ``os.getenv`` anywhere — request handlers must be a function of
+    the request and the ``ServeConfig`` the daemon booted with, or the
+    served digests stop being reproducible from the request alone.
     """
 
     code = "PURE001"
@@ -102,7 +117,8 @@ class KernelPurityRule(ProjectRule):
         "Tick-path methods of kernel/batch classes may not read or "
         "write module globals, os.environ, or other non-parameter "
         "mutable state; a kernel's bytes must be a function of its "
-        "inputs alone."
+        "inputs alone.  repro.serve modules (except serve.config) may "
+        "not read the environment at all."
     )
 
     def check_project(
@@ -111,6 +127,8 @@ class KernelPurityRule(ProjectRule):
         graph = ProjectGraph.build(ctxs)
         for name in sorted(graph.modules):
             info = graph.modules[name]
+            if self._is_covered_serve_module(name):
+                yield from self._check_serve_module(info)
             for cls_name in sorted(info.classes):
                 cls = info.classes[cls_name]
                 if not self._is_kernel_class(graph, info, cls):
@@ -138,6 +156,26 @@ class KernelPurityRule(ProjectRule):
             if tail in _KERNEL_BASES:
                 return True
         return False
+
+    @staticmethod
+    def _is_covered_serve_module(name: str) -> bool:
+        if name == _SERVE_CONFIG_MODULE:
+            return False
+        return name == _SERVE_PREFIX or name.startswith(_SERVE_PREFIX + ".")
+
+    def _check_serve_module(self, info: ModuleInfo) -> Iterator[Violation]:
+        """Flag every environment read in a (non-config) serve module."""
+        ctx = info.ctx
+        for node in ast.walk(ctx.tree):
+            if _is_environ_access(node):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"serve module {info.name} reads the process "
+                    f"environment; only {_SERVE_CONFIG_MODULE} may parse "
+                    f"startup configuration — handlers must answer from "
+                    f"the request and the ServeConfig alone",
+                )
 
     # -- method body ----------------------------------------------------
 

@@ -24,12 +24,32 @@ from repro.runner.cache import (
     default_cache_dir,
     source_digest,
 )
+from repro.runner.core import (
+    BackoffSchedule,
+    CampaignPlan,
+    RetryPolicy,
+    SchedulerCore,
+    plan_campaign,
+)
 from repro.runner.executors import ProcessExecutor, SerialExecutor
 from repro.runner.scheduler import RunnerConfig, run_experiments, run_tasks
 from repro.runner.tasks import RunReport, TaskResult, TaskSpec, task_seed
+from repro.runner.transport import (
+    InlineTransport,
+    PersistentPoolTransport,
+    PoolRoundTransport,
+)
 
 __all__ = [
+    "BackoffSchedule",
+    "CampaignPlan",
+    "InlineTransport",
+    "PersistentPoolTransport",
+    "PoolRoundTransport",
     "ProcessExecutor",
+    "RetryPolicy",
+    "SchedulerCore",
+    "plan_campaign",
     "ResultCache",
     "RunReport",
     "RunnerConfig",

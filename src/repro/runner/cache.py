@@ -141,7 +141,28 @@ class ResultCache:
         return copy.deepcopy(self._memo[key])
 
     def put(self, key: str, payload: dict) -> None:
-        """Atomically store ``payload`` (a dict with a ``result`` entry)."""
+        """Atomically store ``payload`` (a dict with a ``result`` entry).
+
+        Safe under concurrent writers *and* mid-write crashes — the
+        daemon makes both real (two pool workers can finish the same
+        coalesce-missed key back to back, and a SIGKILL can land inside
+        any ``put``):
+
+        * each writer gets a private ``mkstemp`` file, fsyncs it, then
+          publishes with ``os.replace`` — an atomic rename, so readers
+          only ever see a complete entry.  Racing writers of the same
+          key replace each other whole-file; since entries are a
+          deterministic function of the key, every winner's bytes are
+          identical (the race regression test asserts this with two
+          processes).
+        * the tempfile-unlink guard covers every failure point: an
+          ``fdopen`` failure closes the raw fd before unlinking, any
+          later failure (write, fsync, rename) unlinks the temp file,
+          and the original exception always re-raises.  A crashed
+          *process* can still orphan a ``.tmp-*`` file; readers never
+          look at those (entry paths are ``<key>.json``), so an orphan
+          costs bytes, not correctness.
+        """
         payload = {"format": CACHE_FORMAT, "key": key, **payload}
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -149,8 +170,18 @@ class ResultCache:
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
         try:
-            with os.fdopen(fd, "w") as fh:
+            try:
+                fh = os.fdopen(fd, "w")
+            except BaseException:
+                os.close(fd)
+                raise
+            with fh:
                 fh.write(canonical_json(payload))
+                fh.flush()
+                # A system crash after the rename must not leave a
+                # published-but-empty entry; fsync orders the data
+                # ahead of the publish.
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

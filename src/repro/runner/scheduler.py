@@ -1,40 +1,42 @@
-"""The process-pool experiment scheduler.
+"""The campaign scheduler: pure core + pluggable transport.
 
 ``run_tasks`` fans :class:`~repro.runner.tasks.TaskSpec`\\ s out across
-worker processes and returns a :class:`~repro.runner.tasks.RunReport`
-in submission order.  Three properties the test net locks down:
+an execution transport and returns a
+:class:`~repro.runner.tasks.RunReport` in submission order.  The
+decisions live in :mod:`repro.runner.core` (what runs, what the cache
+serves, how crashed tasks retry); the machinery lives in
+:mod:`repro.runner.transport` (in-process, per-round process pools, or
+the daemon's persistent warm pool).  Three properties the test net
+locks down:
 
 * **Determinism** — a task's rows depend only on (code, exp_id,
-  config); worker count, submission order, and completion order cannot
-  change a single number.  Results are slotted back by submission
-  index, never by completion order.
+  config); worker count, transport choice, submission order, and
+  completion order cannot change a single number.  Results are slotted
+  back by submission index, never by completion order.
 * **Cache transparency** — with the content-addressed cache enabled,
   hits skip execution entirely and return rows bit-identical to a
   fresh run (golden tests compare digests across serial, parallel, and
   cache-hit campaigns).
 * **Crash containment** — a dying worker (OOM-killed, segfaulting
-  native code) breaks a :mod:`concurrent.futures` pool; the scheduler
-  collects the casualties, rebuilds the pool, and retries them with
-  exponential backoff and RngFactory-derived jitter.  Deterministic
-  experiment *exceptions* are never retried — they propagate exactly
-  as a serial run would raise them.
+  native code) breaks a :mod:`concurrent.futures` pool; the transport
+  reports the casualties, the core charges their attempts and prices
+  the backoff (exponential with RngFactory-derived jitter), and the
+  loop retries them.  Deterministic experiment *exceptions* are never
+  retried — they propagate exactly as a serial run would raise them.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.errors import ConfigurationError, RunnerError
-from repro.core.rng import RngFactory
 from repro.experiments.base import ExperimentResult
-from repro.runner.cache import ResultCache, cache_key, default_cache_dir, source_digest
-from repro.runner.executors import pool_context
+from repro.runner.cache import ResultCache, default_cache_dir, source_digest
+from repro.runner.core import RetryPolicy, SchedulerCore, plan_campaign
 from repro.runner.tasks import RunReport, TaskResult, TaskSpec
-from repro.runner.worker import execute_task
+from repro.runner.transport import InlineTransport, PoolRoundTransport
 from repro.tools.harness import HarnessConfig
 from repro.trace.bus import TraceSpec
 
@@ -74,12 +76,16 @@ class RunnerConfig:
             raise RunnerError("need jobs >= 1")
         if self.shards is not None and self.shards < 1:
             raise RunnerError("need shards >= 1")
-        if self.max_attempts < 1:
-            raise RunnerError("need max_attempts >= 1")
-        if self.retry_backoff < 0:
-            raise RunnerError(
-                f"need retry_backoff >= 0, got {self.retry_backoff}"
-            )
+        # Delegates the retry-knob validation (same messages as ever).
+        self.retry_policy()
+
+    def retry_policy(self) -> RetryPolicy:
+        """This config's crash-retry policy, in the core's terms."""
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            backoff=self.retry_backoff,
+            seed=self.seed,
+        )
 
 
 def _result_from_payload(payload: dict) -> ExperimentResult:
@@ -158,72 +164,25 @@ def _trace_summary(spec: TaskSpec, payload: dict, store_dir: Path | None) -> dic
     }
 
 
-def _run_pool(
-    pending: list,
-    runner: RunnerConfig,
-    slots: list,
-    store_dir: Path | None = None,
-) -> None:
-    """Execute ``(index, spec, key)`` triples on a worker pool.
+def _default_transport(runner: RunnerConfig):
+    if runner.jobs == 1:
+        return InlineTransport()
+    return PoolRoundTransport(runner.jobs)
 
-    Fills ``slots[index]`` with a :class:`TaskResult` for each triple.
-    Rebuilds the pool and retries crashed tasks until they succeed or
-    exhaust ``runner.max_attempts``.
+
+def run_tasks(
+    specs: list[TaskSpec],
+    runner: RunnerConfig | None = None,
+    transport=None,
+) -> RunReport:
+    """Run a campaign of tasks; results come back in submission order.
+
+    ``transport`` overrides the execution surface (default: in-process
+    for ``jobs=1``, per-round process pools otherwise).  A caller-owned
+    transport — the daemon's
+    :class:`~repro.runner.transport.PersistentPoolTransport` — is left
+    open on return; transports built here are closed here.
     """
-    attempts = {index: 0 for index, _, _ in pending}
-    jitter_rng = RngFactory(seed=runner.seed).stream("runner:retry-jitter")
-    retry_round = 0
-    while pending:
-        for index, _, _ in pending:
-            attempts[index] += 1
-        crashed = []
-        workers = min(runner.jobs, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=pool_context()
-        ) as pool:
-            futures = {
-                pool.submit(execute_task, spec): (index, spec, key)
-                for index, spec, key in pending
-            }
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    index, spec, key = futures[fut]
-                    try:
-                        payload = fut.result()
-                    except BrokenProcessPool:
-                        crashed.append((index, spec, key))
-                        continue
-                    slots[index] = TaskResult(
-                        spec=spec,
-                        result=_result_from_payload(payload),
-                        cached=False,
-                        attempts=attempts[index],
-                        elapsed=payload["elapsed"],
-                        trace=_trace_summary(spec, payload, store_dir),
-                    )
-        if not crashed:
-            return
-        dead = [
-            spec.exp_id
-            for index, spec, _ in crashed
-            if attempts[index] >= runner.max_attempts
-        ]
-        if dead:
-            raise RunnerError(
-                f"worker crashed {runner.max_attempts} times running "
-                f"{', '.join(sorted(set(dead)))}; giving up"
-            )
-        retry_round += 1
-        delay = runner.retry_backoff * 2 ** (retry_round - 1)
-        delay *= 1.0 + 0.25 * float(jitter_rng.random())
-        time.sleep(delay)
-        pending = crashed
-
-
-def run_tasks(specs: list[TaskSpec], runner: RunnerConfig | None = None) -> RunReport:
-    """Run a campaign of tasks; results come back in submission order."""
     runner = runner or RunnerConfig()
     # wall-clock here times the campaign for the report, never a
     # simulated quantity
@@ -243,44 +202,50 @@ def run_tasks(specs: list[TaskSpec], runner: RunnerConfig | None = None) -> RunR
         elif cache is not None:
             store_dir = cache.root / "traces"
 
-    pending: list[tuple[int, TaskSpec, str]] = []
-    for index, spec in enumerate(specs):
-        key = ""
-        if cache is not None:
-            key = cache_key(spec.exp_id, spec.config, src_digest)
-            # Traced tasks must actually execute — a cached payload has
-            # the rows but not the event stream — yet still store their
-            # (trace-independent) results for later untraced campaigns.
-            if spec.trace is None:
-                doc = cache.get(key)
-                if doc is not None:
-                    slots[index] = TaskResult(
-                        spec=spec,
-                        result=_result_from_payload(doc),
-                        cached=True,
-                        attempts=0,
-                        elapsed=0.0,
-                    )
-                    continue
-        pending.append((index, spec, key))
+    plan = plan_campaign(specs, cache, src_digest)
+    for index, doc in plan.cached:
+        slots[index] = TaskResult(
+            spec=specs[index],
+            result=_result_from_payload(doc),
+            cached=True,
+            attempts=0,
+            elapsed=0.0,
+        )
 
-    if pending:
-        if runner.jobs == 1:
-            for index, spec, key in pending:
-                payload = execute_task(spec)
+    core = SchedulerCore(runner.retry_policy())
+    owns_transport = transport is None
+    if owns_transport:
+        transport = _default_transport(runner)
+    try:
+        pending = plan.pending
+        while pending:
+            core.start_round([index for index, _, _ in pending])
+            results, crashed = transport.run_round(pending)
+            for index, spec, _key in pending:
+                payload = results.get(index)
+                if payload is None:
+                    continue
                 slots[index] = TaskResult(
                     spec=spec,
                     result=_result_from_payload(payload),
                     cached=False,
-                    attempts=1,
+                    attempts=core.attempts(index),
                     elapsed=payload["elapsed"],
                     trace=_trace_summary(spec, payload, store_dir),
                 )
-        else:
-            _run_pool(pending, runner, slots, store_dir)
+            if not crashed:
+                break
+            delay = core.crash_delay(
+                [(index, spec.exp_id) for index, spec, _ in crashed]
+            )
+            time.sleep(delay)
+            pending = crashed
+    finally:
+        if owns_transport:
+            transport.close()
 
     if cache is not None:
-        for index, spec, key in pending:
+        for index, spec, key in plan.pending:
             task = slots[index]
             cache.put(
                 key,

@@ -1,0 +1,145 @@
+"""A small blocking client for the experiment service.
+
+Used by ``repro serve --check``, the CI smoke job, and anyone who
+wants to talk to the daemon from a script without hand-writing HTTP.
+Pure stdlib (:mod:`http.client`) to match the server's zero-deps
+stance.  Each call opens a fresh connection — fine for checks and
+scripts; the load bench keeps its own persistent connections because
+connection reuse is part of what it measures.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.core.errors import ReproError
+from repro.tools.harness import HarnessConfig
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(ReproError):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Blocking HTTP client bound to one server address."""
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, doc: dict | None = None
+    ) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if doc is not None:
+                body = json.dumps(doc).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            reply = conn.getresponse()
+            payload = reply.read()
+            try:
+                parsed = json.loads(payload) if payload else {}
+            except ValueError:
+                parsed = {"error": payload.decode("utf-8", "replace")}
+            if not 200 <= reply.status < 300:
+                raise ServeClientError(
+                    reply.status, parsed.get("error", reply.reason)
+                )
+            return parsed
+        finally:
+            conn.close()
+
+    # -- API surface ----------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(
+        self,
+        exp_id: str,
+        config: HarnessConfig | dict | None = None,
+        profile: str | None = None,
+        trace: bool = False,
+    ) -> dict:
+        """POST one experiment; returns the submit document (digest &c)."""
+        doc: dict = {"exp_id": exp_id}
+        if config is not None:
+            doc["config"] = (
+                config.to_dict()
+                if isinstance(config, HarnessConfig)
+                else dict(config)
+            )
+        elif profile is not None:
+            doc["profile"] = profile
+        if trace:
+            doc["trace"] = True
+        return self._request("POST", "/experiments", doc)
+
+    def result(self, digest: str) -> dict:
+        """GET a stored result by its digest (or cache key)."""
+        return self._request("GET", f"/results/{digest}")
+
+    def tail(self, digest: str, limit: int | None = None) -> list[dict]:
+        """Consume ``GET /traces/<digest>/tail`` and parse the SSE frames.
+
+        Returns the parsed frames in order:
+        ``{"event": "header"|"message"|"end"|"truncated", "data": ...}``
+        with ``data`` JSON-decoded where the payload is JSON.
+        """
+        path = f"/traces/{digest}/tail"
+        if limit is not None:
+            path += f"?limit={limit}"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", path)
+            reply = conn.getresponse()
+            if reply.status != 200:
+                payload = reply.read()
+                try:
+                    message = json.loads(payload).get("error", reply.reason)
+                except ValueError:
+                    message = reply.reason
+                raise ServeClientError(reply.status, message)
+            frames: list[dict] = []
+            event = "message"
+            data_lines: list[str] = []
+            # The stream ends when the server closes the connection.
+            for raw in reply:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith("event: "):
+                    event = line[len("event: "):]
+                elif line.startswith("data: "):
+                    data_lines.append(line[len("data: "):])
+                elif line == "":
+                    if data_lines or event != "message":
+                        text = "\n".join(data_lines)
+                        try:
+                            data = json.loads(text) if text else None
+                        except ValueError:
+                            data = text
+                        frames.append({"event": event, "data": data})
+                    event = "message"
+                    data_lines = []
+            return frames
+        finally:
+            conn.close()

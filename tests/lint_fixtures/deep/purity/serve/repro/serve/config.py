@@ -1,0 +1,16 @@
+"""PURE001 negative: ``repro.serve.config`` is the sanctioned reader.
+
+Startup configuration parsing is the one place the daemon may consult
+the environment — it happens once, before the server binds, and the
+resulting config object is what every handler answers from.
+"""
+
+import os
+
+
+def from_env(overrides: dict | None = None) -> dict:
+    host = os.environ.get("REPRO_SERVE_HOST", "127.0.0.1")
+    port = int(os.getenv("REPRO_SERVE_PORT", "8472"))
+    doc = {"host": host, "port": port}
+    doc.update(overrides or {})
+    return doc

@@ -1,0 +1,21 @@
+"""PURE001 positive: serve handlers consulting the process environment.
+
+Resolves to module ``repro.serve.pos_handler_env`` (path segments after
+the ``repro`` directory), which the rule covers: any environment read
+outside ``repro.serve.config`` is flagged — a handler's answer must be
+a function of the request and the startup config, or served digests
+stop being reproducible from the request alone.
+"""
+
+import os
+
+
+class StatsHandler:
+    def handle(self, request: dict) -> dict:
+        if os.environ.get("REPRO_SERVE_DEBUG"):  # flagged: ambient read
+            return {"debug": True, "request": request}
+        return {"debug": False, "request": request}
+
+
+def pick_workers(default: int) -> int:
+    return int(os.getenv("REPRO_SERVE_WORKERS", default))  # flagged

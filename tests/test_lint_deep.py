@@ -62,9 +62,11 @@ FILE_CASES = [
     ("PURE001", "purity/pos_global_write.py", 3),
     ("PURE001", "purity/pos_mutable_read.py", 1),
     ("PURE001", "purity/pos_shared_cache.py", 2),
+    ("PURE001", "purity/serve/repro/serve/pos_handler_env.py", 2),
     ("PURE001", "purity/neg_init_env.py", 0),
     ("PURE001", "purity/neg_constants.py", 0),
     ("PURE001", "purity/neg_not_kernel.py", 0),
+    ("PURE001", "purity/serve/repro/serve/config.py", 0),
     ("SHARD001", "shard/pos_sum_set.py", 1),
     ("SHARD001", "shard/pos_loop_dict.py", 1),
     ("SHARD001", "shard/pos_param_write.py", 1),
@@ -165,6 +167,23 @@ class TestSeededRegressions:
         assert v.code == "PURE001"
         assert "environment" in v.message
         assert "EnvGatedKernel.step" in v.message
+
+    def test_pure001_catches_environ_read_in_serve_handler(self):
+        violations = lint_paths(
+            [DEEP / "purity" / "serve"], deep=True
+        )
+        assert len(violations) == 2  # the handler file; config.py exempt
+        for v in violations:
+            assert v.code == "PURE001"
+            assert Path(v.path).name == "pos_handler_env.py"
+            assert "serve module repro.serve.pos_handler_env" in v.message
+            assert "repro.serve.config" in v.message
+
+    def test_pure001_serve_package_source_is_environ_clean(self):
+        # The real daemon passes its own rule: no serve module outside
+        # serve/config.py reads the environment.
+        violations = lint_paths([SRC / "serve"], select=["PURE001"])
+        assert violations == []
 
 
 class TestProjectGraph:

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import multiprocessing
+from pathlib import Path
 
 import pytest
 
@@ -155,6 +158,72 @@ class TestResultCache:
         fresh = ResultCache(tmp_path)  # no memo: first get reads disk
         fresh.get(key)["result"]["rows"][0]["a"] = 999
         assert fresh.get(key)["result"]["rows"][0]["a"] == 1
+
+
+def _race_payload() -> dict:
+    result = ExperimentResult(
+        exp_id="race", title="R", paper_ref="Fig. 0",
+        columns=["v"], rows=[{"v": 42}],
+    )
+    return {"exp_id": "race", "result": result.to_dict()}
+
+
+def _race_put(root: str, key: str, barrier, iterations: int, out) -> None:
+    """Child process body: hammer ``put`` on one key, report what stuck."""
+    cache = ResultCache(Path(root))
+    payload = _race_payload()
+    barrier.wait()
+    for _ in range(iterations):
+        cache.put(key, payload)
+    fresh = ResultCache(Path(root))  # no memo: read the published file
+    doc = fresh.get(key)
+    raw = (Path(root) / key[:2] / f"{key}.json").read_bytes()
+    out.put((doc, hashlib.sha256(raw).hexdigest()))
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_put_get_identical_bytes(self, tmp_path):
+        # Regression for the daemon's reality: two pool workers can
+        # finish the same key back to back (a coalesce near-miss), and
+        # campaigns already share cache directories.  Both writers must
+        # come out seeing one complete, identical entry — never a torn
+        # or vanished file.
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        out = ctx.Queue()
+        key = "44" + "0" * 62
+        procs = [
+            ctx.Process(
+                target=_race_put,
+                args=(str(tmp_path), key, barrier, 50, out),
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        reports = [out.get(timeout=60) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        (doc_a, digest_a), (doc_b, digest_b) = reports
+        assert digest_a == digest_b  # byte-identical published entry
+        assert doc_a == doc_b
+        assert doc_a["result"]["rows"] == [{"v": 42}]
+        litter = [p for p in tmp_path.rglob(".tmp-*")]
+        assert litter == []
+        # And the survivor is a complete, valid entry on disk.
+        final = json.loads((tmp_path / key[:2] / f"{key}.json").read_text())
+        assert final["format"] == CACHE_FORMAT and final["key"] == key
+
+    def test_failed_put_unlinks_its_tempfile_and_reraises(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "55" + "0" * 62
+        poison = {"exp_id": "t", "result": {"oops": object()}}  # not JSON
+        with pytest.raises(TypeError):
+            cache.put(key, poison)
+        assert list(tmp_path.rglob(".tmp-*")) == []
+        assert not (tmp_path / key[:2] / f"{key}.json").exists()
+        assert cache.stores == 0 and ResultCache(tmp_path).get(key) is None
 
 
 class TestDefaultCacheDir:
