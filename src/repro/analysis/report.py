@@ -33,6 +33,8 @@ def result_to_markdown(result: ExperimentResult) -> str:
         lines.append("| " + " | ".join(cells) + " |")
     if result.notes:
         lines += ["", f"_{result.notes}_"]
+    if result.appendix:
+        lines += ["", result.appendix]
     claims = claims_for(result.exp_id)
     if claims:
         lines += ["", "Paper claims:"]

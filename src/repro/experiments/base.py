@@ -56,6 +56,10 @@ class ExperimentResult:
     columns: list[str]
     rows: list[dict] = field(default_factory=list)
     notes: str = ""
+    #: Optional pre-rendered markdown block (e.g. the cc-zoo
+    #: who-wins-where heatmap) appended after the table by
+    #: :meth:`render` and the markdown report.
+    appendix: str = ""
 
     def add_row(self, **values) -> None:
         self.rows.append(values)
@@ -80,7 +84,7 @@ class ExperimentResult:
         exact Python numbers — a result that went through JSON compares
         equal, value for value, to one that never left the process.
         """
-        return {
+        doc = {
             "exp_id": self.exp_id,
             "title": self.title,
             "paper_ref": self.paper_ref,
@@ -88,6 +92,12 @@ class ExperimentResult:
             "rows": [_jsonify(row) for row in self.rows],
             "notes": self.notes,
         }
+        # Only present when set: results without an appendix keep the
+        # exact serialized form (and digest) they had before the field
+        # existed.
+        if self.appendix:
+            doc["appendix"] = self.appendix
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "ExperimentResult":
@@ -98,6 +108,7 @@ class ExperimentResult:
             columns=list(doc["columns"]),
             rows=[dict(row) for row in doc["rows"]],
             notes=doc.get("notes", ""),
+            appendix=doc.get("appendix", ""),
         )
 
     def digest(self) -> str:
@@ -132,6 +143,9 @@ class ExperimentResult:
             )
         if self.notes:
             lines.append(f"note: {self.notes}")
+        if self.appendix:
+            lines.append("")
+            lines.append(self.appendix)
         return "\n".join(lines)
 
 

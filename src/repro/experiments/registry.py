@@ -16,6 +16,7 @@ from repro.experiments.ablations import AblationBurst, AblationCache, AblationFa
 from repro.experiments.affinity import AffinityVariability
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.cc_comparison import CcComparison
+from repro.experiments.cc_zoo import CcTunerSweep, CcZooCampaign
 from repro.experiments.extensions import Ext400G, ExtOptmemAutosize
 from repro.experiments.fig04_vm import Fig04VmValidation
 from repro.experiments.fig05_single_amlight import Fig05SingleStreamAmLight
@@ -62,6 +63,8 @@ _CLASSES: list[type[Experiment]] = [
     AblationFallback,
     Fig11HeavyTailAmLight,
     FlowCountScaling,
+    CcZooCampaign,
+    CcTunerSweep,
 ]
 
 REGISTRY: dict[str, type[Experiment]] = {cls.exp_id: cls for cls in _CLASSES}

@@ -175,6 +175,13 @@ class TickKernel:
         ``self.cwnd``.  Returns (flow, before, after) per reacted loss."""
         raise NotImplementedError
 
+    def cc_timeout(self, now: float, idx) -> list[tuple[int, float, float]]:
+        """RTO collapse for the given flows; update ``self.cwnd``.
+        Returns (flow, before, after) per flow.  The fluid driver never
+        invokes this (its flows cannot starve into an RTO) — it exists
+        so the timeout path stays under scalar<->vector parity tests."""
+        raise NotImplementedError
+
     def cpu_costs(
         self,
         alloc: np.ndarray,
@@ -234,6 +241,16 @@ class ScalarKernel(TickKernel):
             else:
                 cc.on_tick(now, dt, delivered[i], rtt)
             cc.clamp(max_window)
+            self.cwnd[i] = cc.cwnd_bytes
+        return reacted
+
+    def cc_timeout(self, now, idx):
+        reacted = []
+        for i in idx:
+            cc = self.ccs[i]
+            before = float(cc.cwnd_bytes)
+            cc.on_timeout(now)
+            reacted.append((int(i), before, float(cc.cwnd_bytes)))
             self.cwnd[i] = cc.cwnd_bytes
         return reacted
 
@@ -384,6 +401,9 @@ class VectorKernel(TickKernel):
         return self.batch.feedback(
             now, dt, rtt, delivered, loss_idx, al_mask, max_window
         )
+
+    def cc_timeout(self, now, idx):
+        return self.batch.timeout(now, idx)
 
     def cpu_costs(self, alloc, drate, rtt, footprint):
         prep = self._tick_prep if footprint is self._tick_foot else None

@@ -877,10 +877,19 @@ class ShardedFlowSimulator:
         if any_zc:
             self.sender.require_zerocopy()
             self.sender.check_zerocopy_bigtcp_combo()
+        # Shardable == template-batchable: each shard rebuilds its slice
+        # of the congestion state from per-kind templates, so the batch
+        # stepper registry is the single source of truth for which cc
+        # kinds work here (scalar-state CCs like BBR cannot shard).
+        from repro.tcp.cc import CC_ALGORITHMS
+        from repro.tcp.cc.batch import group_class_for, template_kinds
+
         for spec, _ in self.population.groups:
-            if spec.cc not in ("cubic", "reno"):
+            base = spec.cc.partition(":")[0].strip().lower()
+            cls = CC_ALGORITHMS.get(base)
+            if cls is None or group_class_for(cls) is None:
                 raise ConfigurationError(
-                    f"sharded campaigns support cc in ['cubic', 'reno'], "
+                    f"sharded campaigns support cc in {template_kinds()}, "
                     f"not {spec.cc!r} (scalar-state CCs cannot shard)"
                 )
 

@@ -1,10 +1,20 @@
-"""Congestion-control algorithms: CUBIC (paper default), BBRv1/v3, Reno."""
+"""Congestion-control algorithms.
+
+CUBIC (paper default), BBRv1/v3, Reno, and the high-BDP zoo: HighSpeed
+(RFC 3649), H-TCP, Scalable, Westwood+, and a TCPTuner-style CUBIC with
+constructor-parameter alpha/beta/C.
+"""
 
 from repro.core.errors import ConfigurationError
 from repro.tcp.cc.base import CcState, CongestionControl
 from repro.tcp.cc.bbr import Bbr1, Bbr3
 from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.highspeed import HighSpeed
+from repro.tcp.cc.htcp import HTcp
 from repro.tcp.cc.reno import Reno
+from repro.tcp.cc.scalable import Scalable
+from repro.tcp.cc.tunable import TunableCubic
+from repro.tcp.cc.westwood import WestwoodPlus
 
 __all__ = [
     "CongestionControl",
@@ -13,6 +23,11 @@ __all__ = [
     "Reno",
     "Bbr1",
     "Bbr3",
+    "HighSpeed",
+    "HTcp",
+    "Scalable",
+    "WestwoodPlus",
+    "TunableCubic",
     "make_cc",
     "CC_ALGORITHMS",
 ]
@@ -23,16 +38,59 @@ CC_ALGORITHMS = {
     "bbr1": Bbr1,
     "bbr": Bbr1,
     "bbr3": Bbr3,
+    "highspeed": HighSpeed,
+    "htcp": HTcp,
+    "scalable": Scalable,
+    "westwood": WestwoodPlus,
+    "westwood+": WestwoodPlus,
+    "tunable-cubic": TunableCubic,
 }
 
 
+def _parse_params(raw: str, name: str) -> dict[str, float]:
+    """Parse ``key=value,key=value`` from a parameterized cc name."""
+    params: dict[str, float] = {}
+    for part in raw.split(","):
+        key, eq, val = part.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise ConfigurationError(
+                f"malformed cc parameter {part!r} in {name!r}; "
+                f"expected 'key=value[,key=value...]'"
+            )
+        try:
+            params[key] = float(val)
+        except ValueError:
+            raise ConfigurationError(
+                f"cc parameter {key}={val.strip()!r} in {name!r} is not a number"
+            ) from None
+    return params
+
+
 def make_cc(name: str, mss: float = 8960.0) -> CongestionControl:
-    """Instantiate a congestion-control algorithm by sysctl-style name."""
+    """Instantiate a congestion-control algorithm by sysctl-style name.
+
+    Parameterized algorithms append ``:key=value,...`` to the name —
+    e.g. ``"tunable-cubic:alpha=1.5,beta=0.5"`` — mirroring how a sweep
+    would set the module parameters of a real pluggable CC.  The full
+    string is a valid :class:`~repro.sim.flowsim.FlowSpec.cc` kind, so
+    parameterized flows work through every path (harness, vector
+    batching, sharding) that plain kinds do.
+    """
+    base, _, raw = name.partition(":")
     try:
-        cls = CC_ALGORITHMS[name.lower()]
+        cls = CC_ALGORITHMS[base.strip().lower()]
     except KeyError:
         raise ConfigurationError(
-            f"unknown congestion control {name!r}; "
+            f"unknown congestion control {base.strip()!r}; "
             f"have {sorted(set(CC_ALGORITHMS))}"
         ) from None
-    return cls(mss=mss)
+    if not raw:
+        return cls(mss=mss)
+    params = _parse_params(raw, name)
+    try:
+        return cls(mss=mss, **params)
+    except TypeError:
+        raise ConfigurationError(
+            f"cc {base.strip()!r} does not accept parameters {sorted(params)}"
+        ) from None

@@ -38,6 +38,15 @@ class CongestionControl(abc.ABC):
     """
 
     name: str = "base"
+    #: Batch stepper class for the vector kernel, assigned by the
+    #: registry in :mod:`repro.tcp.cc.batch`.  ``None`` means the
+    #: algorithm runs as scalar objects inside the vector kernel (the
+    #: ``_ObjectGroup`` path — correct for any CC, just not array-fast).
+    #: Subclasses of an array-batched algorithm must register their own
+    #: stepper (or explicitly set ``batch_group = None``); the batch
+    #: layer refuses to silently reuse a parent's stepper, which would
+    #: compute the parent's dynamics for the subclass's flows.
+    batch_group = None
     #: Minimum interval between reactions to loss, in RTTs.  Real TCP
     #: reduces once per window of data; we enforce one reduction per RTT.
     LOSS_REACTION_RTTS = 1.0
@@ -106,6 +115,19 @@ class CongestionControl(abc.ABC):
         st.in_slow_start = True
         st.loss_events += 1
         st.last_loss_time = now
+        self._react_to_timeout(now)
+
+    def _react_to_timeout(self, now: float) -> None:
+        """Algorithm-specific RTO reaction.
+
+        An RTO abandons the current congestion epoch entirely, so any
+        state derived from the pre-timeout window — CUBIC's epoch origin
+        and W_max, H-TCP's increase clock, Westwood's sample window —
+        must be discarded here.  Keeping it would make the first
+        post-recovery tick evaluate the growth law against a stale
+        pre-timeout epoch and jump the window far above slow start.
+        """
+        return
 
     def on_app_limited(self, now: float, dt: float) -> None:
         """The flow spent this tick limited by something other than the

@@ -6,6 +6,23 @@ vector kernel (``REPRO_SIM_KERNEL=vector``) this module groups flows by
 algorithm and keeps each group's state in flat numpy arrays, so a tick
 touches every window with O(1) Python-level work.
 
+Stepper registry
+----------------
+Each array-batched algorithm registers its stepper with the
+:func:`batch_stepper` decorator, which stamps the CC class's
+``batch_group`` attribute and appends to one ordered ``_REGISTRY``
+list.  That single list drives *both* :class:`CcBatch` constructors —
+the object path (``__init__``) and the template path (``from_kinds``) —
+so their group ordering cannot diverge (it used to be hard-coded twice,
+and a divergence would silently break scalar<->batch digest parity).
+Dispatch walks the CC class's MRO: a class with its own registration
+batches; a class that *inherits* a stepper without registering its own
+raises (the parent's stepper would compute the parent's dynamics for
+the subclass's flows — silently demoting it to the slow object path,
+the old behaviour, is exactly the bug this replaces); a class with
+``batch_group = None`` anywhere on the MRO runs as scalar objects in an
+:class:`_ObjectGroup`.
+
 Byte-parity discipline
 ----------------------
 The arrays must produce *bit-identical* trajectories to the scalar
@@ -16,12 +33,18 @@ compared across kernels.  Three rules make that provable:
   the same association (e.g. ``C * (d * d * d)`` — see
   :meth:`~repro.tcp.cc.cubic.Cubic._w_cubic_seg` — because elementwise
   float64 ``+ - * /`` round identically in numpy ufuncs and CPython);
-* rare per-event work (loss reactions, which need a real cube root)
-  stays scalar: it loops over the handful of affected flows running the
-  same arithmetic the object method runs;
+* rare per-event work (loss reactions and RTO collapses, which need
+  real cube roots or per-flow branches) stays scalar: it loops over the
+  handful of affected flows running the same arithmetic the object
+  method runs;
 * algorithms whose state does not vectorize (BBR's windowed-max deques)
   fall back to the scalar objects inside an :class:`_ObjectGroup`, so
   they are not merely equivalent but literally the same code.
+
+Table-driven responses (HighSpeed's RFC 3649 a/b lookup) precompute
+their tables once at import; the per-tick work is then a
+``searchsorted`` — the same comparisons ``bisect`` runs in the scalar
+class — plus the elementwise subset.
 
 Flow-local event order is preserved (loss -> tick -> clamp per flow and
 flows are independent), so reordering the loops across flows cannot
@@ -35,9 +58,64 @@ import numpy as np
 from repro.core.errors import ConfigurationError
 from repro.tcp.cc.base import CongestionControl
 from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.highspeed import A_STEP, B_STEP, W_BOUNDS, HighSpeed
+from repro.tcp.cc.htcp import HTcp
 from repro.tcp.cc.reno import Reno
+from repro.tcp.cc.scalable import Scalable
+from repro.tcp.cc.tunable import TunableCubic
+from repro.tcp.cc.westwood import WestwoodPlus
 
-__all__ = ["CcBatch"]
+__all__ = ["CcBatch", "batch_stepper", "group_class_for", "template_kinds"]
+
+
+#: (CC class, stepper class) in registration order — the one canonical
+#: group ordering shared by both :class:`CcBatch` constructors.
+_REGISTRY: list[tuple[type[CongestionControl], type["_ArrayGroup"]]] = []
+
+
+def batch_stepper(cc_cls: type[CongestionControl]):
+    """Class decorator: register an :class:`_ArrayGroup` for ``cc_cls``."""
+
+    def register(group_cls: type["_ArrayGroup"]) -> type["_ArrayGroup"]:
+        cc_cls.batch_group = group_cls
+        _REGISTRY.append((cc_cls, group_cls))
+        return group_cls
+
+    return register
+
+
+def group_class_for(cc_cls: type) -> type["_ArrayGroup"] | None:
+    """The stepper for ``cc_cls``, ``None`` for the object path.
+
+    Raises :class:`ConfigurationError` for a subclass of an
+    array-batched algorithm that has no registration of its own —
+    never silently degrade, never silently compute the wrong dynamics.
+    """
+    for klass in cc_cls.__mro__:
+        if "batch_group" not in vars(klass):
+            continue
+        group = vars(klass)["batch_group"]
+        if group is None or klass is cc_cls:
+            return group
+        raise ConfigurationError(
+            f"{cc_cls.__name__} inherits {klass.__name__}'s batch stepper "
+            f"{group.__name__} but registers none of its own; add a "
+            f"@batch_stepper({cc_cls.__name__}) stepper in "
+            f"repro.tcp.cc.batch, or set batch_group = None on "
+            f"{cc_cls.__name__} to run it as scalar objects"
+        )
+    return None
+
+
+def template_kinds() -> list[str]:
+    """Registered algorithm names that support template batching."""
+    from repro.tcp.cc import CC_ALGORITHMS
+
+    return sorted(
+        name
+        for name, cc_cls in CC_ALGORITHMS.items()
+        if group_class_for(cc_cls) is not None
+    )
 
 
 class _ArrayGroup:
@@ -108,6 +186,24 @@ class _ArrayGroup:
         self.loss_events[pos] += 1
         return True
 
+    def timeout_one(self, now: float, pos: int) -> tuple[float, float]:
+        """Scalar transcription of ``CongestionControl.on_timeout`` for
+        one flow; subclass epoch state resets via :meth:`_timeout_reset`
+        (the batch mirror of ``_react_to_timeout``)."""
+        before = float(self.cwnd[pos])
+        self.ssthresh[pos] = max(2 * self.mss, self.cwnd[pos] * 0.5)
+        self.cwnd[pos] = 2 * self.mss
+        if not self.in_ss[pos]:
+            self.in_ss[pos] = True
+            self.any_ss = True
+        self.loss_events[pos] += 1
+        self.last_loss[pos] = now
+        self._timeout_reset(now, pos)
+        return before, float(self.cwnd[pos])
+
+    def _timeout_reset(self, now: float, pos: int) -> None:
+        return
+
     def clamp(self, max_window: float) -> None:
         np.minimum(self.cwnd, max_window, out=self.cwnd)
 
@@ -118,21 +214,31 @@ class _ArrayGroup:
 
 
 #: Cubic's TCP-friendly Reno-tracking slope, 3(1-β)/(1+β) — the same
-#: scalar expression ``Cubic.on_tick`` evaluates, precomputed once.
+#: scalar expression ``Cubic.__init__`` evaluates, precomputed once.
 _CUBIC_ALPHA = 3.0 * (1.0 - Cubic.BETA) / (1.0 + Cubic.BETA)
 
 
+@batch_stepper(Cubic)
 class _CubicBatch(_ArrayGroup):
-    """Array transcription of :class:`~repro.tcp.cc.cubic.Cubic`."""
+    """Array transcription of :class:`~repro.tcp.cc.cubic.Cubic`.
+
+    The CUBIC constants live in ``self._c`` / ``self._beta`` /
+    ``self._alpha`` — Python floats here, per-flow arrays in the
+    :class:`_TunableCubicBatch` subclass.  Elementwise multiplication
+    by a scalar and by an array of that scalar round identically, so
+    the shared formulas stay bit-exact in both shapes.
+    """
 
     def __init__(self, idx: np.ndarray, ccs: list[Cubic]) -> None:
         super().__init__(idx, ccs)
         self._init_cubic_state(len(ccs))
+        self._init_params(ccs)
 
     @classmethod
     def _from_template(cls, idx: np.ndarray, template: Cubic) -> "_CubicBatch":
         self = super()._from_template(idx, template)
         self._init_cubic_state(int(idx.size))
+        self._init_template_params(template, int(idx.size))
         return self
 
     def _init_cubic_state(self, g: int) -> None:
@@ -149,6 +255,29 @@ class _CubicBatch(_ArrayGroup):
         # results land, never their bits).
         self._t1 = np.empty(g)
         self._t2 = np.empty(g)
+
+    # -- parameter plumbing (scalars here, arrays in the tunable subclass) --
+
+    def _init_params(self, ccs: list[Cubic]) -> None:
+        self._c = Cubic.C
+        self._beta = Cubic.BETA
+        self._alpha = _CUBIC_ALPHA
+
+    def _init_template_params(self, template: Cubic, g: int) -> None:
+        self._c = Cubic.C
+        self._beta = Cubic.BETA
+        self._alpha = _CUBIC_ALPHA
+
+    def _c_at(self, sel: np.ndarray):
+        return self._c
+
+    def _alpha_at(self, sel: np.ndarray):
+        return self._alpha
+
+    def _loss_params(self, pos: int) -> tuple[float, float]:
+        return self._c, self._beta
+
+    # -----------------------------------------------------------------------
 
     def _open_epoch(self, now: float, sel: np.ndarray) -> None:
         """Epoch open at a slow-start exit: w_start == w_max, so the
@@ -178,18 +307,18 @@ class _CubicBatch(_ArrayGroup):
             np.subtract(b1, self.k, out=b1)  # dd
             np.multiply(b1, b1, out=b2)
             np.multiply(b2, b1, out=b2)  # dd**3
-            np.multiply(b2, Cubic.C, out=b2)
+            np.multiply(b2, self._c, out=b2)
             np.add(b2, self.w_max, out=b2)  # target
             if rtt > 0:
                 # min(cwnd) > 0 iff every cwnd > 0 (no NaNs here); one
                 # reduce is cheaper than a compare plus .all().
                 if float(np.minimum.reduce(self.cwnd)) > 0.0:
                     np.divide(d, self.cwnd, out=b1)
-                    np.multiply(b1, _CUBIC_ALPHA, out=b1)
+                    np.multiply(b1, self._alpha, out=b1)
                     np.add(self.w_est, b1, out=self.w_est)
                 else:
                     pi = np.nonzero(self.cwnd > 0)[0]
-                    self.w_est[pi] += _CUBIC_ALPHA * (d[pi] / self.cwnd[pi])
+                    self.w_est[pi] += self._alpha_at(pi) * (d[pi] / self.cwnd[pi])
             np.maximum(b2, self.w_est, out=b2)
             np.multiply(b2, self.mss, out=b2)
             # where(new > cw, new, cw) == maximum(new, cw) bit-for-bit
@@ -220,10 +349,10 @@ class _CubicBatch(_ArrayGroup):
                     self._open_epoch(now, need)
             t = now - self.epoch[gi]
             dd = t - self.k[gi]
-            target = Cubic.C * (dd * dd * dd) + self.w_max[gi]
+            target = self._c_at(gi) * (dd * dd * dd) + self.w_max[gi]
             if rtt > 0:
                 pi = gi[self.cwnd[gi] > 0]
-                self.w_est[pi] += _CUBIC_ALPHA * (d[pi] / self.cwnd[pi])
+                self.w_est[pi] += self._alpha_at(pi) * (d[pi] / self.cwnd[pi])
             new_bytes = np.maximum(target, self.w_est[gi]) * self.mss
             cw = self.cwnd[gi]
             self.cwnd[gi] = np.where(new_bytes > cw, new_bytes, cw)
@@ -238,20 +367,21 @@ class _CubicBatch(_ArrayGroup):
         """Scalar transcription of ``Cubic._react_to_loss`` for one flow."""
         if not self._loss_gate(now, rtt, pos):
             return None
+        c, beta = self._loss_params(pos)
         before = float(self.cwnd[pos])
         w_seg = self.cwnd[pos] / self.mss
         if w_seg < self.w_max[pos]:
-            w_max = w_seg * (1.0 + Cubic.BETA) / 2.0
+            w_max = w_seg * (1.0 + beta) / 2.0
         else:
             w_max = w_seg
-        self.cwnd[pos] = max(2 * self.mss, self.cwnd[pos] * Cubic.BETA)
+        self.cwnd[pos] = max(2 * self.mss, self.cwnd[pos] * beta)
         self.ssthresh[pos] = self.cwnd[pos]
         if self.in_ss[pos]:
             self.in_ss[pos] = False
             self.any_ss = bool(self.in_ss.any())
         w_start = self.cwnd[pos] / self.mss
         self.w_max[pos] = w_max
-        delta = max(0.0, (w_max - w_start) / Cubic.C)
+        delta = max(0.0, (w_max - w_start) / c)
         self.k[pos] = delta ** (1.0 / 3.0)
         self.epoch[pos] = now
         if not self.epoch_open[pos]:
@@ -260,7 +390,18 @@ class _CubicBatch(_ArrayGroup):
         self.w_est[pos] = w_start
         return before, float(self.cwnd[pos])
 
+    def _timeout_reset(self, now: float, pos: int) -> None:
+        """Mirror of ``Cubic._react_to_timeout``: forget the epoch."""
+        self.w_max[pos] = 0.0
+        self.k[pos] = 0.0
+        self.w_est[pos] = 0.0
+        self.epoch[pos] = np.nan
+        if self.epoch_open[pos]:
+            self.epoch_open[pos] = False
+            self.n_open -= 1
 
+
+@batch_stepper(Reno)
 class _RenoBatch(_ArrayGroup):
     """Array transcription of :class:`~repro.tcp.cc.reno.Reno`."""
 
@@ -298,6 +439,300 @@ class _RenoBatch(_ArrayGroup):
         return before, float(self.cwnd[pos])
 
 
+@batch_stepper(HighSpeed)
+class _HighSpeedBatch(_ArrayGroup):
+    """Array transcription of :class:`~repro.tcp.cc.highspeed.HighSpeed`.
+
+    ``np.searchsorted(..., side="right")`` on the import-time table
+    runs the same comparisons as the scalar class's ``bisect_right`` on
+    the same values, so the gathered a/b steps are identical floats.
+    """
+
+    def tick(self, now: float, dt: float, rtt: float,
+             delivered: np.ndarray, al_mask: np.ndarray) -> None:
+        full = self.full
+        d = delivered if full else delivered[self.idx]
+        al = al_mask if full else al_mask[self.idx]
+        run = ~al
+        # HighSpeed returns after a slow-start tick (Reno-style exit).
+        if self.any_ss:
+            ca = run & ~self.in_ss
+            ss = run & self.in_ss
+            if ss.any():
+                self._slow_start(d, np.nonzero(ss)[0])
+        else:
+            ca = run
+        if rtt > 0:
+            ci = np.nonzero(ca)[0]
+            ci = ci[self.cwnd[ci] > 0]
+            if ci.size:
+                cw = self.cwnd[ci]
+                a = A_STEP[np.searchsorted(W_BOUNDS, cw / self.mss, side="right")]
+                self.cwnd[ci] = cw + a * (self.mss * (d[ci] / cw))
+
+    def loss_one(self, now: float, rtt: float, pos: int):
+        if not self._loss_gate(now, rtt, pos):
+            return None
+        before = float(self.cwnd[pos])
+        w_seg = self.cwnd[pos] / self.mss
+        b = float(B_STEP[int(np.searchsorted(W_BOUNDS, w_seg, side="right"))])
+        self.cwnd[pos] = max(2 * self.mss, self.cwnd[pos] * (1.0 - b))
+        self.ssthresh[pos] = self.cwnd[pos]
+        if self.in_ss[pos]:
+            self.in_ss[pos] = False
+            self.any_ss = bool(self.in_ss.any())
+        return before, float(self.cwnd[pos])
+
+
+@batch_stepper(HTcp)
+class _HtcpBatch(_ArrayGroup):
+    """Array transcription of :class:`~repro.tcp.cc.htcp.HTcp`.
+
+    The epoch clock uses the cubic NaN encoding (``start`` is NaN while
+    the scalar model's ``_delta_start`` is None, with a bool mirror).
+    """
+
+    def __init__(self, idx: np.ndarray, ccs: list[HTcp]) -> None:
+        super().__init__(idx, ccs)
+        self._init_htcp_state(len(ccs))
+
+    @classmethod
+    def _from_template(cls, idx: np.ndarray, template: HTcp) -> "_HtcpBatch":
+        self = super()._from_template(idx, template)
+        self._init_htcp_state(int(idx.size))
+        return self
+
+    def _init_htcp_state(self, g: int) -> None:
+        self.start = np.full(g, np.nan)
+        self.started = np.zeros(g, dtype=bool)
+        self.rtt_min = np.full(g, float("inf"))
+        self.rtt_max = np.zeros(g)
+
+    def tick(self, now: float, dt: float, rtt: float,
+             delivered: np.ndarray, al_mask: np.ndarray) -> None:
+        full = self.full
+        d = delivered if full else delivered[self.idx]
+        al = al_mask if full else al_mask[self.idx]
+        run = ~al
+        ri = np.nonzero(run)[0]
+        if rtt > 0 and ri.size:
+            # `if rtt < min: min = rtt` == minimum() for NaN-free floats.
+            self.rtt_min[ri] = np.minimum(self.rtt_min[ri], rtt)
+            self.rtt_max[ri] = np.maximum(self.rtt_max[ri], rtt)
+        if self.any_ss:
+            ss = run & self.in_ss
+            if ss.any():
+                self._slow_start(d, np.nonzero(ss)[0])
+            gi = np.nonzero(run & ~self.in_ss)[0]
+        else:
+            gi = ri
+        if gi.size:
+            # Seed the epoch clock at slow-start exit / first CA tick
+            # (scalar: ``_delta_start = now`` in both branches).
+            need = gi[~self.started[gi]]
+            if need.size:
+                self.start[need] = now
+                self.started[need] = True
+            if rtt > 0:
+                pi = gi[self.cwnd[gi] > 0]
+                if pi.size:
+                    delta = now - self.start[pi]
+                    ex_t = delta - HTcp.DELTA_L
+                    half = ex_t * 0.5
+                    a_poly = 1.0 + 10.0 * ex_t + half * half
+                    # Branch select, not arithmetic — parity-safe.
+                    a = np.where(delta <= HTcp.DELTA_L, 1.0, a_poly)
+                    cw = self.cwnd[pi]
+                    self.cwnd[pi] = cw + a * (self.mss * (d[pi] / cw))
+        if al.any():
+            slide = al & self.started
+            if slide.any():
+                # HTcp.on_app_limited: the epoch clock slides with
+                # app-limited wall time (legitimate duration integral).
+                self.start[slide] += dt  # repro: noqa-FLOAT002
+
+    def loss_one(self, now: float, rtt: float, pos: int):
+        if not self._loss_gate(now, rtt, pos):
+            return None
+        before = float(self.cwnd[pos])
+        if self.rtt_max[pos] > 0.0:
+            beta = self.rtt_min[pos] / self.rtt_max[pos]
+            if beta < HTcp.BETA_MIN:
+                beta = HTcp.BETA_MIN
+            elif beta > HTcp.BETA_MAX:
+                beta = HTcp.BETA_MAX
+        else:
+            beta = HTcp.BETA_MIN
+        self.cwnd[pos] = max(2 * self.mss, self.cwnd[pos] * beta)
+        self.ssthresh[pos] = self.cwnd[pos]
+        if self.in_ss[pos]:
+            self.in_ss[pos] = False
+            self.any_ss = bool(self.in_ss.any())
+        self.start[pos] = now
+        self.started[pos] = True
+        self.rtt_min[pos] = float("inf")
+        self.rtt_max[pos] = 0.0
+        return before, float(self.cwnd[pos])
+
+    def _timeout_reset(self, now: float, pos: int) -> None:
+        """Mirror of ``HTcp._react_to_timeout``: drop the epoch clock."""
+        self.start[pos] = np.nan
+        self.started[pos] = False
+        self.rtt_min[pos] = float("inf")
+        self.rtt_max[pos] = 0.0
+
+
+@batch_stepper(Scalable)
+class _ScalableBatch(_ArrayGroup):
+    """Array transcription of :class:`~repro.tcp.cc.scalable.Scalable`."""
+
+    def tick(self, now: float, dt: float, rtt: float,
+             delivered: np.ndarray, al_mask: np.ndarray) -> None:
+        full = self.full
+        d = delivered if full else delivered[self.idx]
+        al = al_mask if full else al_mask[self.idx]
+        run = ~al
+        if self.any_ss:
+            ca = run & ~self.in_ss
+            ss = run & self.in_ss
+            if ss.any():
+                self._slow_start(d, np.nonzero(ss)[0])
+        else:
+            ca = run
+        if rtt > 0:
+            ci = np.nonzero(ca)[0]
+            ci = ci[self.cwnd[ci] > 0]
+            if ci.size:
+                cw = self.cwnd[ci]
+                self.cwnd[ci] = cw + Scalable.AI * d[ci]
+
+    def loss_one(self, now: float, rtt: float, pos: int):
+        if not self._loss_gate(now, rtt, pos):
+            return None
+        before = float(self.cwnd[pos])
+        self.cwnd[pos] = max(2 * self.mss, self.cwnd[pos] * Scalable.BETA)
+        self.ssthresh[pos] = self.cwnd[pos]
+        if self.in_ss[pos]:
+            self.in_ss[pos] = False
+            self.any_ss = bool(self.in_ss.any())
+        return before, float(self.cwnd[pos])
+
+
+@batch_stepper(WestwoodPlus)
+class _WestwoodBatch(_ArrayGroup):
+    """Array transcription of :class:`~repro.tcp.cc.westwood.WestwoodPlus`."""
+
+    def __init__(self, idx: np.ndarray, ccs: list[WestwoodPlus]) -> None:
+        super().__init__(idx, ccs)
+        self._init_westwood_state(len(ccs))
+
+    @classmethod
+    def _from_template(
+        cls, idx: np.ndarray, template: WestwoodPlus
+    ) -> "_WestwoodBatch":
+        self = super()._from_template(idx, template)
+        self._init_westwood_state(int(idx.size))
+        return self
+
+    def _init_westwood_state(self, g: int) -> None:
+        self.bw = np.zeros(g)
+        self.acked = np.zeros(g)
+        self.win_start = np.zeros(g)
+        self.rtt_min = np.full(g, float("inf"))
+
+    def tick(self, now: float, dt: float, rtt: float,
+             delivered: np.ndarray, al_mask: np.ndarray) -> None:
+        full = self.full
+        d = delivered if full else delivered[self.idx]
+        al = al_mask if full else al_mask[self.idx]
+        run = ~al
+        ri = np.nonzero(run)[0]
+        if ri.size:
+            if rtt > 0:
+                self.rtt_min[ri] = np.minimum(self.rtt_min[ri], rtt)
+            # Sample-window byte counter, consumed by the filter below.
+            self.acked[ri] += d[ri]  # repro: noqa-FLOAT002
+            if rtt > 0:
+                span = now - self.win_start[ri]
+                closing = span >= rtt
+                ui = ri[closing]
+                if ui.size:
+                    sample = self.acked[ui] / span[closing]
+                    self.bw[ui] = (
+                        WestwoodPlus.FILTER_OLD * self.bw[ui]
+                        + WestwoodPlus.FILTER_NEW * sample
+                    )
+                    self.acked[ui] = 0.0
+                    self.win_start[ui] = now
+        # Growth is exactly Reno's (returns after a slow-start tick).
+        if self.any_ss:
+            ca = run & ~self.in_ss
+            ss = run & self.in_ss
+            if ss.any():
+                self._slow_start(d, np.nonzero(ss)[0])
+        else:
+            ca = run
+        if rtt > 0:
+            ci = np.nonzero(ca)[0]
+            ci = ci[self.cwnd[ci] > 0]
+            if ci.size:
+                cw = self.cwnd[ci]
+                self.cwnd[ci] = cw + self.mss * (d[ci] / cw)
+
+    def _bdp_at(self, pos: int) -> float:
+        if self.rtt_min[pos] == float("inf"):
+            return 0.0
+        return self.bw[pos] * self.rtt_min[pos]
+
+    def loss_one(self, now: float, rtt: float, pos: int):
+        if not self._loss_gate(now, rtt, pos):
+            return None
+        before = float(self.cwnd[pos])
+        self.ssthresh[pos] = max(2 * self.mss, self._bdp_at(pos))
+        if self.cwnd[pos] > self.ssthresh[pos]:
+            self.cwnd[pos] = self.ssthresh[pos]
+        if self.in_ss[pos]:
+            self.in_ss[pos] = False
+            self.any_ss = bool(self.in_ss.any())
+        return before, float(self.cwnd[pos])
+
+    def _timeout_reset(self, now: float, pos: int) -> None:
+        """Mirror of ``WestwoodPlus._react_to_timeout``."""
+        self.ssthresh[pos] = max(2 * self.mss, self._bdp_at(pos))
+        self.acked[pos] = 0.0
+        self.win_start[pos] = now
+
+
+@batch_stepper(TunableCubic)
+class _TunableCubicBatch(_CubicBatch):
+    """:class:`_CubicBatch` with per-flow alpha/beta/C parameter arrays.
+
+    The object constructor may mix parameterizations in one group; the
+    template path builds one group per distinct kind string, so the
+    arrays are then constant — still bit-identical, since elementwise
+    array arithmetic equals the scalar-constant arithmetic lane by lane.
+    """
+
+    def _init_params(self, ccs: list[TunableCubic]) -> None:
+        self._c = np.array([cc.C for cc in ccs])
+        self._beta = np.array([cc.BETA for cc in ccs])
+        self._alpha = np.array([cc._alpha for cc in ccs])
+
+    def _init_template_params(self, template: TunableCubic, g: int) -> None:
+        self._c = np.full(g, float(template.C))
+        self._beta = np.full(g, float(template.BETA))
+        self._alpha = np.full(g, float(template._alpha))
+
+    def _c_at(self, sel: np.ndarray):
+        return self._c[sel]
+
+    def _alpha_at(self, sel: np.ndarray):
+        return self._alpha[sel]
+
+    def _loss_params(self, pos: int) -> tuple[float, float]:
+        return float(self._c[pos]), float(self._beta[pos])
+
+
 class _ObjectGroup:
     """Fallback: flows advanced through their scalar CC objects.
 
@@ -332,6 +767,12 @@ class _ObjectGroup:
             return before, float(cc.cwnd_bytes)
         return None
 
+    def timeout_one(self, now: float, pos: int) -> tuple[float, float]:
+        cc = self.ccs[pos]
+        before = float(cc.cwnd_bytes)
+        cc.on_timeout(now)
+        return before, float(cc.cwnd_bytes)
+
     def clamp(self, max_window: float) -> None:
         for cc in self.ccs:
             cc.clamp(max_window)
@@ -349,25 +790,22 @@ class CcBatch:
         self.needs_validation = np.array(
             [cc.needs_cwnd_validation for cc in ccs]
         )
-        cubic: list[int] = []
-        reno: list[int] = []
+        by_group: dict[type, list[int]] = {}
         other: list[int] = []
         for i, cc in enumerate(ccs):
-            if type(cc) is Cubic:
-                cubic.append(i)
-            elif type(cc) is Reno:
-                reno.append(i)
-            else:
+            gcls = group_class_for(type(cc))
+            if gcls is None:
                 other.append(i)
+            else:
+                by_group.setdefault(gcls, []).append(i)
         self._groups: list = []
-        if cubic:
-            self._groups.append(
-                _CubicBatch(np.array(cubic), [ccs[i] for i in cubic])
-            )
-        if reno:
-            self._groups.append(
-                _RenoBatch(np.array(reno), [ccs[i] for i in reno])
-            )
+        # Deterministic group order: registry (definition) order, object
+        # fallback last — from_kinds derives its order from the same
+        # registry list, so the two constructors cannot diverge.
+        for _cc_cls, gcls in _REGISTRY:
+            idx = by_group.pop(gcls, None)
+            if idx:
+                self._groups.append(gcls(np.array(idx), [ccs[i] for i in idx]))
         if other:
             self._groups.append(
                 _ObjectGroup(np.array(other), [ccs[i] for i in other])
@@ -400,33 +838,43 @@ class CcBatch:
         setup bottleneck.  Freshly-constructed CCs of a kind are
         interchangeable, so one template per kind supplies the initial
         state (:meth:`_ArrayGroup._from_template`) and group membership
-        comes straight from the name list.  Only the array-backed
-        algorithms are supported — object-group CCs (BBR) would need
-        per-flow objects, defeating the point.
+        comes straight from the name list.  Parameterized kinds
+        (``"tunable-cubic:alpha=..."``) group per distinct string, each
+        with its own template.  Only array-backed algorithms are
+        supported — object-group CCs (BBR) would need per-flow objects,
+        defeating the point.
         """
-        from repro.tcp.cc import make_cc
+        from repro.tcp.cc import CC_ALGORITHMS, make_cc
 
         self = cls.__new__(cls)
         n = len(kinds)
         if n == 0:
             raise ConfigurationError("need at least one flow")
-        group_types = {"cubic": _CubicBatch, "reno": _RenoBatch}
+        reg_pos = {cc_cls: p for p, (cc_cls, _g) in enumerate(_REGISTRY)}
         by_kind: dict[str, list[int]] = {}
+        group_types: dict[str, type] = {}
+        # Kind -> (registry position, first appearance): the same
+        # registry order the object constructor walks, sub-ordered by
+        # first appearance for parameterized variants of one algorithm.
+        order: dict[str, tuple[int, int]] = {}
         for i, kind in enumerate(kinds):
             if kind not in group_types:
-                raise ConfigurationError(
-                    f"cc {kind!r} does not support template batching; "
-                    f"choose one of {sorted(group_types)}"
-                )
+                base = kind.partition(":")[0].strip().lower()
+                cc_cls = CC_ALGORITHMS.get(base)
+                gcls = group_class_for(cc_cls) if cc_cls is not None else None
+                if gcls is None:
+                    raise ConfigurationError(
+                        f"cc {kind!r} does not support template batching; "
+                        f"choose one of {template_kinds()}"
+                    )
+                group_types[kind] = gcls
+                order[kind] = (reg_pos[cc_cls], len(order))
             by_kind.setdefault(kind, []).append(i)
         self.cwnd = np.empty(n)
         self.needs_validation = np.empty(n, dtype=bool)
         self._groups = []
-        # Same group order as the object constructor: cubic, then reno.
-        for kind in ("cubic", "reno"):
-            idx = by_kind.get(kind)
-            if not idx:
-                continue
+        for kind in sorted(by_kind, key=order.__getitem__):
+            idx = by_kind[kind]
             template = make_cc(kind, mss=mss)
             grp = group_types[kind]._from_template(np.array(idx), template)
             self._groups.append(grp)
@@ -475,5 +923,22 @@ class CcBatch:
         for grp in self._groups:
             grp.tick(now, dt, rtt, delivered, al_mask)
             grp.clamp(max_window)
+            grp.sync(self.cwnd)
+        return reacted
+
+    def timeout(self, now: float, idx) -> list[tuple[int, float, float]]:
+        """RTO collapse for the given flows (rare; scalar per flow).
+
+        The fluid driver never starves a flow long enough to RTO — this
+        exists so the timeout path has a batch transcription at all,
+        keeping ``on_timeout``/``_react_to_timeout`` under the same
+        scalar<->vector parity tests as the tick and loss paths.
+        """
+        reacted: list[tuple[int, float, float]] = []
+        for i in idx:
+            grp, pos = self._owner[int(i)]
+            before, after = grp.timeout_one(now, pos)
+            reacted.append((int(i), before, after))
+        for grp in self._groups:
             grp.sync(self.cwnd)
         return reacted

@@ -39,8 +39,12 @@ class Cubic(CongestionControl):
         self._w_max_seg = 0.0  # window (MSS) at last congestion event
         self._epoch_start: float | None = None
         self._k = 0.0
-        # Reno-tracking state for the TCP-friendly region.
+        # Reno-tracking state for the TCP-friendly region.  The slope is
+        # the standard 3(1-beta)/(1+beta) segments per cwnd of ACKs;
+        # precomputed from (possibly instance-level) BETA so TunableCubic
+        # can shadow BETA or override the slope outright.
         self._w_est_seg = 0.0
+        self._alpha = 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
 
     # ------------------------------------------------------------------
 
@@ -78,11 +82,10 @@ class Cubic(CongestionControl):
         t = now - self._epoch_start
         target_seg = self._w_cubic_seg(t)
 
-        # TCP-friendly (Reno-equivalent) estimate: grows
-        # 3*(1-beta)/(1+beta) segments per delivered cwnd of ACKs.
+        # TCP-friendly (Reno-equivalent) estimate: grows ``_alpha``
+        # segments per delivered cwnd of ACKs.
         if st.cwnd_bytes > 0 and rtt > 0:
-            alpha = 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
-            self._w_est_seg += alpha * (delivered_bytes / st.cwnd_bytes)
+            self._w_est_seg += self._alpha * (delivered_bytes / st.cwnd_bytes)
 
         new_bytes = max(target_seg, self._w_est_seg) * self.mss
         if new_bytes > st.cwnd_bytes:
@@ -109,3 +112,13 @@ class Cubic(CongestionControl):
         st.ssthresh_bytes = st.cwnd_bytes
         st.in_slow_start = False
         self._open_epoch(now, w_max, st.cwnd_bytes / self.mss)
+
+    def _react_to_timeout(self, now: float) -> None:
+        """RTO: forget the epoch entirely (mirrors Linux's state reset on
+        entering TCP_CA_Loss).  The next congestion-avoidance tick opens
+        a fresh epoch from wherever slow start ends, and fast convergence
+        must not compare against the pre-timeout peak."""
+        self._w_max_seg = 0.0
+        self._epoch_start = None
+        self._k = 0.0
+        self._w_est_seg = 0.0

@@ -1,0 +1,93 @@
+"""HighSpeed TCP (RFC 3649).
+
+Standard AIMD needs a packet loss rate below ~1e-8 to sustain a
+10 Gbps window — unrealistic on real paths.  HighSpeed TCP keeps the
+standard response below a window of ``W_LOW = 38`` segments and above
+it switches to a more aggressive response function: the additive
+increase ``a(w)`` grows and the multiplicative decrease ``b(w)``
+shrinks with the window, log-linearly between ``(W_LOW, p=1.5e-3)``
+and ``(W_HIGH = 83000, p=1e-7)``::
+
+    b(w) = B_LOW + (B_HIGH - B_LOW) * (ln w - ln W_LOW) / (ln W_HIGH - ln W_LOW)
+    p(w) = 0.078 / w^1.2                      # RFC 3649 section 5
+    a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w))
+
+Like Linux's ``tcp_highspeed.c`` we precompute an ``a``/``b`` lookup
+table instead of evaluating logs per ACK.  The table is built once at
+import (geometric window grid, same arrays for the scalar class and the
+batched stepper), so the per-tick path is a ``bisect``/``searchsorted``
+plus pure ``+ - * /`` arithmetic — the operations that round
+identically between CPython and numpy, which the kernel byte-parity
+discipline requires (see :mod:`repro.tcp.cc.batch`).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.tcp.cc.base import CongestionControl
+
+__all__ = ["HighSpeed"]
+
+W_LOW = 38.0
+W_HIGH = 83000.0
+B_LOW = 0.5
+B_HIGH = 0.1
+#: Linux's tcp_highspeed.c quantizes the response into 73 rows; we use
+#: the same resolution over a geometric window grid.
+TABLE_ROWS = 73
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(window bounds, a-steps, b-steps) for the RFC 3649 response.
+
+    The step arrays have one more entry than the bounds: index 0 is the
+    standard-TCP region (a=1 segment/RTT, b=0.5) used below ``W_LOW``.
+    Transcendentals are fine *here* — this runs once at import and both
+    kernels read the very same arrays — but never in the tick path.
+    """
+    w = np.geomspace(W_LOW, W_HIGH, num=TABLE_ROWS)
+    frac = (np.log(w) - np.log(W_LOW)) / (np.log(W_HIGH) - np.log(W_LOW))
+    b = B_LOW + (B_HIGH - B_LOW) * frac
+    p = 0.078 / w**1.2
+    a = w * w * p * 2.0 * b / (2.0 - b)
+    a_step = np.concatenate(([1.0], a))
+    b_step = np.concatenate(([0.5], b))
+    return w, a_step, b_step
+
+
+#: Shared by the scalar class (via the list copies below) and the
+#: batched stepper in :mod:`repro.tcp.cc.batch` (directly).
+W_BOUNDS, A_STEP, B_STEP = _build_tables()
+
+# bisect on these lists yields the same index as np.searchsorted on the
+# arrays above: identical values, identical comparisons.
+_W_BOUNDS_LIST = W_BOUNDS.tolist()
+_A_STEP_LIST = A_STEP.tolist()
+_B_STEP_LIST = B_STEP.tolist()
+
+
+class HighSpeed(CongestionControl):
+    """RFC 3649 HighSpeed TCP with a Linux-style a/b lookup table."""
+
+    name = "highspeed"
+
+    def on_tick(self, now: float, dt: float, delivered_bytes: float, rtt: float) -> None:
+        st = self.state
+        if st.in_slow_start:
+            self._slow_start_tick(delivered_bytes)
+            return
+        if st.cwnd_bytes <= 0 or rtt <= 0:
+            return
+        a = _A_STEP_LIST[bisect.bisect_right(_W_BOUNDS_LIST, st.cwnd_bytes / self.mss)]
+        # a(w) segments per cwnd of ACKs (a=1 reduces to Reno).
+        st.cwnd_bytes += a * (self.mss * (delivered_bytes / st.cwnd_bytes))
+
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        st = self.state
+        b = _B_STEP_LIST[bisect.bisect_right(_W_BOUNDS_LIST, st.cwnd_bytes / self.mss)]
+        st.cwnd_bytes = max(2 * self.mss, st.cwnd_bytes * (1.0 - b))
+        st.ssthresh_bytes = st.cwnd_bytes
+        st.in_slow_start = False

@@ -1,0 +1,104 @@
+"""H-TCP (Leith & Shorten), time-based high-BDP congestion avoidance.
+
+Where HighSpeed keys its aggressiveness on the *window*, H-TCP keys it
+on the *time elapsed since the last congestion event*: for the first
+``DELTA_L = 1`` second after backoff it behaves like Reno, after that
+the per-RTT increase grows quadratically::
+
+    alpha(delta) = 1 + 10 (delta - DELTA_L) + ((delta - DELTA_L) / 2)^2
+
+so flows that have gone a long time without loss (big-BDP pipes) probe
+aggressively, while short-epoch flows compete like standard TCP.  The
+backoff factor adapts to queue standing: ``beta = RTT_min / RTT_max``
+over the epoch, clipped to ``[0.5, 0.8]`` — an empty-queue path backs
+off gently (0.8), a deeply-queued one halves like Reno.
+
+The quadratic is written ``half * half`` with ``half = ex * 0.5`` (not
+``** 2``) so the batched stepper can mirror it bit for bit; the epoch
+clock slides under app-limiting exactly like CUBIC's epoch origin, and
+an RTO discards the clock entirely via :meth:`_react_to_timeout` —
+otherwise the first post-recovery tick would inherit a huge ``delta``
+and grow the fresh 2-MSS window at hundreds of segments per RTT.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import CongestionControl
+
+__all__ = ["HTcp"]
+
+
+class HTcp(CongestionControl):
+    """H-TCP: quadratic-in-time increase, RTT-ratio adaptive backoff."""
+
+    name = "htcp"
+    #: Low-speed region: behave like Reno for this long after a loss.
+    DELTA_L = 1.0
+    BETA_MIN = 0.5
+    BETA_MAX = 0.8
+
+    def __init__(self, mss: float = 8960.0, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        #: Start of the current increase epoch (None until congestion
+        #: avoidance begins, and again after an RTO).
+        self._delta_start: float | None = None
+        # Per-epoch RTT extremes for the adaptive backoff.
+        self._rtt_min = float("inf")
+        self._rtt_max = 0.0
+
+    def _alpha(self, delta: float) -> float:
+        if delta <= self.DELTA_L:
+            return 1.0
+        ex = delta - self.DELTA_L
+        half = ex * 0.5
+        return 1.0 + 10.0 * ex + half * half
+
+    def on_tick(self, now: float, dt: float, delivered_bytes: float, rtt: float) -> None:
+        st = self.state
+        if rtt > 0:
+            if rtt < self._rtt_min:
+                self._rtt_min = rtt
+            if rtt > self._rtt_max:
+                self._rtt_max = rtt
+        if st.in_slow_start:
+            self._slow_start_tick(delivered_bytes)
+            if st.in_slow_start:
+                return
+            self._delta_start = now
+        if self._delta_start is None:
+            self._delta_start = now
+        if st.cwnd_bytes <= 0 or rtt <= 0:
+            return
+        a = self._alpha(now - self._delta_start)
+        st.cwnd_bytes += a * (self.mss * (delivered_bytes / st.cwnd_bytes))
+
+    def on_app_limited(self, now: float, dt: float) -> None:
+        """alpha is a function of time-in-epoch, so the epoch origin
+        slides with app-limited wall time (same rule as CUBIC)."""
+        if self._delta_start is not None:
+            # Legitimate duration integral: no closed form for the slide.
+            self._delta_start += dt  # repro: noqa-FLOAT002
+
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        st = self.state
+        if self._rtt_max > 0.0:
+            beta = self._rtt_min / self._rtt_max
+            if beta < self.BETA_MIN:
+                beta = self.BETA_MIN
+            elif beta > self.BETA_MAX:
+                beta = self.BETA_MAX
+        else:
+            beta = self.BETA_MIN
+        st.cwnd_bytes = max(2 * self.mss, st.cwnd_bytes * beta)
+        st.ssthresh_bytes = st.cwnd_bytes
+        st.in_slow_start = False
+        self._delta_start = now
+        self._rtt_min = float("inf")
+        self._rtt_max = 0.0
+
+    def _react_to_timeout(self, now: float) -> None:
+        """RTO: the epoch clock and its RTT extremes are meaningless for
+        the post-recovery window; restart both when avoidance resumes."""
+        self._delta_start = None
+        self._rtt_min = float("inf")
+        self._rtt_max = 0.0

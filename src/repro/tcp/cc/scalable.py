@@ -1,0 +1,45 @@
+"""Scalable TCP (Kelly), multiplicative-increase/multiplicative-decrease.
+
+Standard TCP's recovery time after a loss grows linearly with the
+window — at 10 Gbps and 100 ms that is measured in hours.  Scalable TCP
+makes the response *scale-invariant*: the window grows by a fixed
+fraction of the ACKed bytes (``a = 0.01``, i.e. +1 segment per 100
+ACKed) and shrinks by a fixed factor ``b = 0.125`` on loss, so the
+loss-recovery time is a constant number of RTTs (~13.4 at these
+constants) regardless of window size.
+
+Both the increase and the decrease are single multiplies — the entire
+algorithm is already in the ``+ - * /`` subset the batched stepper can
+transcribe bit for bit.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import CongestionControl
+
+__all__ = ["Scalable"]
+
+
+class Scalable(CongestionControl):
+    """MIMD: cwnd += 0.01 * acked bytes, cwnd *= 0.875 on loss."""
+
+    name = "scalable"
+    #: Increase per ACKed byte (Kelly's a = 0.01).
+    AI = 0.01
+    #: Multiplicative decrease survivor fraction (1 - b, b = 1/8).
+    BETA = 0.875
+
+    def on_tick(self, now: float, dt: float, delivered_bytes: float, rtt: float) -> None:
+        st = self.state
+        if st.in_slow_start:
+            self._slow_start_tick(delivered_bytes)
+            return
+        if st.cwnd_bytes <= 0 or rtt <= 0:
+            return
+        st.cwnd_bytes += self.AI * delivered_bytes
+
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        st = self.state
+        st.cwnd_bytes = max(2 * self.mss, st.cwnd_bytes * self.BETA)
+        st.ssthresh_bytes = st.cwnd_bytes
+        st.in_slow_start = False

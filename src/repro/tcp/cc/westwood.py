@@ -1,0 +1,86 @@
+"""TCP Westwood+ — bandwidth-estimate backoff for lossy paths.
+
+Reno-family algorithms treat every loss as congestion and halve (or
+worse).  Westwood+ instead keeps a low-pass-filtered estimate of the
+*delivery rate* from the ACK stream and, on loss, sets ``ssthresh`` to
+the estimated bandwidth-delay product ``BWE * RTT_min`` — the window
+the path demonstrably sustains.  Random (non-congestion) loss, where
+the delivery rate has not actually dropped, therefore costs almost
+nothing, which is why Westwood degrades most gracefully of the classic
+variants on paths with stochastic loss.
+
+Per RTT-long sample window the estimate updates with the standard
+7/8 : 1/8 filter::
+
+    BWE = 0.875 * BWE + 0.125 * (acked_bytes / window_span)
+
+Growth is exactly Reno's.  Every step is ``+ - * /`` plus comparisons,
+so the batched stepper transcribes it bit for bit; the sample window
+restarts on RTO via :meth:`_react_to_timeout`.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc.base import CongestionControl
+
+__all__ = ["WestwoodPlus"]
+
+
+class WestwoodPlus(CongestionControl):
+    """Westwood+: Reno growth, BWE * RTT_min backoff."""
+
+    name = "westwood"
+    #: Low-pass filter weights for the bandwidth estimate (7/8, 1/8).
+    FILTER_OLD = 0.875
+    FILTER_NEW = 0.125
+
+    def __init__(self, mss: float = 8960.0, initial_cwnd_segments: int = 10):
+        super().__init__(mss, initial_cwnd_segments)
+        self._bw_est = 0.0  # filtered delivery rate, bytes/s
+        self._acked = 0.0  # bytes ACKed in the current sample window
+        self._win_start = 0.0  # when the current sample window opened
+        self._rtt_min = float("inf")
+
+    def _bdp_bytes(self) -> float:
+        """Estimated bandwidth-delay product; 0 before any RTT sample."""
+        if self._rtt_min == float("inf"):
+            return 0.0
+        return self._bw_est * self._rtt_min
+
+    def on_tick(self, now: float, dt: float, delivered_bytes: float, rtt: float) -> None:
+        st = self.state
+        if rtt > 0 and rtt < self._rtt_min:
+            self._rtt_min = rtt
+        # Bandwidth sampling runs in every phase, slow start included.
+        # Byte counter over the current sample window, consumed (and
+        # reset) by the filter update below.
+        self._acked += delivered_bytes  # repro: noqa-FLOAT002
+        if rtt > 0:
+            span = now - self._win_start
+            if span >= rtt:
+                sample = self._acked / span
+                self._bw_est = self.FILTER_OLD * self._bw_est + self.FILTER_NEW * sample
+                self._acked = 0.0
+                self._win_start = now
+        if st.in_slow_start:
+            self._slow_start_tick(delivered_bytes)
+            return
+        if st.cwnd_bytes <= 0 or rtt <= 0:
+            return
+        st.cwnd_bytes += self.mss * (delivered_bytes / st.cwnd_bytes)
+
+    def _react_to_loss(self, now: float, rtt: float) -> None:
+        st = self.state
+        st.ssthresh_bytes = max(2 * self.mss, self._bdp_bytes())
+        if st.cwnd_bytes > st.ssthresh_bytes:
+            st.cwnd_bytes = st.ssthresh_bytes
+        st.in_slow_start = False
+
+    def _react_to_timeout(self, now: float) -> None:
+        """RTO: aim slow start at the measured BDP instead of half the
+        collapsed window, and restart the sample window — the stalled
+        pre-timeout window must not contribute a bogus low sample."""
+        st = self.state
+        st.ssthresh_bytes = max(2 * self.mss, self._bdp_bytes())
+        self._acked = 0.0
+        self._win_start = now

@@ -114,6 +114,37 @@ CASES = {
         ],
         5,
     ),
+    # The full congestion-control zoo on a lossy WAN: every array batch
+    # group (incl. the per-flow-parameter tunable group) side by side.
+    "cc-zoo-wan": (
+        AmLightTestbed(kernel="6.8"),
+        "wan54",
+        [
+            FlowSpec(cc="highspeed"),
+            FlowSpec(cc="htcp"),
+            FlowSpec(cc="scalable"),
+            FlowSpec(cc="westwood"),
+            FlowSpec(cc="tunable-cubic:alpha=1.5,beta=0.5"),
+            FlowSpec(cc="tunable-cubic:c=0.2"),
+            FlowSpec(cc="cubic"),
+            FlowSpec(cc="reno"),
+        ],
+        13,
+    ),
+    # Homogeneous runs of each zoo algorithm: the single-full-group
+    # fast path (batch.cwnd aliases the group array) for every stepper.
+    "cc-zoo-homogeneous": (
+        AmLightTestbed(kernel="6.8"),
+        "wan104",
+        [
+            FlowSpec(cc=kind)
+            for kind in (
+                "highspeed", "htcp", "scalable", "westwood",
+            )
+            for _ in range(2)
+        ],
+        29,
+    ),
 }
 
 
@@ -147,7 +178,19 @@ flow_strategy = st.builds(
     ),
     zerocopy=st.booleans(),
     skip_rx_copy=st.booleans(),
-    cc=st.sampled_from(["cubic", "reno", "bbr1", "bbr3"]),
+    cc=st.sampled_from(
+        [
+            "cubic",
+            "reno",
+            "bbr1",
+            "bbr3",
+            "highspeed",
+            "htcp",
+            "scalable",
+            "westwood",
+            "tunable-cubic:alpha=2.0,beta=0.6,c=0.5",
+        ]
+    ),
 )
 
 
@@ -167,6 +210,70 @@ class TestHypothesisParity:
         scalar = run_traced("scalar", tb.host_pair(), tb.path(path), flows, seed)
         vector = run_traced("vector", tb.host_pair(), tb.path(path), flows, seed)
         assert_bit_identical(scalar, vector)
+
+
+class TestTimeoutPathParity:
+    """``cc_timeout`` (RTO collapse) bit parity between the kernels.
+
+    The fluid driver never RTOs, so this path is pinned directly: both
+    kernels process the same tick/loss/timeout schedule and must agree
+    on every window and every (flow, before, after) report — including
+    post-timeout epoch state, which is where the pre-fix ``on_timeout``
+    (base-state-only reset) diverged from a true Linux RTO.
+    """
+
+    KINDS = [
+        "cubic", "reno", "highspeed", "htcp", "scalable", "westwood",
+        "tunable-cubic:alpha=1.2,beta=0.55", "bbr1",
+    ]
+
+    @staticmethod
+    def _kernel(name, ccs):
+        if name == "scalar":
+            return ScalarKernel(
+                ccs, [], [],
+                run_noise=1.0, snd_app_share=1.0, rcv_app_share=1.0,
+                rcv_irq_share=1.0, budget_rx=1.0, agg_rx_base=1.0,
+            )
+        # Only the congestion hooks are under test; skip the CPU cost
+        # half of ``_bind`` (it needs real cost models).
+        from repro.tcp.cc.batch import CcBatch
+
+        kern = VectorKernel.__new__(VectorKernel)
+        kern.batch = CcBatch(ccs)
+        kern.cwnd = kern.batch.cwnd
+        return kern
+
+    def test_timeout_schedule_bit_identical(self):
+        from repro.tcp.cc import make_cc
+
+        n = len(self.KINDS)
+        mss = 8960.0
+        kernels = {
+            name: self._kernel(name, [make_cc(k, mss=mss) for k in self.KINDS])
+            for name in ("scalar", "vector")
+        }
+        rng = np.random.default_rng(17)
+        now, dt, rtt = 0.0, 0.008, 0.054
+        max_window = 64 * 1024 * 1024.0
+        for step in range(800):
+            now += dt
+            cwnd = kernels["scalar"].cwnd
+            delivered = rng.uniform(0.0, 2.5, n) * cwnd * (dt / rtt)
+            al_mask = rng.random(n) < 0.05
+            loss_idx = np.nonzero(rng.random(n) < 0.01)[0]
+            to_idx = np.nonzero(rng.random(n) < 0.004)[0]
+            reports = {}
+            for name, kern in kernels.items():
+                losses = kern.cc_feedback(
+                    now, dt, rtt, delivered, loss_idx, al_mask, max_window
+                )
+                timeouts = kern.cc_timeout(now, to_idx)
+                reports[name] = (losses, timeouts)
+            assert reports["scalar"] == reports["vector"], step
+            assert np.array_equal(
+                kernels["scalar"].cwnd, kernels["vector"].cwnd
+            ), step
 
 
 class TestExperimentDigestParity:

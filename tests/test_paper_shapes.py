@@ -19,6 +19,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.rng import RngFactory
+from repro.experiments.cc_zoo import (
+    AGG_FLOWS,
+    TUNER_BETAS,
+    TUNER_CS,
+    TUNER_PATH,
+    _with_buffer,
+)
 from repro.host.sysctl import OPTMEM_1MB, OPTMEM_BEST_WAN, OPTMEM_DEFAULT
 from repro.testbeds.amlight import AmLightTestbed
 from repro.testbeds.esnet import ESnetTestbed
@@ -669,3 +676,159 @@ class TestFallbackAblationClaims:
         assert unlimited["gbps"] == pytest.approx(50, rel=0.02)
         # the copy fallback also burns sender CPU; lifting it cools the host
         assert unlimited["snd_cpu_pct"] < 0.8 * limited["snd_cpu_pct"]
+
+
+@asserts_expectation("cc-zoo")
+class TestCcZooClaims:
+    """Zoo cross product: who wins where beyond CUBIC/BBR."""
+
+    WAN = ("wan25", "wan54", "wan104")
+    HIGH_BDP = ("scalable", "highspeed", "htcp")
+
+    def test_high_bdp_responses_beat_reno_on_every_unpaced_wan_cell(
+        self, campaign_result
+    ):
+        res = campaign_result("cc-zoo")
+        for path in self.WAN:
+            for buffer in ("deep", "shallow"):
+                reno = one_row(
+                    res, cc="reno", path=path, buffer=buffer, pacing="unpaced"
+                )
+                for cc in self.HIGH_BDP:
+                    row = one_row(
+                        res, cc=cc, path=path, buffer=buffer, pacing="unpaced"
+                    )
+                    assert row["gbps"] > reno["gbps"], (cc, path, buffer)
+
+    def test_scalable_tops_every_unpaced_wan_cell(self, campaign_result):
+        res = campaign_result("cc-zoo")
+        for path in self.WAN:
+            for buffer in ("deep", "shallow"):
+                rows = rows_by(res, path=path, buffer=buffer, pacing="unpaced")
+                best = max(rows, key=lambda r: r["gbps"])
+                assert best["cc"] == "scalable", (path, buffer, best)
+
+    def test_lan_cells_are_cc_agnostic(self, campaign_result):
+        """No loss on the LAN, so the zoo collapses to one number per
+        (buffer, pacing) cell — the winner column there says nothing."""
+        res = campaign_result("cc-zoo")
+        for buffer in ("deep", "shallow"):
+            for pacing in ("unpaced", "paced"):
+                rows = rows_by(res, path="lan", buffer=buffer, pacing=pacing)
+                assert len({r["gbps"] for r in rows}) == 1, (buffer, pacing)
+
+    def test_westwood_most_conservative_where_loss_bites(self, campaign_result):
+        """Fewest retransmits in every shallow-buffer cell, and strictly
+        the fewest in the 256-flow aggregate."""
+        res = campaign_result("cc-zoo")
+        for path in self.WAN:
+            for pacing in ("unpaced", "paced"):
+                rows = rows_by(res, path=path, buffer="shallow", pacing=pacing)
+                ww = one_row(
+                    res, cc="westwood", path=path, buffer="shallow", pacing=pacing
+                )
+                assert ww["retr"] == min(r["retr"] for r in rows), (path, pacing)
+        agg = rows_by(res, pacing=f"agg{AGG_FLOWS}")
+        ww = one_row(res, cc="westwood", pacing=f"agg{AGG_FLOWS}")
+        others = [r["retr"] for r in agg if r["cc"] != "westwood"]
+        assert ww["retr"] < min(others)
+
+    def test_pacing_recovers_westwoods_throughput(self, campaign_result):
+        """Unpaced, westwood's conservative bandwidth estimate starves it
+        on the WAN; fq pacing brings it back within 20% of the winner."""
+        res = campaign_result("cc-zoo")
+        for path in self.WAN:
+            un = one_row(
+                res, cc="westwood", path=path, buffer="deep", pacing="unpaced"
+            )
+            pa = one_row(
+                res, cc="westwood", path=path, buffer="deep", pacing="paced"
+            )
+            assert pa["gbps"] > 3 * un["gbps"], path
+            best = max(
+                r["gbps"]
+                for r in rows_by(res, path=path, buffer="deep", pacing="paced")
+            )
+            assert pa["gbps"] > 0.8 * best, path
+
+    def test_pacing_narrows_the_deep_buffer_spread(self, campaign_result):
+        res = campaign_result("cc-zoo")
+        for path in self.WAN:
+            spread = {}
+            for pacing in ("unpaced", "paced"):
+                g = [
+                    r["gbps"]
+                    for r in rows_by(res, path=path, buffer="deep", pacing=pacing)
+                ]
+                spread[pacing] = max(g) - min(g)
+            assert spread["paced"] < 0.35 * spread["unpaced"], (path, spread)
+
+    def test_who_wins_heatmap_renders(self, campaign_result):
+        res = campaign_result("cc-zoo")
+        assert "Who wins where" in res.appendix
+        for path in ("lan",) + self.WAN:
+            assert f"| {path} |" in res.appendix
+        assert f"{AGG_FLOWS}-flow aggregate" in res.appendix
+        # the appendix travels through render() and the markdown report
+        assert res.appendix in res.render()
+
+
+@asserts_expectation("cc-tuner")
+class TestCcTunerClaims:
+    """TCPTuner c x beta grid on the lossy wan104/shallow cell."""
+
+    def test_beta_trades_retransmits_for_throughput_at_every_c(
+        self, campaign_result
+    ):
+        res = campaign_result("cc-tuner")
+        for c in TUNER_CS:
+            g = [one_row(res, c=c, beta=b)["gbps"] for b in TUNER_BETAS]
+            assert all(a < b for a, b in zip(g, g[1:])), (c, g)
+            # the last beta step is the steep one, retransmit-wise
+            r_stock = one_row(res, c=c, beta=0.7)["retr"]
+            r_gentle = one_row(res, c=c, beta=0.9)["retr"]
+            assert r_gentle > 4 * r_stock, (c, r_stock, r_gentle)
+
+    def test_c_lifts_throughput_with_stock_or_gentler_backoff(
+        self, campaign_result
+    ):
+        res = campaign_result("cc-tuner")
+        for beta in (0.7, 0.9):
+            g = [one_row(res, c=c, beta=beta)["gbps"] for c in TUNER_CS]
+            assert all(a < b for a, b in zip(g, g[1:])), (beta, g)
+
+    def test_raising_c_repairs_the_deep_backoff_ramp(self, campaign_result):
+        """At beta=0.3 a timid cubic is still climbing when the run ends
+        (first interval well below the last); c=1.6 converges within the
+        first post-omit interval."""
+        res = campaign_result("cc-tuner")
+        assert one_row(res, c=0.2, beta=0.3)["ramp"] < 0.9
+        assert one_row(res, c=1.6, beta=0.3)["ramp"] >= 1.0
+
+    def test_stock_cubic_is_not_the_top_of_the_grid(self, campaign_result):
+        res = campaign_result("cc-tuner")
+        stock = one_row(res, c=0.4, beta=0.7)["gbps"]
+        assert max(r["gbps"] for r in res.rows) > 1.15 * stock
+
+    def test_alpha_knob_is_inert_at_these_bdps(self, amlight68):
+        """CUBIC sits in its cubic region on the sweep's cell; the
+        TCP-friendly slope never binds, so alpha cannot move the grid."""
+        from repro.tools.harness import HarnessConfig, TestHarness
+
+        snd, rcv = amlight68.host_pair()
+        path = _with_buffer(amlight68.path(TUNER_PATH), "shallow")
+        harness = TestHarness(snd, rcv, path, HarnessConfig.quick())
+        runs = [
+            harness.run(
+                Iperf3Options(
+                    congestion=f"tunable-cubic:alpha={alpha},beta=0.7",
+                    parallel=4,
+                ),
+                label=f"alpha-inert/{alpha}",
+            )
+            for alpha in (0.25, 4.0)
+        ]
+        # A 16x alpha change moves throughput by under a part per
+        # million — the knob binds only for an instant after each loss.
+        assert runs[0].mean_gbps == pytest.approx(runs[1].mean_gbps, rel=1e-6)
+        assert runs[0].mean_retransmits == runs[1].mean_retransmits

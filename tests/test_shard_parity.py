@@ -110,6 +110,21 @@ CASES = {
     "single-block": _amlight_case(
         "lan", FlowPopulation.uniform(FlowSpec(), 16), 5
     ),
+    # The congestion-control zoo: every template-batchable stepper
+    # (incl. a parameterized tunable-cubic kind) split across shard
+    # boundaries, so per-kind groups exist in several shards at once.
+    "cc-zoo": _amlight_case(
+        "wan54",
+        FlowPopulation.of(
+            [FlowSpec(cc="highspeed")] * 18
+            + [FlowSpec(cc="htcp")] * 18
+            + [FlowSpec(cc="scalable")] * 18
+            + [FlowSpec(cc="westwood")] * 18
+            + [FlowSpec(cc="tunable-cubic:alpha=1.5,beta=0.5")] * 18
+            + [FlowSpec(cc="cubic")] * 10
+        ),
+        23,
+    ),
 }
 
 
@@ -146,7 +161,9 @@ spec_strategy = st.builds(
     FlowSpec,
     zerocopy=st.booleans(),
     skip_rx_copy=st.booleans(),
-    cc=st.sampled_from(["cubic", "reno"]),
+    cc=st.sampled_from(
+        ["cubic", "reno", "highspeed", "htcp", "scalable", "westwood"]
+    ),
 )
 
 population_strategy = st.lists(
