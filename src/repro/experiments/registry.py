@@ -30,6 +30,7 @@ from repro.experiments.fig11_multi_amlight import Fig11MultiStreamAmLight
 from repro.experiments.fig12_fig13_kernels import Fig12KernelsESnet, Fig13KernelsAmLight
 from repro.experiments.future_work import FutureBigTcpZerocopy, FutureHwGro
 from repro.experiments.pitfalls import IommuPitfall, PacingOverflowPitfall
+from repro.experiments.quic_pacing import QuicPacingCampaign, SpinAccuracySweep
 from repro.experiments.scaling import FlowCountScaling
 from repro.experiments.tables import Table1ESnetLan, Table2ESnetWan, Table3FlowControl
 from repro.tools.harness import HarnessConfig
@@ -65,6 +66,8 @@ _CLASSES: list[type[Experiment]] = [
     FlowCountScaling,
     CcZooCampaign,
     CcTunerSweep,
+    QuicPacingCampaign,
+    SpinAccuracySweep,
 ]
 
 REGISTRY: dict[str, type[Experiment]] = {cls.exp_id: cls for cls in _CLASSES}

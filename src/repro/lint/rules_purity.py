@@ -42,6 +42,14 @@ _BATCH_MODULES = frozenset({"repro.tcp.cc.batch"})
 _SERVE_PREFIX = "repro.serve"
 _SERVE_CONFIG_MODULE = "repro.serve.config"
 
+#: The QUIC stack ships to shard workers wholesale: pacers are frozen
+#: specs the driver lowers into flow state, and the spin observer runs
+#: against worker-generated event streams — so no ``repro.quic`` module
+#: may read the environment anywhere.  A pacer that consulted
+#: ``os.environ`` could hand two shards different release schedules
+#: for byte-identical flow specs.
+_QUIC_PREFIX = "repro.quic"
+
 #: Mutating method names: calling one on a module-level object is a
 #: write to module state even without an assignment statement.
 _MUTATING_METHODS = frozenset(
@@ -108,6 +116,11 @@ class KernelPurityRule(ProjectRule):
     ``os.getenv`` anywhere — request handlers must be a function of
     the request and the ``ServeConfig`` the daemon booted with, or the
     served digests stop being reproducible from the request alone.
+
+    ``repro.quic`` gets the same whole-package treatment with no
+    sanctioned reader: the pacers and the spin observer travel into
+    shard workers, and an environment read anywhere in the package
+    could split byte parity across shards.
     """
 
     code = "PURE001"
@@ -117,8 +130,8 @@ class KernelPurityRule(ProjectRule):
         "Tick-path methods of kernel/batch classes may not read or "
         "write module globals, os.environ, or other non-parameter "
         "mutable state; a kernel's bytes must be a function of its "
-        "inputs alone.  repro.serve modules (except serve.config) may "
-        "not read the environment at all."
+        "inputs alone.  repro.serve modules (except serve.config) and "
+        "all repro.quic modules may not read the environment at all."
     )
 
     def check_project(
@@ -129,6 +142,8 @@ class KernelPurityRule(ProjectRule):
             info = graph.modules[name]
             if self._is_covered_serve_module(name):
                 yield from self._check_serve_module(info)
+            if self._is_quic_module(name):
+                yield from self._check_quic_module(info)
             for cls_name in sorted(info.classes):
                 cls = info.classes[cls_name]
                 if not self._is_kernel_class(graph, info, cls):
@@ -163,6 +178,10 @@ class KernelPurityRule(ProjectRule):
             return False
         return name == _SERVE_PREFIX or name.startswith(_SERVE_PREFIX + ".")
 
+    @staticmethod
+    def _is_quic_module(name: str) -> bool:
+        return name == _QUIC_PREFIX or name.startswith(_QUIC_PREFIX + ".")
+
     def _check_serve_module(self, info: ModuleInfo) -> Iterator[Violation]:
         """Flag every environment read in a (non-config) serve module."""
         ctx = info.ctx
@@ -175,6 +194,20 @@ class KernelPurityRule(ProjectRule):
                     f"environment; only {_SERVE_CONFIG_MODULE} may parse "
                     f"startup configuration — handlers must answer from "
                     f"the request and the ServeConfig alone",
+                )
+
+    def _check_quic_module(self, info: ModuleInfo) -> Iterator[Violation]:
+        """Flag every environment read in a QUIC-stack module."""
+        ctx = info.ctx
+        for node in ast.walk(ctx.tree):
+            if _is_environ_access(node):
+                yield ctx.violation(
+                    node,
+                    self.code,
+                    f"quic module {info.name} reads the process "
+                    f"environment; pacers and observers ship into shard "
+                    f"workers and must be functions of their constructor "
+                    f"arguments alone",
                 )
 
     # -- method body ----------------------------------------------------

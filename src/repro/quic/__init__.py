@@ -1,0 +1,42 @@
+"""QUIC-like userspace protocol model.
+
+The paper tunes *kernel* TCP, where pacing is a qdisc property; QUIC
+moves the whole transport into userspace, where the pacer is a library
+choice ("QUIC Steps", PAPERS.md).  This package models that stack on
+top of the existing fluid simulator: connections reuse the batched
+congestion-control steppers (:mod:`repro.tcp.cc.batch`), and a
+pluggable :mod:`pacer <repro.quic.pacer>` supplies the release
+schedule whose residual burstiness feeds the same loss model the TCP
+flows use — so the burstiness/loss trade-offs are directly comparable
+across the two stacks.
+
+The :mod:`spin <repro.quic.spin>` module adds QUIC's passive latency
+observability: a spin-bit observer that estimates RTT purely from
+packet edges on the trace bus and reports its error against the
+simulator's ground-truth RTT.
+"""
+
+from repro.quic.pacer import (
+    PACER_KINDS,
+    ChunkedPacer,
+    IntervalPacer,
+    NoPacer,
+    TokenBucketPacer,
+    make_pacer,
+)
+from repro.quic.spin import SpinBitObserver, SpinEstimate
+from repro.quic.stack import QuicConnection, aggregate_quic, simulate_quic
+
+__all__ = [
+    "PACER_KINDS",
+    "ChunkedPacer",
+    "IntervalPacer",
+    "NoPacer",
+    "TokenBucketPacer",
+    "make_pacer",
+    "SpinBitObserver",
+    "SpinEstimate",
+    "QuicConnection",
+    "aggregate_quic",
+    "simulate_quic",
+]

@@ -1,0 +1,248 @@
+"""Pluggable userspace pacers for the QUIC stack.
+
+Kernel TCP gets its packet spacing from the qdisc; a QUIC
+implementation brings its own pacer, and the implementations surveyed
+in "QUIC Steps" differ exactly here: some send whenever cwnd allows
+(no pacer), some run a token bucket, some space packets individually
+on a timer (the fq discipline reimplemented in userspace), and some
+release fixed-size chunks back to back.
+
+Each pacer satisfies the driver-side pacing protocol the simulator
+already consumes for :class:`~repro.tcp.pacing.PacingConfig` —
+``enabled`` / ``effective_rate()`` / ``smooths_bursts`` — plus one
+method of its own, ``release_slack(zerocopy)``: the residual
+burstiness of its release schedule on the loss model's burst-slack
+scale (0.0 = perfectly smooth, 1.0 = line-rate window dumps; see
+:mod:`repro.sim.lossmodel`).  The driver picks that method up by duck
+typing (:func:`repro.sim.lossmodel.flow_release_slack`), so the
+simulator never imports this package.
+
+The slack of the bursty-but-paced kinds follows one saturating curve
+in the burst size ``b`` the schedule emits between idle gaps:
+``b / (b + _HALF_SLACK_BYTES)`` — 0 as b -> 0 (per-packet release),
+-> 1 as the bursts grow to window scale.  A token bucket's burst is
+its bucket depth; a chunked sender's is its chunk size.  The curve
+passes through the calibrated coarse-internal-pacing slack (~0.35,
+:meth:`~repro.sim.lossmodel.BurstModel.slack_for`) at the default
+bucket depth, anchoring the userspace pacers to the kernel model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import units
+from repro.core.errors import ConfigurationError
+from repro.sim.lossmodel import COPY_MODE_SLACK
+
+__all__ = [
+    "PACER_KINDS",
+    "NoPacer",
+    "IntervalPacer",
+    "TokenBucketPacer",
+    "ChunkedPacer",
+    "make_pacer",
+]
+
+#: Burst size (bytes) at which a paced-but-bursty release schedule is
+#: halfway to fully bursty on the slack scale.
+_HALF_SLACK_BYTES = 128 * 1024
+
+#: Default token-bucket depth: 64 KiB ≈ 43 full-size packets, the
+#: quicly/mvfst ballpark.  Slack 64/(64+128) = 1/3 — right at the
+#: kernel model's coarse internal pacing.
+DEFAULT_BUCKET_BYTES = 64 * 1024
+
+#: Default chunk size of the chunked-burst pacer: one 256 KiB
+#: sendmmsg batch, released back to back.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+
+def _burst_slack(burst_bytes: float) -> float:
+    """Saturating burst-size -> slack curve shared by the bursty pacers."""
+    return burst_bytes / (burst_bytes + _HALF_SLACK_BYTES)
+
+
+@dataclass(frozen=True)
+class NoPacer:
+    """No pacer: packets leave the moment cwnd opens.
+
+    The userspace twin of an unpaced TCP socket — the release schedule
+    is the congestion window itself, so the slack matches the kernel
+    model's unpaced flow: line-rate trains for a zerocopy-style sender
+    (UDP GSO handoff), the calibrated copy-mode slack otherwise.
+    """
+
+    kind = "none"
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def effective_rate(self) -> float | None:
+        return None
+
+    @property
+    def smooths_bursts(self) -> bool:
+        return False
+
+    def release_slack(self, zerocopy: bool) -> float:
+        return 1.0 if zerocopy else COPY_MODE_SLACK
+
+    def describe(self) -> str:
+        return "no pacer (cwnd-gated bursts)"
+
+
+@dataclass(frozen=True)
+class _RatedPacer:
+    """Common plumbing of the pacers that enforce a byte rate."""
+
+    rate_bytes_per_sec: float
+
+    def __post_init__(self) -> None:
+        if self.rate_bytes_per_sec <= 0:
+            raise ConfigurationError("pacer rate must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def effective_rate(self) -> float:
+        return self.rate_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class IntervalPacer(_RatedPacer):
+    """fq-style interval pacing: one packet per ``packet / rate`` timer.
+
+    The userspace reimplementation of the fq qdisc's per-flow spacing
+    (quiche and ngtcp2 ship this shape).  Packets are released
+    individually, so the schedule is as smooth as kernel fq pacing:
+    slack 0, no trains.
+    """
+
+    kind = "interval"
+    #: Release quantum (one UDP datagram).
+    packet_bytes: float = 1500.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.packet_bytes <= 0:
+            raise ConfigurationError("packet size must be positive")
+
+    @property
+    def smooths_bursts(self) -> bool:
+        return True
+
+    def release_interval(self) -> float:
+        """Seconds between consecutive packet releases."""
+        return self.packet_bytes / self.rate_bytes_per_sec
+
+    def release_slack(self, zerocopy: bool) -> float:
+        return 0.0
+
+    def describe(self) -> str:
+        return (
+            f"interval pacer {units.fmt_gbps(self.rate_bytes_per_sec)} "
+            f"({self.release_interval() * 1e6:.2f} us/pkt)"
+        )
+
+
+@dataclass(frozen=True)
+class TokenBucketPacer(_RatedPacer):
+    """Token bucket: average rate enforced, bursts up to the bucket.
+
+    The bucket refills at the pacing rate; an idle connection
+    accumulates up to ``bucket_bytes`` of credit and spends it at line
+    rate.  The average rate holds — ``effective_rate`` is real — but
+    the schedule carries bucket-sized trains, so the slack follows the
+    shared saturating curve in the bucket depth.
+    """
+
+    kind = "token-bucket"
+    bucket_bytes: float = float(DEFAULT_BUCKET_BYTES)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.bucket_bytes <= 0:
+            raise ConfigurationError("bucket depth must be positive")
+
+    @property
+    def smooths_bursts(self) -> bool:
+        return False
+
+    def release_slack(self, zerocopy: bool) -> float:
+        return _burst_slack(self.bucket_bytes)
+
+    def describe(self) -> str:
+        return (
+            f"token bucket {units.fmt_gbps(self.rate_bytes_per_sec)} "
+            f"(bucket {self.bucket_bytes / 1024:.0f} KiB)"
+        )
+
+
+@dataclass(frozen=True)
+class ChunkedPacer(_RatedPacer):
+    """Chunked bursts: whole sendmmsg batches at line rate, then sleep.
+
+    The cheapest timer discipline — arm one timer per chunk instead of
+    per packet — and the burstiest of the rate-enforcing pacers: every
+    release is a chunk-sized line-rate train.
+    """
+
+    kind = "chunked"
+    chunk_bytes: float = float(DEFAULT_CHUNK_BYTES)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.chunk_bytes <= 0:
+            raise ConfigurationError("chunk size must be positive")
+
+    @property
+    def smooths_bursts(self) -> bool:
+        return False
+
+    def release_interval(self) -> float:
+        """Seconds between consecutive chunk releases."""
+        return self.chunk_bytes / self.rate_bytes_per_sec
+
+    def release_slack(self, zerocopy: bool) -> float:
+        return _burst_slack(self.chunk_bytes)
+
+    def describe(self) -> str:
+        return (
+            f"chunked pacer {units.fmt_gbps(self.rate_bytes_per_sec)} "
+            f"(chunk {self.chunk_bytes / 1024:.0f} KiB)"
+        )
+
+
+#: Pacer kinds in increasing release-schedule burstiness.
+PACER_KINDS = ("interval", "token-bucket", "chunked", "none")
+
+_RATED = {
+    "interval": IntervalPacer,
+    "token-bucket": TokenBucketPacer,
+    "chunked": ChunkedPacer,
+}
+
+
+def make_pacer(kind: str, rate_gbps: float | None = None, **params):
+    """Build a pacer by kind name (the experiment/CLI entry point).
+
+    ``rate_gbps`` is required for every kind except ``"none"`` (which
+    rejects one: an unpaced sender has no rate to enforce).  Extra
+    keyword parameters go to the pacer class (``bucket_bytes``,
+    ``chunk_bytes``, ``packet_bytes``).
+    """
+    if kind == "none":
+        if rate_gbps is not None:
+            raise ConfigurationError("the 'none' pacer takes no rate")
+        return NoPacer(**params)
+    cls = _RATED.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown pacer kind {kind!r}; have {list(PACER_KINDS)}"
+        )
+    if rate_gbps is None:
+        raise ConfigurationError(f"pacer {kind!r} needs a rate")
+    return cls(rate_bytes_per_sec=units.gbps(rate_gbps), **params)

@@ -1,0 +1,225 @@
+"""Spin-bit RTT estimation from observed packet edges.
+
+QUIC encrypts everything a passive observer used to read, so its one
+concession to network operators is the **spin bit** ("three bits
+suffice"): the client inverts one header bit once per RTT, and an
+on-path observer recovers the RTT as the time between successive
+*edges* (bit flips) — no sequence numbers, no timestamps, no
+cooperation from the endpoints.
+
+The simulator is a fluid model with no per-packet headers, so the
+observer here works from the same observable an on-path tap would
+have: the packet edges implied by the per-tick ``flow.tick`` stream.
+Each flow spins on its ground-truth RTT; the observer sees each flip
+through three impairments it cannot distinguish from signal:
+
+* **sampling jitter** — the flip lands on whichever packet departs
+  next, so every observed edge slips by a fraction of the
+  inter-packet gap;
+* **loss** — when the first packets of a spin period are lost, the
+  phase change is only observable once a surviving packet arrives;
+  the edge is detected late, stretching one sample and shrinking the
+  next;
+* **reordering** — a straggler from the previous period arriving
+  after the flip re-creates the old phase for a moment, which the
+  observer reads as an extra (spurious) edge, splitting one spin
+  period into two short samples.
+
+Determinism: the observer is a trace :class:`~repro.trace.bus.Sink`
+fed by the driver's ``flow.tick`` events, which are byte-identical
+across kernels, and it draws a fixed number of variates per edge from
+its own RNG stream in event order — so its estimates (and the
+``probe.spin`` replay) inherit the simulator's digest parity.
+
+Observation is strictly read-only with respect to the simulation:
+nothing the simulator computes depends on the observer, so golden
+result digests are identical with or without it attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.trace.bus import Sink, TraceBus
+from repro.trace.probes import spin_probe
+
+__all__ = [
+    "SpinBitObserver",
+    "SpinEstimate",
+    "replay_spin_probes",
+]
+
+#: Observed edges slip by up to this fraction of the RTT — the flip
+#: surfaces on the next departing packet, not at the flip instant.
+EDGE_JITTER_FRACTION = 0.04
+
+#: A loss-delayed edge is detected up to this fraction of an RTT late
+#: (the surviving packet that reveals the new phase).
+LOSS_DELAY_FRACTION = 0.5
+
+#: A spurious (reorder-induced) edge lands this window of the RTT
+#: before the true edge, splitting the spin period.
+REORDER_SPLIT_MIN = 0.15
+REORDER_SPLIT_SPAN = 0.35
+
+
+@dataclass(frozen=True)
+class SpinEstimate:
+    """One RTT sample recovered from a pair of consecutive edges."""
+
+    flow: int
+    #: Observed time of the later edge (simulated seconds).
+    t: float
+    #: The estimate: observed spacing of the edge pair.
+    est_rtt: float
+    #: Ground-truth RTT at the later edge.
+    true_rtt: float
+
+    @property
+    def err_fraction(self) -> float:
+        return abs(self.est_rtt - self.true_rtt) / self.true_rtt
+
+
+@dataclass
+class _FlowSpin:
+    """Per-flow spin state: the flip schedule and observed edges."""
+
+    next_flip: float
+    #: (observed time, true rtt at the flip), in observation order.
+    edges: list = field(default_factory=list)
+
+
+class SpinBitObserver(Sink):
+    """Passive RTT estimator over the ``flow.tick`` stream.
+
+    Attach to a trace bus (``bus.add_sink(obs)``) around a
+    :meth:`~repro.sim.flowsim.FlowSimulator.run`; afterwards
+    :meth:`estimates` yields the recovered RTT samples and
+    :meth:`error_stats` the aggregate estimator error.  ``loss_prob``
+    and ``reorder_prob`` are the per-edge impairment rates of the
+    observation channel.
+    """
+
+    categories = frozenset({"flow"})
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        loss_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_prob < 1.0:
+            raise ConfigurationError("loss_prob must be in [0, 1)")
+        if not 0.0 <= reorder_prob < 1.0:
+            raise ConfigurationError("reorder_prob must be in [0, 1)")
+        self.rng = rng
+        self.loss_prob = loss_prob
+        self.reorder_prob = reorder_prob
+        self._flows: dict[int, _FlowSpin] = {}
+
+    # -- sink protocol ----------------------------------------------------
+
+    def write(self, event) -> None:
+        if event.name != "flow.tick":
+            return
+        args = event.args
+        if args["delivered"] <= 0.0:
+            return  # no packets on the wire, nothing to observe
+        flow = int(args["flow"])
+        rtt = float(args["rtt"])
+        if rtt <= 0.0:
+            return
+        t = float(event.t)
+        st = self._flows.get(flow)
+        if st is None:
+            # First delivering tick: the connection starts spinning now.
+            st = _FlowSpin(next_flip=t)
+            self._flows[flow] = st
+        while t >= st.next_flip:
+            self._observe_edge(st, st.next_flip, rtt)
+            st.next_flip += rtt
+
+    def _observe_edge(self, st: _FlowSpin, flip: float, rtt: float) -> None:
+        """Record one flip as the observer would see it.
+
+        Exactly five variates per edge, drawn in one call, whatever the
+        impairment branches do — the stream position is a function of
+        the edge count alone, never of earlier outcomes.
+        """
+        u = self.rng.random(5)
+        observed = flip + u[0] * EDGE_JITTER_FRACTION * rtt
+        if u[1] < self.loss_prob:
+            observed += u[2] * LOSS_DELAY_FRACTION * rtt
+        if u[3] < self.reorder_prob and st.edges:
+            # A straggler re-creates the old phase just before the
+            # flip: one extra edge, clipped to stay in order.
+            split = flip - (REORDER_SPLIT_MIN + u[4] * REORDER_SPLIT_SPAN) * rtt
+            prev_t = st.edges[-1][0]
+            if split > prev_t:
+                st.edges.append((split, rtt))
+        if st.edges and observed <= st.edges[-1][0]:
+            # Detection cannot precede an already-seen edge.
+            observed = st.edges[-1][0] + 1e-9
+        st.edges.append((observed, rtt))
+
+    # -- results ----------------------------------------------------------
+
+    def estimates(self) -> list[SpinEstimate]:
+        """RTT samples from consecutive edge pairs, flow-major order."""
+        out: list[SpinEstimate] = []
+        for flow in sorted(self._flows):
+            edges = self._flows[flow].edges
+            for (t0, _r0), (t1, r1) in zip(edges, edges[1:]):
+                out.append(
+                    SpinEstimate(
+                        flow=flow, t=t1, est_rtt=t1 - t0, true_rtt=r1
+                    )
+                )
+        return out
+
+    def error_stats(self) -> dict:
+        """Aggregate estimator error over every recovered sample."""
+        ests = self.estimates()
+        if not ests:
+            return {"median_err_pct": 0.0, "p90_err_pct": 0.0, "edges": 0}
+        errs = np.array([e.err_fraction for e in ests]) * 100.0
+        return {
+            "median_err_pct": float(np.median(errs)),
+            "p90_err_pct": float(np.quantile(errs, 0.9)),
+            "edges": len(ests),
+        }
+
+
+def replay_spin_probes(bus: TraceBus, observer: SpinBitObserver) -> int:
+    """Replay an observer's estimates as ``probe.spin`` events.
+
+    Each sample is emitted at its observed edge time, giving exporters
+    an estimated-vs-true RTT counter track per flow (the Perfetto
+    converter maps ``probe.*`` events with a ``flow`` arg to counter
+    tracks).  The bus clock is restored afterwards; returns the number
+    of events emitted.  The schema validator does not require monotonic
+    timestamps, so a post-run replay is well-formed.
+    """
+    if not bus.wants("probe"):
+        return 0
+    restore = bus.now
+    emitted = 0
+    try:
+        for est in observer.estimates():
+            bus.set_time(est.t)
+            bus.emit(
+                "probe",
+                "probe.spin",
+                **spin_probe(
+                    est.flow,
+                    est_rtt=est.est_rtt,
+                    true_rtt=est.true_rtt,
+                ),
+            )
+            emitted += 1
+    finally:
+        bus.set_time(restore)
+    return emitted

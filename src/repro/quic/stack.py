@@ -1,0 +1,126 @@
+"""The QUIC-like connection model on top of the fluid simulator.
+
+A :class:`QuicConnection` is the userspace analogue of one iperf3 TCP
+stream: a congestion controller drawn from the *batched* registry
+(:mod:`repro.tcp.cc.batch` — the same steppers, byte for byte, that
+drive the TCP flows), a pluggable :mod:`pacer <repro.quic.pacer>`
+supplying the release schedule, and UDP-GSO-style segmentation
+offload on the send side.
+
+There is deliberately no parallel QUIC engine: a connection lowers to
+a :class:`~repro.sim.flowsim.FlowSpec` whose ``pacing`` is the pacer
+object itself — the driver reads ``effective_rate()`` for the rate cap
+and picks the pacer's ``release_slack`` up by duck typing
+(:func:`repro.sim.lossmodel.flow_release_slack`).  Everything else —
+queues, loss, CPU ceilings, RNG discipline — is the existing
+simulator, which is what makes QUIC and TCP results directly
+comparable and keeps the byte-parity guarantees (kernel choice, shard
+count, job count) for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+from repro.quic.pacer import NoPacer
+from repro.sim.flowsim import FlowSimulator, FlowSpec, SimProfile
+from repro.sim.shard import FlowPopulation, ShardedFlowSimulator
+from repro.tcp.cc.batch import is_batchable, template_kinds
+
+__all__ = ["QuicConnection", "simulate_quic", "aggregate_quic"]
+
+
+@dataclass(frozen=True)
+class QuicConnection:
+    """One QUIC connection: batched cc + pluggable pacer + UDP GSO."""
+
+    cc: str = "cubic"
+    pacer: object = field(default_factory=NoPacer)
+    #: UDP GSO with zerocopy handoff (the high-throughput datapath of
+    #: modern stacks).  Off = one copying sendmsg per datagram, which
+    #: both costs send-side CPU and smears the unpaced bursts
+    #: (:data:`~repro.sim.lossmodel.COPY_MODE_SLACK`).
+    gso_zerocopy: bool = True
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        # The QUIC stack reuses the batched steppers; a scalar-state cc
+        # (BBR's deques) has no array transcription to reuse.
+        if not is_batchable(self.cc):
+            raise ConfigurationError(
+                f"quic connections reuse the batched cc steppers: cc must "
+                f"be one of {template_kinds()}, not {self.cc!r}"
+            )
+        for attr in ("enabled", "effective_rate", "release_slack"):
+            if not hasattr(self.pacer, attr):
+                raise ConfigurationError(
+                    f"pacer {self.pacer!r} does not implement {attr!r}; "
+                    "use repro.quic.make_pacer"
+                )
+
+    def flow_spec(self) -> FlowSpec:
+        """Lower to the driver's flow description."""
+        return FlowSpec(
+            pacing=self.pacer,
+            zerocopy=self.gso_zerocopy,
+            skip_rx_copy=self.gso_zerocopy,
+            cc=self.cc,
+            label=self.label or f"quic-{getattr(self.pacer, 'kind', '?')}",
+        )
+
+
+def simulate_quic(
+    sender,
+    receiver,
+    path,
+    connections,
+    profile: SimProfile | None = None,
+    rng=None,
+) -> FlowSimulator:
+    """A :class:`FlowSimulator` over QUIC connections.
+
+    Returns the simulator rather than running it so callers can attach
+    observers (the spin-bit estimator) to the ambient trace bus before
+    calling ``run``.
+    """
+    conns = list(connections)
+    if not conns:
+        raise ConfigurationError("need at least one quic connection")
+    return FlowSimulator(
+        sender,
+        receiver,
+        path,
+        [conn.flow_spec() for conn in conns],
+        profile=profile,
+        rng=rng,
+    )
+
+
+def aggregate_quic(
+    sender,
+    receiver,
+    path,
+    connection: QuicConnection,
+    count: int,
+    profile: SimProfile | None = None,
+    rng=None,
+    shards: int | None = None,
+) -> ShardedFlowSimulator:
+    """A sharded population of ``count`` identical QUIC connections.
+
+    The sharded engine already requires template-batchable ccs — the
+    same predicate :class:`QuicConnection` enforces — so any
+    constructible connection shards.
+    """
+    if count < 1:
+        raise ConfigurationError("need at least one quic connection")
+    return ShardedFlowSimulator(
+        sender,
+        receiver,
+        path,
+        FlowPopulation.uniform(connection.flow_spec(), count),
+        profile=profile,
+        rng=rng,
+        shards=shards,
+    )

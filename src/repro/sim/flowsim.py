@@ -39,7 +39,7 @@ from repro.net.switch import SharedBufferQueue, SwitchModel
 from repro.sim.bottleneck import maxmin_allocate
 from repro.sim.cpumodel import CpuCostModel
 from repro.sim.kernels import make_kernel
-from repro.sim.lossmodel import BurstModel, concentrate_drops
+from repro.sim.lossmodel import BurstModel, concentrate_drops, flow_release_slack
 from repro.sim.metrics import MetricsAccumulator, RunResult
 from repro.sim.sanitizer import SimSanitizer
 from repro.sim.sanitizer import enabled as sanitizer_enabled
@@ -219,7 +219,7 @@ class FlowSimulator:
         burst = BurstModel(rng=burst_rng)
         slacks = np.array(
             [
-                burst.slack_for(f.pacing.smooths_bursts, f.pacing.enabled, f.zerocopy)
+                flow_release_slack(f.pacing, f.zerocopy, burst)
                 for f in self.flows
             ]
         )

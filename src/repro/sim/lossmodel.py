@@ -42,7 +42,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BurstModel", "COPY_MODE_SLACK", "TRAIN_FRACTION", "distribute_drops", "concentrate_drops"]
+__all__ = [
+    "BurstModel",
+    "COPY_MODE_SLACK",
+    "TRAIN_FRACTION",
+    "distribute_drops",
+    "concentrate_drops",
+    "flow_release_slack",
+]
 
 #: Burst slack of an unpaced copying sender: the user->kernel copy
 #: naturally spreads transmission, leaving moderate residual trains.
@@ -157,6 +164,23 @@ class BurstModel:
         trains_x = np.exp(-self.sigma**2 / 2.0 + self.sigma * z[n + 1 :])
         trains = slacks * trains_x * TRAIN_FRACTION * cwnd_bytes
         return float(z[0]), weights, trains
+
+
+def flow_release_slack(pacing, zerocopy: bool, burst: BurstModel) -> float:
+    """Burst slack of one flow, honouring pacer-owned release schedules.
+
+    Kernel pacing (:class:`~repro.tcp.pacing.PacingConfig`) derives its
+    slack from the qdisc, so the driver asks :meth:`BurstModel.slack_for`.
+    Userspace pacers (the QUIC stack) own their release schedule outright
+    and advertise it via a ``release_slack(zerocopy)`` method; when the
+    pacing object provides one, its answer *is* the slack.  Duck typing
+    rather than an import keeps the dependency arrow pointing into the
+    simulator (quic -> sim), never out of it.
+    """
+    release = getattr(pacing, "release_slack", None)
+    if release is not None:
+        return float(release(zerocopy))
+    return burst.slack_for(pacing.smooths_bursts, pacing.enabled, zerocopy)
 
 
 def distribute_drops(

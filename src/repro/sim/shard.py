@@ -80,7 +80,12 @@ from repro.sim.flowsim import (
     SimProfile,
 )
 from repro.sim.kernels import VectorKernel
-from repro.sim.lossmodel import BURST_SIGMA, TRAIN_FRACTION, BurstModel
+from repro.sim.lossmodel import (
+    BURST_SIGMA,
+    TRAIN_FRACTION,
+    BurstModel,
+    flow_release_slack,
+)
 from repro.sim.metrics import MetricsAccumulator, RunResult
 from repro.tcp.cc.batch import CcBatch
 from repro.tcp.segment import SegmentGeometry
@@ -881,13 +886,10 @@ class ShardedFlowSimulator:
         # of the congestion state from per-kind templates, so the batch
         # stepper registry is the single source of truth for which cc
         # kinds work here (scalar-state CCs like BBR cannot shard).
-        from repro.tcp.cc import CC_ALGORITHMS
-        from repro.tcp.cc.batch import group_class_for, template_kinds
+        from repro.tcp.cc.batch import is_batchable, template_kinds
 
         for spec, _ in self.population.groups:
-            base = spec.cc.partition(":")[0].strip().lower()
-            cls = CC_ALGORITHMS.get(base)
-            if cls is None or group_class_for(cls) is None:
+            if not is_batchable(spec.cc):
                 raise ConfigurationError(
                     f"sharded campaigns support cc in {template_kinds()}, "
                     f"not {spec.cc!r} (scalar-state CCs cannot shard)"
@@ -997,11 +999,7 @@ class ShardedFlowSimulator:
             slack_parts.append(
                 np.full(
                     count,
-                    burst.slack_for(
-                        spec.pacing.smooths_bursts,
-                        spec.pacing.enabled,
-                        spec.zerocopy,
-                    ),
+                    flow_release_slack(spec.pacing, spec.zerocopy, burst),
                 )
             )
         n_pads = plan.n_pad - n

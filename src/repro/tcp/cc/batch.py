@@ -65,7 +65,13 @@ from repro.tcp.cc.scalable import Scalable
 from repro.tcp.cc.tunable import TunableCubic
 from repro.tcp.cc.westwood import WestwoodPlus
 
-__all__ = ["CcBatch", "batch_stepper", "group_class_for", "template_kinds"]
+__all__ = [
+    "CcBatch",
+    "batch_stepper",
+    "group_class_for",
+    "is_batchable",
+    "template_kinds",
+]
 
 
 #: (CC class, stepper class) in registration order — the one canonical
@@ -105,6 +111,23 @@ def group_class_for(cc_cls: type) -> type["_ArrayGroup"] | None:
             f"{cc_cls.__name__} to run it as scalar objects"
         )
     return None
+
+
+def is_batchable(kind: str) -> bool:
+    """Whether a cc *kind* string names a template-batchable algorithm.
+
+    Accepts the same parameterized kind grammar as
+    :func:`repro.tcp.cc.make_cc` (``"tunable-cubic:c=0.8,beta=0.9"``).
+    This is the one batchability predicate shared by every consumer of
+    the registry — the sharded simulator's validation and the QUIC
+    stack's pacer/cc wiring both route through it, so "which kinds can
+    batch" has exactly one answer.
+    """
+    from repro.tcp.cc import CC_ALGORITHMS
+
+    base = kind.partition(":")[0].strip().lower()
+    cc_cls = CC_ALGORITHMS.get(base)
+    return cc_cls is not None and group_class_for(cc_cls) is not None
 
 
 def template_kinds() -> list[str]:

@@ -77,7 +77,14 @@ class PacingConfig:
 
     @property
     def enabled(self) -> bool:
-        return self.requested_bytes_per_sec is not None
+        """Whether the kernel is actually pacing this flow.
+
+        Not the same question as "did the user ask for pacing": an
+        unpatched tool whose requested rate wraps to exactly 0 mod 2^32
+        sets ``SO_MAX_PACING_RATE`` to 0, which *disables* pacing — the
+        flow reverts to unpaced line-rate bursts.
+        """
+        return self.effective_rate() is not None
 
     def effective_rate(self) -> float | None:
         """The rate the kernel actually enforces, in bytes/s.
@@ -86,7 +93,9 @@ class PacingConfig:
         unsigned field, so requested rates >= 2^32 B/s (≈34.4 Gbps)
         wrap modulo 2^32: a requested 50 Gbps (6.25e9 B/s) becomes
         6.25e9 - 2^32 ≈ 1.96e9 B/s ≈ 15.6 Gbps — far below the request,
-        and throughput collapses accordingly.
+        and throughput collapses accordingly.  A rate that wraps to
+        exactly 0 means ``SO_MAX_PACING_RATE`` 0 — pacing disabled —
+        reported here as ``None``, identical to never requesting it.
         """
         if self.requested_bytes_per_sec is None:
             return None
@@ -94,7 +103,7 @@ class PacingConfig:
         if not self.patched_uint64 and rate >= UINT32_MAX_BYTES:
             rate = rate % UINT32_MAX_BYTES
             if rate == 0:
-                rate = float(UINT32_MAX_BYTES - 1)
+                return None
         return rate
 
     @property
@@ -114,12 +123,19 @@ class PacingConfig:
         return 0.0 if self.qdisc == "fq" else 0.35
 
     def describe(self) -> str:
-        if not self.enabled:
+        req = self.requested_bytes_per_sec
+        if req is None:
             return "unpaced"
         eff = self.effective_rate()
-        req = self.requested_bytes_per_sec
-        assert eff is not None and req is not None
-        if abs(eff - req) > 1.0:
+        if eff is None:
+            return (
+                f"fq-rate {units.fmt_gbps(req)} (WRAPPED to unpaced "
+                f"by unpatched uint32!)"
+            )
+        # Exact on purpose: eff is req after integer truncation (mod
+        # 2^32), not after arithmetic — any difference at all means the
+        # wrap fired, so a magnitude threshold would only hide wraps.
+        if eff != req:  # repro: noqa-FLOAT001
             return (
                 f"fq-rate {units.fmt_gbps(req)} (WRAPPED to "
                 f"{units.fmt_gbps(eff)} by unpatched uint32!)"

@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["PROBE_TOOLS", "socket_probe", "mpstat_probe", "nic_probe"]
+__all__ = ["PROBE_TOOLS", "socket_probe", "mpstat_probe", "nic_probe", "spin_probe"]
 
 #: probe event name -> the paper-workflow tool it emulates (docs, CLI).
 PROBE_TOOLS = {
     "probe.socket": "ss -ti (cwnd / pacing rate / retrans / rtt per socket)",
     "probe.mpstat": "mpstat -P ALL (per-core app vs softirq utilisation)",
     "probe.nic": "ethtool -S + switch counters (occupancy, drops, pauses)",
+    "probe.spin": "passive QUIC spin-bit tap (estimated vs ground-truth RTT)",
 }
 
 _MS_PER_SEC = 1e3
@@ -67,6 +68,23 @@ def socket_probe(
     if zc_fraction is not None:
         args["zc_fraction"] = round(float(zc_fraction), 6)
     return args
+
+
+def spin_probe(flow: int, *, est_rtt: float, true_rtt: float) -> dict:
+    """Spin-bit tap sample: one passively estimated RTT for one flow.
+
+    Emitted per recovered edge pair by the QUIC spin observer's replay
+    (:func:`repro.quic.spin.replay_spin_probes`).  All three values are
+    numeric, so the Perfetto converter renders a
+    ``probe.spin/flow<N>`` counter track of estimate vs ground truth.
+    """
+    err_pct = abs(est_rtt - true_rtt) / true_rtt * 100.0
+    return {
+        "flow": int(flow),
+        "est_rtt_ms": round(float(est_rtt) * _MS_PER_SEC, 6),
+        "true_rtt_ms": round(float(true_rtt) * _MS_PER_SEC, 6),
+        "err_pct": round(float(err_pct), 4),
+    }
 
 
 def mpstat_probe(

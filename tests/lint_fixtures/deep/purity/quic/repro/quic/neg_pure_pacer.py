@@ -1,0 +1,12 @@
+"""PURE001 negative: an environment-free QUIC pacer module.
+
+Everything is a function of constructor arguments; nothing ambient.
+"""
+
+
+class FixedPacer:
+    def __init__(self, slack: float) -> None:
+        self.slack = slack
+
+    def release_slack(self, zerocopy: bool) -> float:
+        return self.slack if zerocopy else self.slack / 2

@@ -1,0 +1,21 @@
+"""PURE001 positive: a QUIC pacer consulting the process environment.
+
+Resolves to module ``repro.quic.pos_pacer_env`` (path segments after
+the ``repro`` directory), which the rule covers wholesale: the QUIC
+package has no sanctioned environment reader, because its pacers and
+observers ship into shard workers — an ambient read here could give
+two shards different release schedules for byte-identical flow specs.
+"""
+
+import os
+
+
+class DebugPacer:
+    def release_slack(self, zerocopy: bool) -> float:
+        if os.environ.get("REPRO_QUIC_SMOOTH"):  # flagged: ambient read
+            return 0.0
+        return 1.0
+
+
+def default_bucket_bytes() -> int:
+    return int(os.getenv("REPRO_QUIC_BUCKET", 65536))  # flagged

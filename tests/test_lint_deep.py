@@ -63,10 +63,12 @@ FILE_CASES = [
     ("PURE001", "purity/pos_mutable_read.py", 1),
     ("PURE001", "purity/pos_shared_cache.py", 2),
     ("PURE001", "purity/serve/repro/serve/pos_handler_env.py", 2),
+    ("PURE001", "purity/quic/repro/quic/pos_pacer_env.py", 2),
     ("PURE001", "purity/neg_init_env.py", 0),
     ("PURE001", "purity/neg_constants.py", 0),
     ("PURE001", "purity/neg_not_kernel.py", 0),
     ("PURE001", "purity/serve/repro/serve/config.py", 0),
+    ("PURE001", "purity/quic/repro/quic/neg_pure_pacer.py", 0),
     ("SHARD001", "shard/pos_sum_set.py", 1),
     ("SHARD001", "shard/pos_loop_dict.py", 1),
     ("SHARD001", "shard/pos_param_write.py", 1),

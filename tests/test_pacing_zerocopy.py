@@ -39,7 +39,43 @@ class TestPacing:
     def test_effective_never_exceeds_requested(self, gbps_value):
         for patched in (True, False):
             p = PacingConfig.fq_rate_gbps(gbps_value, patched=patched)
-            assert p.effective_rate() <= units.gbps(gbps_value) + 1e-6
+            eff = p.effective_rate()
+            if eff is None:
+                # Only the wrap-to-exactly-zero corner disables pacing.
+                assert not patched
+                assert units.gbps(gbps_value) % UINT32_MAX_BYTES == 0
+            else:
+                assert eff <= units.gbps(gbps_value) + 1e-6
+
+    @given(st.floats(min_value=1.0, max_value=1e13))
+    def test_unpatched_is_true_uint32_mod(self, rate):
+        """effective_rate() is exactly ``rate % 2**32`` — with the
+        wrap-to-zero corner reported as pacing-disabled, not clamped."""
+        p = PacingConfig(requested_bytes_per_sec=rate, patched_uint64=False)
+        expected = rate % UINT32_MAX_BYTES
+        if expected == 0:
+            assert p.effective_rate() is None
+        else:
+            assert p.effective_rate() == expected
+
+    @given(st.integers(min_value=1, max_value=2**20))
+    def test_exact_multiple_of_2_32_reverts_to_unpaced(self, k):
+        """fq-rate k*2^32 wraps to SO_MAX_PACING_RATE 0: pacing is
+        *disabled* (line-rate bursts), not clamped to uint32-max."""
+        rate = float(k) * UINT32_MAX_BYTES
+        p = PacingConfig(requested_bytes_per_sec=rate, patched_uint64=False)
+        assert p.effective_rate() is None
+        assert not p.enabled
+        assert not p.smooths_bursts
+        assert p.burst_slack == 1.0
+        # The patched tool is immune at the same rate.
+        fixed = PacingConfig(requested_bytes_per_sec=rate)
+        assert fixed.effective_rate() == rate
+
+    def test_describe_wrap_to_zero(self):
+        rate = float(UINT32_MAX_BYTES)
+        p = PacingConfig(requested_bytes_per_sec=rate, patched_uint64=False)
+        assert "WRAPPED to unpaced" in p.describe()
 
     def test_fq_codel_coarse_pacing(self):
         p = PacingConfig.fq_rate_gbps(10, qdisc="fq_codel")

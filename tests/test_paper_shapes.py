@@ -26,6 +26,14 @@ from repro.experiments.cc_zoo import (
     TUNER_PATH,
     _with_buffer,
 )
+from repro.experiments.quic_pacing import (
+    AGG_CONNS,
+    PACER_KINDS,
+    QUIC_PATHS,
+    SPIN_LOSS,
+    SPIN_PATHS,
+    SPIN_REORDER,
+)
 from repro.host.sysctl import OPTMEM_1MB, OPTMEM_BEST_WAN, OPTMEM_DEFAULT
 from repro.testbeds.amlight import AmLightTestbed
 from repro.testbeds.esnet import ESnetTestbed
@@ -488,6 +496,9 @@ class TestFqRatePitfallClaims:
         fixed = one_row(res, tool="iperf3+PR1728")
         broken = one_row(res, tool="iperf3 (uint fq-rate)")
         assert broken["gbps"] < 0.5 * fixed["gbps"]
+        # Paper shape: 50 Gbps requested, 6.25e9 % 2^32 B/s ≈ 15.6 Gbps
+        # delivered — the wrapped pacing rate, not some other collapse.
+        assert broken["gbps"] == pytest.approx(15.6, abs=0.8)
 
 
 @asserts_expectation("pit-iommu")
@@ -832,3 +843,190 @@ class TestCcTunerClaims:
         # million — the knob binds only for an instant after each loss.
         assert runs[0].mean_gbps == pytest.approx(runs[1].mean_gbps, rel=1e-6)
         assert runs[0].mean_retransmits == runs[1].mean_retransmits
+
+
+@asserts_expectation("quic-pacing")
+class TestQuicPacingClaims:
+    """Userspace pacers on the TCP loss model: burstiness is destiny."""
+
+    RATED = ("interval", "token-bucket", "chunked")
+
+    def test_shallow_cells_order_exactly_by_release_slack(
+        self, campaign_result
+    ):
+        """interval > token-bucket > chunked > none at every RTT —
+        PACER_KINDS is already in ascending-slack order."""
+        res = campaign_result("quic-pacing")
+        for path in QUIC_PATHS:
+            g = [
+                one_row(res, pacer=k, path=path, buffer="shallow")["gbps"]
+                for k in PACER_KINDS
+            ]
+            assert all(a > b for a, b in zip(g, g[1:])), (path, g)
+
+    def test_unpaced_collapse_deepens_with_rtt(self, campaign_result):
+        """The unpaced stack's fraction of interval's throughput falls
+        monotonically from wan25 to wan104 in the shallow cells."""
+        res = campaign_result("quic-pacing")
+        frac = []
+        for path in QUIC_PATHS:
+            none = one_row(res, pacer="none", path=path, buffer="shallow")
+            interval = one_row(
+                res, pacer="interval", path=path, buffer="shallow"
+            )
+            frac.append(none["gbps"] / interval["gbps"])
+        assert all(a > b for a, b in zip(frac, frac[1:])), frac
+        assert frac[-1] < 0.15, frac
+
+    def test_interval_alone_is_retransmit_free_on_deep_buffers(
+        self, campaign_result
+    ):
+        res = campaign_result("quic-pacing")
+        for path in QUIC_PATHS:
+            row = one_row(res, pacer="interval", path=path, buffer="deep")
+            assert row["retr"] == 0, path
+        for kind in PACER_KINDS[1:]:
+            total = sum(
+                one_row(res, pacer=kind, path=p, buffer="deep")["retr"]
+                for p in QUIC_PATHS
+            )
+            assert total > 0, kind
+
+    def test_interval_pays_a_tail_drop_trickle_where_it_saturates(
+        self, campaign_result
+    ):
+        """In every shallow cell interval keeps the queue full (top
+        throughput) and pays for it in steady drops; the bursty pacers
+        barely retransmit because they barely transmit."""
+        res = campaign_result("quic-pacing")
+        for path in QUIC_PATHS:
+            rows = {
+                k: one_row(res, pacer=k, path=path, buffer="shallow")
+                for k in PACER_KINDS
+            }
+            assert rows["interval"]["retr"] >= 100, path
+            for kind in PACER_KINDS[1:]:
+                assert rows[kind]["retr"] <= 5, (path, kind)
+                assert rows[kind]["gbps"] < rows["interval"]["gbps"], (
+                    path,
+                    kind,
+                )
+
+    def test_deep_buffers_hold_rated_pacers_within_ten_percent(
+        self, campaign_result
+    ):
+        res = campaign_result("quic-pacing")
+        for path in QUIC_PATHS:
+            g = [
+                one_row(res, pacer=k, path=path, buffer="deep")["gbps"]
+                for k in self.RATED
+            ]
+            assert min(g) >= 0.9 * max(g), (path, g)
+
+    def test_aggregate_converges_near_line_rate_unpaced_last(
+        self, campaign_result
+    ):
+        res = campaign_result("quic-pacing")
+        agg = {
+            k: one_row(res, pacer=k, buffer=f"agg{AGG_CONNS}")["gbps"]
+            for k in PACER_KINDS
+        }
+        assert min(agg.values()) > 0.98 * max(agg.values()), agg
+        assert min(agg, key=agg.get) == "none", agg
+
+    def test_appendix_renders_the_burstiness_ladder(self, campaign_result):
+        res = campaign_result("quic-pacing")
+        assert "Burstiness ladder" in res.appendix
+        for kind in PACER_KINDS:
+            assert f"| {kind} |" in res.appendix
+
+
+@asserts_expectation("spin-accuracy")
+class TestSpinAccuracyClaims:
+    """The passive estimator is trustworthy on a clean tap and degrades
+    predictably along each impairment axis."""
+
+    def test_median_error_under_ten_percent_at_zero_impairment(
+        self, campaign_result
+    ):
+        """The acceptance bar is 10%; the clean-channel estimator is in
+        practice under 3% median and 5% p90 on both long paths."""
+        res = campaign_result("spin-accuracy")
+        for path in SPIN_PATHS:
+            row = one_row(res, path=path, loss=0.0, reorder=0.0)
+            assert row["median_err_pct"] < 10.0, (path, row)
+            assert row["median_err_pct"] < 3.0, (path, row)
+            assert row["p90_err_pct"] < 5.0, (path, row)
+
+    def test_median_degrades_monotonically_along_both_axes(
+        self, campaign_result
+    ):
+        res = campaign_result("spin-accuracy")
+        for path in SPIN_PATHS:
+            for reorder in SPIN_REORDER:
+                m = [
+                    one_row(res, path=path, loss=l, reorder=reorder)[
+                        "median_err_pct"
+                    ]
+                    for l in SPIN_LOSS
+                ]
+                assert all(a < b for a, b in zip(m, m[1:])), (path, reorder, m)
+            for loss in SPIN_LOSS:
+                m = [
+                    one_row(res, path=path, loss=loss, reorder=r)[
+                        "median_err_pct"
+                    ]
+                    for r in SPIN_REORDER
+                ]
+                assert all(a < b for a, b in zip(m, m[1:])), (path, loss, m)
+
+    def test_tail_degrades_monotonically_with_reordering(
+        self, campaign_result
+    ):
+        """p90 climbs with reorder rate at every loss rate; along the
+        loss axis it climbs too until reorder-split samples own the
+        tail (reorder=0.3), where loss can only shuffle them."""
+        res = campaign_result("spin-accuracy")
+        for path in SPIN_PATHS:
+            for loss in SPIN_LOSS:
+                p = [
+                    one_row(res, path=path, loss=loss, reorder=r)[
+                        "p90_err_pct"
+                    ]
+                    for r in SPIN_REORDER
+                ]
+                assert all(a < b for a, b in zip(p, p[1:])), (path, loss, p)
+            for reorder in SPIN_REORDER[:-1]:
+                p = [
+                    one_row(res, path=path, loss=l, reorder=reorder)[
+                        "p90_err_pct"
+                    ]
+                    for l in SPIN_LOSS
+                ]
+                assert all(a < b for a, b in zip(p, p[1:])), (path, reorder, p)
+
+    def test_reordering_is_the_harsher_impairment_on_p90(
+        self, campaign_result
+    ):
+        """At every matched rate x, p90(reorder=x) > p90(loss=x): a
+        spurious edge splits a whole spin period, a lost edge only
+        stretches one."""
+        res = campaign_result("spin-accuracy")
+        for path in SPIN_PATHS:
+            for x in (0.1, 0.3):
+                ro = one_row(res, path=path, loss=0.0, reorder=x)
+                lo = one_row(res, path=path, loss=x, reorder=0.0)
+                assert ro["p90_err_pct"] > lo["p90_err_pct"], (path, x)
+
+    def test_spurious_edges_grow_the_sample_count(self, campaign_result):
+        """Reordering manufactures edges (one split per straggler), so
+        the recovered-sample count rises with the reorder rate; loss
+        only moves edges, so it cannot create them."""
+        res = campaign_result("spin-accuracy")
+        for path in SPIN_PATHS:
+            for loss in SPIN_LOSS:
+                e = [
+                    one_row(res, path=path, loss=loss, reorder=r)["edges"]
+                    for r in SPIN_REORDER
+                ]
+                assert all(a < b for a, b in zip(e, e[1:])), (path, loss, e)
